@@ -1,0 +1,69 @@
+"""Shared infrastructure for the paper-reproduction benchmarks.
+
+Tuning sessions are expensive (7 iterations x one benchmark run each),
+and several tables/figures draw on the same cell (e.g. Table 5 is the
+Figure 3 fillrandom/HDD session), so sessions are memoized per
+(workload, hardware cell, seed) for the lifetime of the pytest process.
+
+Every benchmark writes its rendered table/series to
+``benchmarks/results/<name>.txt`` so EXPERIMENTS.md can reference real
+output.
+"""
+
+from __future__ import annotations
+
+import functools
+import os
+
+from repro.bench.spec import DEFAULT_BYTE_SCALE, DEFAULT_SCALE, paper_workload
+from repro.core.stopping import StoppingCriteria
+from repro.core.tuner import ElmoTune, TunerConfig
+from repro.core.session import TuningSession
+from repro.hardware.device import device_by_name
+from repro.hardware.profile import make_profile
+from repro.llm.simulated import SimulatedExpert
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+#: One shared seed keeps every experiment reproducible end to end.
+SEED = 42
+
+#: The paper runs 7 tuning iterations.
+ITERATIONS = 7
+
+
+def profile_for(cell: str):
+    """``cell``: '<cpus>c<mem>g-<device>' e.g. '2c4g-sata-hdd'."""
+    hw, _, device_name = cell.partition("-")
+    cpus, _, mem = hw.partition("c")
+    return make_profile(int(cpus), float(mem.rstrip("g")),
+                        device_by_name(device_name))
+
+
+@functools.lru_cache(maxsize=None)
+def tuning_session(workload: str, cell: str, seed: int = SEED,
+                   scale: float = DEFAULT_SCALE) -> TuningSession:
+    """Run (or fetch the cached) tuning session for one experiment cell."""
+    config = TunerConfig(
+        workload=paper_workload(workload, scale).with_seed(seed),
+        profile=profile_for(cell),
+        byte_scale=DEFAULT_BYTE_SCALE,
+        stopping=StoppingCriteria(max_iterations=ITERATIONS),
+    )
+    expert = SimulatedExpert(seed=seed)
+    return ElmoTune(config, expert).run()
+
+
+def write_result(name: str, text: str) -> None:
+    """Persist one experiment's rendered output (and echo it)."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"{name}.txt")
+    with open(path, "w", encoding="utf-8") as f:
+        f.write(text + "\n")
+    print(f"\n===== {name} =====")
+    print(text)
+
+
+def once(benchmark, fn):
+    """Run ``fn`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

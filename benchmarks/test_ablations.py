@@ -1,0 +1,124 @@
+"""Ablations for the design choices DESIGN.md calls out.
+
+1. Options-per-iteration budget (paper §6 observation 1: "adjusting more
+   than 10 options in a single iteration leads to marginal improvements").
+2. Safeguards (paper §4.2: blacklist + format checker keep unsafe and
+   hallucinated changes away from the store).
+3. Active flagger (paper §4.2: revert-on-regression makes the loop
+   monotone in kept configurations).
+"""
+
+import pytest
+
+from benchmarks.common import ITERATIONS, SEED, once, profile_for, write_result
+from repro.bench.spec import DEFAULT_BYTE_SCALE, DEFAULT_SCALE, paper_workload
+from repro.core.safeguard import SafeguardEnforcer
+from repro.core.stopping import StoppingCriteria
+from repro.core.tuner import ElmoTune, TunerConfig
+from repro.llm.hallucination import HallucinationProfile
+from repro.llm.simulated import SimulatedExpert
+
+CELL = "4c4g-nvme-ssd"
+
+
+def make_config(workload="readrandom", iterations=ITERATIONS):
+    return TunerConfig(
+        workload=paper_workload(workload, DEFAULT_SCALE).with_seed(SEED),
+        profile=profile_for(CELL),
+        byte_scale=DEFAULT_BYTE_SCALE,
+        stopping=StoppingCriteria(max_iterations=iterations),
+    )
+
+
+def test_ablation_options_per_iteration(benchmark):
+    """Gain from a 12-change budget over a 6-change budget is marginal
+    compared to the gain from 2 to 6 — the paper's observation 1."""
+
+    def run():
+        out = {}
+        for budget in (2, 6, 12):
+            expert = SimulatedExpert(seed=SEED, max_changes=budget)
+            session = ElmoTune(make_config(), expert).run()
+            out[budget] = session.improvement_factor()
+        return out
+
+    gains = once(benchmark, run)
+    lines = ["Ablation: option-change budget per iteration (readrandom, NVMe)"]
+    lines += [f"  max {k:>2} changes/iteration -> {v:.2f}x improvement"
+              for k, v in sorted(gains.items())]
+    write_result("ablation_options_per_iteration", "\n".join(lines))
+    assert gains[6] >= gains[2] * 0.9
+    # Doubling the budget past ~6 buys little (paper: >10 is marginal).
+    assert gains[12] <= gains[6] * 1.25
+
+
+def test_ablation_safeguards(benchmark):
+    """Without the blacklist, a sloppy model's unsafe suggestions reach
+    the configuration; with it they never do."""
+
+    def run():
+        guarded_cfg = make_config("fillrandom", iterations=4)
+        unguarded_cfg = make_config("fillrandom", iterations=4)
+        expert = lambda: SimulatedExpert(
+            seed=SEED, hallucination=HallucinationProfile.severe()
+        )
+        guarded = ElmoTune(guarded_cfg, expert()).run()
+        unguarded = ElmoTune(
+            unguarded_cfg, expert(),
+            safeguard=SafeguardEnforcer(blacklist=frozenset(),
+                                        allow_deprecated=True),
+        ).run()
+        return guarded, unguarded
+
+    guarded, unguarded = once(benchmark, run)
+    unsafe_seen = any(
+        name in ("disable_wal", "paranoid_checks", "no_block_cache",
+                 "allow_data_loss_on_crash")
+        for record in unguarded.iterations
+        for name, _ in record.accepted_changes
+    )
+    guarded_unsafe = (
+        guarded.final_options.get("disable_wal")
+        or not guarded.final_options.get("paranoid_checks")
+        or guarded.final_options.get("no_block_cache")
+    )
+    write_result(
+        "ablation_safeguards",
+        "Ablation: safeguards (severe hallucination profile)\n"
+        f"  guarded:   vetoes={guarded.total_rejections()}, "
+        f"unsafe in final config: {bool(guarded_unsafe)}\n"
+        f"  unguarded: vetoes={unguarded.total_rejections()}, "
+        f"unsafe accepted at some iteration: {unsafe_seen}",
+    )
+    assert not guarded_unsafe
+    assert guarded.total_rejections() > 0  # the safeguard actually worked
+
+
+def test_ablation_active_flagger(benchmark):
+    """With the flagger, kept configurations are monotone in throughput;
+    with always-keep, regressions get adopted."""
+
+    def run():
+        flagged = ElmoTune(make_config("mixgraph"),
+                           SimulatedExpert(seed=SEED)).run()
+        cfg = make_config("mixgraph")
+        cfg.always_keep = True
+        unflagged = ElmoTune(cfg, SimulatedExpert(seed=SEED)).run()
+        return flagged, unflagged
+
+    flagged, unflagged = once(benchmark, run)
+    kept = [r.metrics.ops_per_sec for r in flagged.iterations if r.kept]
+    final_flagged = flagged.best.metrics.ops_per_sec
+    final_unflagged = unflagged.iterations[-1].metrics.ops_per_sec
+    write_result(
+        "ablation_active_flagger",
+        "Ablation: active flagger (mixgraph, NVMe)\n"
+        f"  with flagger:   final kept config {final_flagged:.0f} ops/sec\n"
+        f"  always-keep:    final config {final_unflagged:.0f} ops/sec\n"
+        f"  kept-config series (flagger): "
+        f"{[int(v) for v in kept]}",
+    )
+    # The flagger guarantees the final kept config is the running max.
+    assert final_flagged == max(kept)
+    # And it never ends below the ablated variant.
+    assert final_flagged >= final_unflagged * 0.99

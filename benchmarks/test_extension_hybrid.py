@@ -1,0 +1,45 @@
+"""Extension experiment: the paper's §6 future-work hybrid tuner.
+
+Compares LLM-only tuning against LLM-jumpstart + fine-tuning polish on
+the readrandom workload. Hypothesis (from the paper's discussion): the
+hybrid is at least as good, because the LLM jumpstart lands in the right
+region and local search squeezes the remainder.
+"""
+
+from benchmarks.common import ITERATIONS, SEED, once, profile_for, write_result
+from repro.bench.spec import DEFAULT_BYTE_SCALE, DEFAULT_SCALE, paper_workload
+from repro.core.finetuner import FineTuneConfig, HybridTuner
+from repro.core.stopping import StoppingCriteria
+from repro.core.tuner import TunerConfig
+from repro.llm.simulated import SimulatedExpert
+
+CELL = "4c4g-nvme-ssd"
+
+
+def run():
+    config = TunerConfig(
+        workload=paper_workload("readrandom", DEFAULT_SCALE).with_seed(SEED),
+        profile=profile_for(CELL),
+        byte_scale=DEFAULT_BYTE_SCALE,
+        stopping=StoppingCriteria(max_iterations=ITERATIONS),
+    )
+    hybrid = HybridTuner(
+        config, SimulatedExpert(seed=SEED), FineTuneConfig(max_probes=10)
+    )
+    return hybrid.run()
+
+
+def test_extension_hybrid_finetune(benchmark):
+    result = once(benchmark, run)
+    llm_factor = result.llm_session.improvement_factor()
+    write_result(
+        "extension_hybrid_finetune",
+        "Extension: LLM jumpstart + fine-tuning (readrandom, NVMe)\n"
+        f"  LLM-only:  {llm_factor:.2f}x over out-of-box\n"
+        f"  hybrid:    {result.total_factor:.2f}x over out-of-box\n\n"
+        + result.describe(),
+    )
+    # The polish never loses ground on the jumpstart.
+    assert result.total_factor >= llm_factor * 0.99
+    # And the combined system beats the out-of-box config comfortably.
+    assert result.total_factor > 1.3

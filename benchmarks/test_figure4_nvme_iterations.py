@@ -1,0 +1,45 @@
+"""Figure 4: per-iteration series on NVMe SSD (4 CPUs + 4 GiB).
+
+Same three workloads as Figure 3, on flash: throughput, p99 write, and
+p99 read per iteration 0..7.
+"""
+
+from benchmarks.common import once, tuning_session, write_result
+from repro.core.reporting import format_iteration_series, improvement_summary
+
+CELL = "4c4g-nvme-ssd"
+WORKLOADS = ["fillrandom", "mixgraph", "readrandomwriterandom"]
+
+
+def run_sessions():
+    return {w: tuning_session(w, CELL) for w in WORKLOADS}
+
+
+def test_figure4_nvme_iterations(benchmark):
+    sessions = once(benchmark, run_sessions)
+    text = "\n\n".join([
+        format_iteration_series(
+            "Figure 4a: throughput (ops/sec) on NVMe SSD", sessions,
+            series="throughput"),
+        format_iteration_series(
+            "Figure 4b: p99 write latency (us) on NVMe SSD", sessions,
+            series="p99_write"),
+        format_iteration_series(
+            "Figure 4c: p99 read latency (us) on NVMe SSD",
+            {w: s for w, s in sessions.items() if w != "fillrandom"},
+            series="p99_read"),
+        improvement_summary(sessions),
+    ])
+    write_result("figure4_nvme_iterations", text)
+
+    fill = sessions["fillrandom"]
+    for workload, session in sessions.items():
+        assert len(session.throughput_series()) == 8, workload
+        assert session.improvement_factor() >= 1.0, workload
+    # Read-bearing workloads improve more than fillrandom on NVMe
+    # (bloom + cache gains dominate the modest write-path wins).
+    assert sessions["readrandomwriterandom"].improvement_factor() > \
+        fill.improvement_factor()
+    # NVMe fillrandom throughput far exceeds the HDD cell's (Figure 3
+    # vs Figure 4 cross-check happens in EXPERIMENTS.md).
+    assert fill.baseline.metrics.ops_per_sec > 100_000

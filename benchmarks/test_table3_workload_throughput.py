@@ -1,0 +1,58 @@
+"""Table 3: throughput across the four workloads, 4 cores + 4 GiB, NVMe.
+
+Paper shape: every workload improves; the read-dominated workloads
+(RRWR ~3.3x, RR ~2.7x) improve far more than mixgraph (~1.3x) and
+fillrandom (~1.16x).
+"""
+
+from benchmarks.common import once, tuning_session, write_result
+
+CELL = "4c4g-nvme-ssd"
+WORKLOADS = ["fillrandom", "readrandom", "readrandomwriterandom", "mixgraph"]
+
+PAPER = {
+    "fillrandom": (313992, 362796),
+    "readrandom": (1928, 5178),
+    "readrandomwriterandom": (13217, 43598),
+    "mixgraph": (17928, 23488),
+}
+
+
+def run_all():
+    out = {}
+    for workload in WORKLOADS:
+        session = tuning_session(workload, CELL)
+        out[workload] = (
+            session.baseline.metrics.ops_per_sec,
+            session.best.metrics.ops_per_sec,
+        )
+    return out
+
+
+def test_table3_workload_throughput(benchmark):
+    rows = once(benchmark, run_all)
+    lines = ["Table 3: throughput (ops/sec), 4 CPUs + 4 GiB, NVMe",
+             f"{'Workload':<24}{'Default':>12}{'Tuned':>12}{'Factor':>9}"
+             f"{'PaperDefault':>14}{'PaperTuned':>12}{'PaperX':>8}"]
+    for workload in WORKLOADS:
+        default, tuned = rows[workload]
+        pd, pt = PAPER[workload]
+        lines.append(
+            f"{workload:<24}{default:>12.0f}{tuned:>12.0f}"
+            f"{tuned / default:>9.2f}{pd:>14}{pt:>12}{pt / pd:>8.2f}"
+        )
+    write_result("table3_workload_throughput", "\n".join(lines))
+
+    factors = {w: rows[w][1] / rows[w][0] for w in WORKLOADS}
+    # Shape 1: nothing regresses.
+    assert all(f >= 1.0 for f in factors.values()), factors
+    # Shape 2: read-dominated workloads gain far more than fillrandom.
+    assert factors["readrandom"] > factors["fillrandom"]
+    assert factors["readrandomwriterandom"] > factors["fillrandom"]
+    # Shape 3: the big winners show multi-x gains; fillrandom stays modest.
+    assert factors["readrandomwriterandom"] >= 1.5
+    assert factors["readrandom"] >= 1.5
+    assert factors["fillrandom"] <= 1.6
+    # Shape 4: absolute ordering of baselines matches the paper:
+    # fillrandom >> mixgraph > RRWR-ish > readrandom.
+    assert rows["fillrandom"][0] > rows["mixgraph"][0] > rows["readrandom"][0]

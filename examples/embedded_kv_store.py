@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Use PyLSM directly as an embedded key-value store.
+
+ELMo-Tune's substrate is a complete LSM engine: WAL durability, leveled
+compaction, bloom filters, block cache, crash recovery. This example
+drives it as a library — no tuning loop involved — and demonstrates
+crash recovery from the WAL.
+
+Run:  python examples/embedded_kv_store.py
+"""
+
+from repro.hardware import make_profile
+from repro.lsm import DB, Env, Options
+from repro.lsm.statistics import Ticker
+
+
+def main() -> None:
+    env = Env()  # in-memory filesystem + virtual clock
+    options = Options({
+        "write_buffer_size": 256 * 1024,
+        "bloom_filter_bits_per_key": 10.0,
+        "block_cache_size": 4 * 1024 * 1024,
+        "compression": "lz4",
+    })
+    profile = make_profile(4, 8)
+
+    print("== Writing a user table ==")
+    db = DB.open("/data/users", options, env=env, profile=profile)
+    for user_id in range(5000):
+        db.put(b"user:%08d" % user_id, b'{"name": "user-%d"}' % user_id)
+    db.delete(b"user:00000042")  # account removed
+
+    print(f"entries written: {db.statistics.ticker(Ticker.NUMBER_KEYS_WRITTEN)}")
+    print(f"flushes: {db.statistics.ticker(Ticker.FLUSH_COUNT)}, "
+          f"compactions: {db.statistics.ticker(Ticker.COMPACTION_COUNT)}")
+    print("LSM shape:")
+    print(db.describe())
+
+    print("\n== Point reads ==")
+    print("user 7:", db.get(b"user:%08d" % 7).decode())
+    print("user 42 (deleted):", db.get(b"user:%08d" % 42))
+
+    print("\n== Range scan ==")
+    for key, value in db.scan(start=b"user:00000010", limit=3):
+        print(f"  {key.decode()} -> {value.decode()}")
+
+    print("\n== Crash and recover ==")
+    db.put(b"user:99999999", b'{"name": "written-right-before-crash"}')
+    # Simulate a crash: drop the handle without close()/flush().
+    del db
+    recovered = DB.open("/data/users", options, env=env, profile=profile)
+    value = recovered.get(b"user:99999999")
+    print("recovered from WAL:", value.decode())
+    recovered.close()
+
+    print("\n== Virtual-time performance accounting ==")
+    print(f"total virtual time: {env.clock.now_seconds * 1000:.2f} ms "
+          "(deterministic, independent of the host machine)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Reproduce the paper's hardware sensitivity study (Tables 1-2 shape).
+
+Tunes fillrandom on each of the paper's four hardware cells
+({2,4} cores x {4,8} GiB on NVMe) and prints default-vs-tuned
+throughput and p99, plus the same comparison on a SATA HDD.
+
+Run:  python examples/hardware_sweep.py          (takes a few minutes)
+      python examples/hardware_sweep.py --fast   (smaller workloads)
+"""
+
+import sys
+
+from repro.bench.spec import DEFAULT_BYTE_SCALE, paper_workload
+from repro.core import ElmoTune, TunerConfig
+from repro.core.reporting import format_grid_table
+from repro.core.stopping import StoppingCriteria
+from repro.hardware import NVME_SSD, SATA_HDD, make_profile
+from repro.llm import SimulatedExpert
+
+
+def tune_cell(cores: int, mem_gib: float, device, scale: float):
+    config = TunerConfig(
+        workload=paper_workload("fillrandom", scale).with_seed(42),
+        profile=make_profile(cores, mem_gib, device),
+        byte_scale=DEFAULT_BYTE_SCALE,
+        stopping=StoppingCriteria(max_iterations=5),
+    )
+    return ElmoTune(config, SimulatedExpert(seed=42)).run()
+
+
+def main() -> None:
+    scale = 1 / 5000 if "--fast" in sys.argv else 1 / 1000
+    cells = [(2, 4), (2, 8), (4, 4), (4, 8)]
+    labels, default_tp, tuned_tp, default_p99, tuned_p99 = [], [], [], [], []
+    for cores, mem in cells:
+        print(f"tuning fillrandom on {cores} cores + {mem} GiB (NVMe)...")
+        session = tune_cell(cores, mem, NVME_SSD, scale)
+        labels.append(f"{cores}+{mem}")
+        default_tp.append(session.baseline.metrics.ops_per_sec)
+        tuned_tp.append(session.best.metrics.ops_per_sec)
+        default_p99.append(session.baseline.metrics.p99_write_us)
+        tuned_p99.append(session.best.metrics.p99_write_us)
+
+    print()
+    print(format_grid_table("Throughput across hardware (fillrandom, NVMe)",
+                            labels, default_tp, tuned_tp))
+    print()
+    print(format_grid_table("p99 write latency across hardware",
+                            labels, default_p99, tuned_p99,
+                            unit="us", precision=2))
+
+    print("\ntuning the same workload on a SATA HDD (2 cores + 4 GiB)...")
+    hdd = tune_cell(2, 4, SATA_HDD, scale)
+    print(
+        f"HDD: default {hdd.baseline.metrics.ops_per_sec:.0f} ops/sec -> "
+        f"tuned {hdd.best.metrics.ops_per_sec:.0f} ops/sec "
+        f"({hdd.improvement_factor():.2f}x)"
+    )
+    print("Observation: the same expert adapts its advice to the device — "
+          "compaction readahead and sync batching matter on the HDD, "
+          "buffer sizing dominates on flash.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,44 @@
+#!/usr/bin/env python3
+"""Quickstart: tune a write-heavy workload with ELMo-Tune in ~20 lines.
+
+Run:  python examples/quickstart.py
+
+What happens:
+1. A fillrandom workload spec (scaled-down from the paper's 50M ops).
+2. A simulated 4-core / 4-GiB NVMe machine.
+3. Seven feedback-loop iterations: prompt -> LLM -> safeguards ->
+   benchmark -> keep/revert.
+4. The optimized OPTIONS file printed at the end.
+"""
+
+from repro.bench.spec import DEFAULT_BYTE_SCALE, paper_workload
+from repro.core import ElmoTune, TunerConfig
+from repro.core.stopping import StoppingCriteria
+from repro.hardware import make_profile
+from repro.llm import SimulatedExpert
+
+
+def main() -> None:
+    config = TunerConfig(
+        workload=paper_workload("fillrandom").with_seed(42),
+        profile=make_profile(cpu_cores=4, memory_gib=4),
+        byte_scale=DEFAULT_BYTE_SCALE,
+        stopping=StoppingCriteria(max_iterations=7),
+    )
+    tuner = ElmoTune(config, SimulatedExpert(seed=42))
+
+    print("Tuning fillrandom on a 4-core / 4-GiB NVMe machine...\n")
+    session = tuner.run()
+
+    print(session.describe())
+    print()
+    print(f"LLM calls made: {tuner.transcript.num_calls}")
+    print(f"Improvement over out-of-box: {session.improvement_factor():.2f}x")
+    print()
+    print("Final OPTIONS file (first 30 lines):")
+    for line in tuner.final_options_text(session).splitlines()[:30]:
+        print(f"  {line}")
+
+
+if __name__ == "__main__":
+    main()

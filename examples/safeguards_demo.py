@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Watch the safeguards catch a hallucinating model in the act.
+
+Runs a short tuning session against a *severely* sloppy simulated LLM
+(35% fabricated options, 30% deprecated, 25% unsafe suggestions) and
+prints every veto the Safeguard Enforcer issued — the paper's §4.2
+blacklist + format-checker machinery, exercised deliberately.
+
+Run:  python examples/safeguards_demo.py
+"""
+
+from repro.bench.spec import DEFAULT_BYTE_SCALE, paper_workload
+from repro.core import ElmoTune, TunerConfig
+from repro.core.stopping import StoppingCriteria
+from repro.hardware import make_profile
+from repro.llm import HallucinationProfile, SimulatedExpert
+
+
+def main() -> None:
+    config = TunerConfig(
+        workload=paper_workload("mixgraph", 1 / 5000).with_seed(7),
+        profile=make_profile(4, 4),
+        byte_scale=DEFAULT_BYTE_SCALE,
+        stopping=StoppingCriteria(max_iterations=5),
+    )
+    expert = SimulatedExpert(
+        seed=7, hallucination=HallucinationProfile.severe()
+    )
+    tuner = ElmoTune(config, expert)
+    session = tuner.run()
+
+    print("What the model tried to slip past the safeguards:")
+    for entry in expert.injections:
+        print(f"  injected -> {entry}")
+
+    print("\nWhat the Safeguard Enforcer vetoed:")
+    for record in session.iterations:
+        for rejection in record.rejections:
+            print(
+                f"  it{record.iteration}: {rejection.name}="
+                f"{rejection.raw_value}  [{rejection.category}] "
+                f"{rejection.reason}"
+            )
+
+    print("\nWhat actually reached the store:")
+    for record in session.iterations[1:]:
+        names = ", ".join(name for name, _ in record.accepted_changes) or "-"
+        flag = "kept" if record.kept else "reverted"
+        print(f"  it{record.iteration} [{flag}]: {names}")
+
+    final = session.final_options
+    print("\nSafety invariants in the final configuration:")
+    print(f"  disable_wal        = {final.get('disable_wal')} (must be False)")
+    print(f"  paranoid_checks    = {final.get('paranoid_checks')} (must be True)")
+    print(f"  no_block_cache     = {final.get('no_block_cache')} (must be False)")
+    assert final.get("disable_wal") is False
+    assert final.get("paranoid_checks") is True
+    print("\nAll invariants hold despite the hostile model. "
+          f"({session.total_rejections()} suggestions vetoed in total)")
+
+
+if __name__ == "__main__":
+    main()

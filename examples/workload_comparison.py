@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""Compare how much tuning helps each of the paper's four workloads.
+
+Reproduces the Table 3/4 story at example scale: read-dominated
+workloads gain multiples (bloom filters + block cache), write-dominated
+ones gain percents (buffer sizing and background parallelism).
+
+Run:  python examples/workload_comparison.py
+"""
+
+from repro.bench.spec import DEFAULT_BYTE_SCALE, paper_workload
+from repro.core import ElmoTune, TunerConfig
+from repro.core.reporting import improvement_summary
+from repro.core.stopping import StoppingCriteria
+from repro.hardware import make_profile
+from repro.llm import SimulatedExpert
+
+WORKLOADS = ["fillrandom", "readrandom", "readrandomwriterandom", "mixgraph"]
+
+
+def main() -> None:
+    sessions = {}
+    for name in WORKLOADS:
+        print(f"tuning {name}...")
+        config = TunerConfig(
+            workload=paper_workload(name, 1 / 2500).with_seed(42),
+            profile=make_profile(4, 4),
+            byte_scale=DEFAULT_BYTE_SCALE,
+            stopping=StoppingCriteria(max_iterations=5),
+        )
+        sessions[name] = ElmoTune(config, SimulatedExpert(seed=42)).run()
+
+    print()
+    header = f"{'Workload':<24}{'Default ops/s':>14}{'Tuned ops/s':>13}{'Gain':>7}"
+    print(header)
+    print("-" * len(header))
+    for name, session in sessions.items():
+        base = session.baseline.metrics.ops_per_sec
+        best = session.best.metrics.ops_per_sec
+        print(f"{name:<24}{base:>14.0f}{best:>13.0f}{best / base:>6.2f}x")
+
+    print()
+    print(improvement_summary(sessions))
+    print()
+    print("Key option changes per workload:")
+    for name, session in sessions.items():
+        touched = sorted(session.option_trajectory())
+        print(f"  {name}: {', '.join(touched[:6])}"
+              + (" ..." if len(touched) > 6 else ""))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,19 @@
+"""Reproduction of "Can Modern LLMs Tune and Configure LSM-based
+Key-Value Stores?" (ELMo-Tune, HotStorage '24).
+
+Public surface:
+
+* :mod:`repro.lsm` — PyLSM, a from-scratch LSM-KVS (RocksDB stand-in).
+* :mod:`repro.bench` — db_bench-style workload harness.
+* :mod:`repro.llm` — LLM client interface + offline SimulatedExpert.
+* :mod:`repro.core` — the ELMo-Tune feedback loop itself.
+* :mod:`repro.hardware` — simulated device/CPU/memory profiles.
+"""
+
+from repro.core.tuner import ElmoTune, TunerConfig
+from repro.lsm.db import DB
+from repro.lsm.options import Options
+
+__version__ = "1.0.0"
+
+__all__ = ["ElmoTune", "TunerConfig", "DB", "Options", "__version__"]

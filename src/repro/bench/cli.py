@@ -1,0 +1,75 @@
+"""``pylsm-bench``: run one workload from the command line.
+
+Mirrors the ``db_bench`` invocation style the paper uses::
+
+    pylsm-bench --benchmark fillrandom --device nvme-ssd --cpus 4 \
+        --memory-gib 4 --options-file OPTIONS --scale 0.001
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.bench.report import render_report
+from repro.bench.runner import DbBench
+from repro.bench.spec import (
+    DEFAULT_BYTE_SCALE,
+    DEFAULT_SCALE,
+    PAPER_WORKLOADS,
+    paper_workload,
+)
+from repro.hardware.device import device_by_name
+from repro.hardware.profile import make_profile
+from repro.lsm.options import Options
+from repro.lsm.options_file import load_options_file
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="pylsm-bench",
+        description="db_bench-style benchmark runner for PyLSM",
+    )
+    parser.add_argument(
+        "--benchmark",
+        default="fillrandom",
+        choices=sorted(PAPER_WORKLOADS),
+        help="workload to run",
+    )
+    parser.add_argument("--device", default="nvme-ssd",
+                        help="storage device model (nvme-ssd | sata-hdd)")
+    parser.add_argument("--cpus", type=int, default=4, help="CPU cores")
+    parser.add_argument("--memory-gib", type=float, default=4.0,
+                        help="memory size in GiB")
+    parser.add_argument("--options-file", default=None,
+                        help="OPTIONS file to run with (default: built-ins)")
+    parser.add_argument("--scale", type=float, default=DEFAULT_SCALE,
+                        help="op-count scale vs the paper's workloads")
+    parser.add_argument("--byte-scale", type=float, default=DEFAULT_BYTE_SCALE,
+                        help="byte-world scale (buffers, caches, memory)")
+    parser.add_argument("--seed", type=int, default=42)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        device = device_by_name(args.device)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    profile = make_profile(args.cpus, args.memory_gib, device)
+    if args.options_file:
+        options, warnings = load_options_file(args.options_file, strict=False)
+        for warning in warnings:
+            print(f"warning: {warning}", file=sys.stderr)
+    else:
+        options = Options()
+    spec = paper_workload(args.benchmark, args.scale).with_seed(args.seed)
+    result = DbBench(spec, options, profile, byte_scale=args.byte_scale).run()
+    print(render_report(result))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

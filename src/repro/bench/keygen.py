@@ -1,0 +1,184 @@
+"""Key and value generation for benchmark workloads.
+
+Keys follow ``db_bench``'s convention: fixed-width decimal strings over
+a bounded key space. Distributions: uniform, zipfian (hot keys), and the
+two-term power-law used by the mixgraph workload. Values are ~50%
+compressible like ``db_bench``'s default ``compression_ratio=0.5``.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+from repro.errors import WorkloadError
+
+KEY_WIDTH = 16
+
+
+def format_key(index: int) -> bytes:
+    """db_bench-style fixed-width key."""
+    if index < 0:
+        raise WorkloadError("key index cannot be negative")
+    return b"%0*d" % (KEY_WIDTH, index)
+
+
+class UniformKeys:
+    """Uniformly random key indices in [0, num_keys)."""
+
+    def __init__(self, num_keys: int, seed: int = 0) -> None:
+        if num_keys <= 0:
+            raise WorkloadError("key space must be positive")
+        self.num_keys = num_keys
+        self._rng = random.Random(seed)
+
+    def next_index(self) -> int:
+        return self._rng.randrange(self.num_keys)
+
+    def next_key(self) -> bytes:
+        return format_key(self.next_index())
+
+
+class ZipfianKeys:
+    """Zipfian-distributed key indices (YCSB-style rejection-free).
+
+    Uses the Gray et al. analytic method: constant-time sampling without
+    building a table, accurate for theta in (0, 1).
+    """
+
+    def __init__(self, num_keys: int, theta: float = 0.99, seed: int = 0) -> None:
+        if num_keys <= 0:
+            raise WorkloadError("key space must be positive")
+        if not 0 < theta < 1:
+            raise WorkloadError("zipfian theta must be in (0, 1)")
+        self.num_keys = num_keys
+        self.theta = theta
+        self._rng = random.Random(seed)
+        self._alpha = 1.0 / (1.0 - theta)
+        self._zetan = self._zeta(num_keys, theta)
+        self._zeta2 = self._zeta(2, theta)
+        self._eta = (1 - (2.0 / num_keys) ** (1 - theta)) / (
+            1 - self._zeta2 / self._zetan
+        )
+        # Scatter ranks over the key space so "hot" keys are not adjacent.
+        self._scramble = 0x9E3779B9
+
+    @staticmethod
+    def _zeta(n: int, theta: float) -> float:
+        # Exact for small n; integral approximation beyond the cutoff.
+        cutoff = min(n, 10_000)
+        s = sum(1.0 / (i**theta) for i in range(1, cutoff + 1))
+        if n > cutoff:
+            s += ((n ** (1 - theta)) - (cutoff ** (1 - theta))) / (1 - theta)
+        return s
+
+    def next_index(self) -> int:
+        u = self._rng.random()
+        uz = u * self._zetan
+        if uz < 1.0:
+            rank = 0
+        elif uz < 1.0 + 0.5**self.theta:
+            rank = 1
+        else:
+            rank = int(self.num_keys * ((self._eta * u - self._eta + 1) ** self._alpha))
+            rank = min(rank, self.num_keys - 1)
+        return (rank * self._scramble) % self.num_keys
+
+    def next_key(self) -> bytes:
+        return format_key(self.next_index())
+
+
+class MixgraphKeys:
+    """Two-region key model from the Facebook mixgraph characterization.
+
+    A small hot range absorbs most accesses (power-law rank selection
+    inside it); the rest of the space gets the long tail — matching the
+    key-space locality ("keys close together are hot") that
+    Cao et al. (FAST '20) report for production RocksDB workloads.
+    """
+
+    def __init__(
+        self,
+        num_keys: int,
+        *,
+        hot_fraction: float = 0.01,
+        hot_access_fraction: float = 0.85,
+        power: float = 1.2,
+        seed: int = 0,
+    ) -> None:
+        if num_keys <= 0:
+            raise WorkloadError("key space must be positive")
+        if not 0 < hot_fraction < 1:
+            raise WorkloadError("hot_fraction must be in (0, 1)")
+        if not 0 < hot_access_fraction < 1:
+            raise WorkloadError("hot_access_fraction must be in (0, 1)")
+        self.num_keys = num_keys
+        self._hot_keys = max(1, int(num_keys * hot_fraction))
+        self._hot_access = hot_access_fraction
+        self._power = power
+        self._rng = random.Random(seed)
+
+    def next_index(self) -> int:
+        r = self._rng
+        if r.random() < self._hot_access:
+            # Power-law rank inside the hot region.
+            u = r.random()
+            rank = int(self._hot_keys * (u**self._power))
+            return min(rank, self._hot_keys - 1)
+        return self._hot_keys + r.randrange(max(1, self.num_keys - self._hot_keys))
+
+    def next_key(self) -> bytes:
+        return format_key(self.next_index())
+
+
+def make_generator(distribution: str, num_keys: int, seed: int = 0):
+    """Factory over the three supported key distributions."""
+    if distribution == "uniform":
+        return UniformKeys(num_keys, seed)
+    if distribution == "zipfian":
+        return ZipfianKeys(num_keys, seed=seed)
+    if distribution == "mixgraph":
+        return MixgraphKeys(num_keys, seed=seed)
+    raise WorkloadError(f"unknown key distribution {distribution!r}")
+
+
+class ValueGenerator:
+    """~50% compressible values of fixed or Pareto-distributed size."""
+
+    def __init__(
+        self,
+        value_size: int,
+        *,
+        compression_ratio: float = 0.5,
+        pareto_sizes: bool = False,
+        seed: int = 0,
+    ) -> None:
+        if value_size <= 0:
+            raise WorkloadError("value size must be positive")
+        if not 0.0 <= compression_ratio <= 1.0:
+            raise WorkloadError("compression ratio must be in [0, 1]")
+        self.value_size = value_size
+        self._ratio = compression_ratio
+        self._pareto = pareto_sizes
+        self._rng = random.Random(seed)
+        # Pre-built random pool sliced at random offsets: cheap per call.
+        pool_rng = random.Random(seed ^ 0xABCDEF)
+        self._pool = bytes(pool_rng.randrange(256) for _ in range(64 * 1024))
+
+    def _size(self) -> int:
+        if not self._pareto:
+            return self.value_size
+        # Pareto with the mean pinned at value_size (mixgraph's value
+        # sizes are heavy-tailed).
+        shape = 1.5
+        scale = self.value_size * (shape - 1) / shape
+        size = int(scale / (self._rng.random() ** (1.0 / shape)))
+        return max(16, min(size, self.value_size * 20))
+
+    def next_value(self) -> bytes:
+        size = self._size()
+        random_part = int(size * self._ratio)
+        offset = self._rng.randrange(len(self._pool) - max(1, random_part))
+        return self._pool[offset : offset + random_part] + b"\x20" * (
+            size - random_part
+        )

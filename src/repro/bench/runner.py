@@ -1,0 +1,245 @@
+"""DbBench: the db_bench clone driving PyLSM.
+
+Runs one :class:`~repro.bench.spec.WorkloadSpec` against a DB opened
+with given options on a given hardware profile, measuring virtual-time
+throughput and latency exactly the way ``db_bench`` reports them. A
+progress callback supports ELMo-Tune's 30-second early-stop monitor.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.bench.keygen import ValueGenerator, format_key, make_generator
+from repro.bench.spec import WorkloadSpec
+from repro.hardware.profile import HardwareProfile, make_profile
+from repro.lsm.db import DB
+from repro.lsm.env import Env
+from repro.lsm.histogram import HistogramSummary
+from repro.lsm.options import Options
+from repro.lsm.statistics import OpClass, Statistics, Ticker
+
+
+@dataclass(frozen=True)
+class ProgressEvent:
+    """Periodic progress sample handed to the monitor callback."""
+
+    ops_done: int
+    total_ops: int
+    elapsed_virtual_s: float
+    ops_per_sec: float
+
+
+#: Callback contract: return False to abort the run early.
+ProgressCallback = Callable[[ProgressEvent], bool]
+
+
+@dataclass
+class BenchResult:
+    """Everything one benchmark run produced."""
+
+    spec: WorkloadSpec
+    profile: HardwareProfile
+    options: Options
+    ops_done: int
+    reads_done: int
+    writes_done: int
+    duration_s: float
+    aborted: bool
+    write_summary: HistogramSummary | None
+    read_summary: HistogramSummary | None
+    stall_micros: int
+    stall_count: int
+    slowdown_count: int
+    cache_hit_rate: float
+    bloom_useful_rate: float
+    flush_count: int
+    compaction_count: int
+    bytes_written: int
+    bytes_read: int
+    level_shape: str
+    db_size_bytes: int
+    tickers: dict[str, int] = field(default_factory=dict)
+    snapshot: object | None = None  # SystemSnapshot (psutil-like)
+
+    @property
+    def ops_per_sec(self) -> float:
+        if self.duration_s <= 0:
+            return 0.0
+        return self.ops_done / self.duration_s
+
+    @property
+    def micros_per_op(self) -> float:
+        if self.ops_done == 0:
+            return 0.0
+        return self.duration_s * 1e6 / self.ops_done
+
+    @property
+    def mb_per_sec(self) -> float:
+        payload = self.ops_done * (16 + self.spec.value_size)
+        if self.duration_s <= 0:
+            return 0.0
+        return payload / 1e6 / self.duration_s
+
+    def p99_write_us(self) -> float | None:
+        return self.write_summary.p99 if self.write_summary else None
+
+    def p99_read_us(self) -> float | None:
+        return self.read_summary.p99 if self.read_summary else None
+
+
+class DbBench:
+    """One-shot benchmark executor (construct, :meth:`run`, discard)."""
+
+    #: ops between progress callbacks.
+    PROGRESS_EVERY = 500
+
+    def __init__(
+        self,
+        spec: WorkloadSpec,
+        options: Options | None = None,
+        profile: HardwareProfile | None = None,
+        *,
+        byte_scale: float = 1.0,
+        db_path: str = "/bench/db",
+        env: Env | None = None,
+    ) -> None:
+        self.spec = spec
+        self.options = options if options is not None else Options()
+        self.profile = profile if profile is not None else make_profile(4, 4)
+        self.byte_scale = byte_scale
+        self.db_path = db_path
+        self.env = env if env is not None else Env()
+
+    # -- phases ------------------------------------------------------------
+
+    def _preload(self, db: DB) -> None:
+        """Fill keys 0..preload-1 in *random* order (like a fillrandom
+        preload): the resulting overlap across L0 files and levels is
+        what gives readrandom its paper-scale read amplification."""
+        if self.spec.preload_keys <= 0:
+            return
+        values = ValueGenerator(
+            self.spec.value_size,
+            pareto_sizes=self.spec.pareto_values,
+            seed=self.spec.seed ^ 0x5EED,
+        )
+        order = list(range(self.spec.preload_keys))
+        random.Random(self.spec.seed ^ 0x10AD).shuffle(order)
+        for index in order:
+            db.put(format_key(index), values.next_value())
+        # Flushes are awaited; the compaction backlog stays live, like a
+        # real store at the moment a post-load benchmark begins.
+        db.flush(wait_compactions=False)
+
+    def run(
+        self,
+        progress: ProgressCallback | None = None,
+        *,
+        statistics: Statistics | None = None,
+    ) -> BenchResult:
+        """Execute preload + measured phase; returns the result."""
+        stats = statistics if statistics is not None else Statistics()
+        db = DB.open(
+            self.db_path,
+            self.options,
+            env=self.env,
+            profile=self.profile,
+            statistics=stats,
+            byte_scale=self.byte_scale,
+        )
+        spec = self.spec
+        try:
+            self._preload(db)
+            stats.reset()
+            db.foreground_parallelism = max(
+                1, min(spec.threads, self.profile.cpu_cores)
+            )
+            keys = make_generator(spec.distribution, spec.num_keys, spec.seed)
+            values = ValueGenerator(
+                spec.value_size,
+                pareto_sizes=spec.pareto_values,
+                seed=spec.seed ^ 0xBEEF,
+            )
+            mix_rng = random.Random(spec.seed ^ 0xC0FFEE)
+            start_us = self.env.clock.now_us
+            reads = writes = 0
+            aborted = False
+            for op_index in range(spec.num_ops):
+                if spec.read_fraction >= 1.0 or (
+                    spec.read_fraction > 0.0
+                    and mix_rng.random() < spec.read_fraction
+                ):
+                    db.get(keys.next_key())
+                    reads += 1
+                else:
+                    db.put(keys.next_key(), values.next_value())
+                    writes += 1
+                if progress is not None and (op_index + 1) % self.PROGRESS_EVERY == 0:
+                    elapsed = (self.env.clock.now_us - start_us) / 1e6
+                    event = ProgressEvent(
+                        ops_done=op_index + 1,
+                        total_ops=spec.num_ops,
+                        elapsed_virtual_s=elapsed,
+                        ops_per_sec=(op_index + 1) / elapsed if elapsed > 0 else 0.0,
+                    )
+                    if not progress(event):
+                        aborted = True
+                        break
+            duration_s = (self.env.clock.now_us - start_us) / 1e6
+            return self._collect(db, stats, reads, writes, duration_s, aborted)
+        finally:
+            db.close()
+
+    def _collect(
+        self,
+        db: DB,
+        stats: Statistics,
+        reads: int,
+        writes: int,
+        duration_s: float,
+        aborted: bool,
+    ) -> BenchResult:
+        write_hist = stats.histogram(OpClass.PUT)
+        read_hist = stats.histogram(OpClass.GET)
+        return BenchResult(
+            spec=self.spec,
+            profile=self.profile,
+            options=self.options.copy(),
+            ops_done=reads + writes,
+            reads_done=reads,
+            writes_done=writes,
+            duration_s=duration_s,
+            aborted=aborted,
+            write_summary=write_hist.summary() if write_hist.count else None,
+            read_summary=read_hist.summary() if read_hist.count else None,
+            stall_micros=stats.ticker(Ticker.STALL_MICROS)
+            + stats.ticker(Ticker.DELAYED_WRITE_MICROS),
+            stall_count=stats.ticker(Ticker.STALL_COUNT),
+            slowdown_count=stats.ticker(Ticker.SLOWDOWN_COUNT),
+            cache_hit_rate=stats.cache_hit_rate(),
+            bloom_useful_rate=stats.bloom_useful_rate(),
+            flush_count=stats.ticker(Ticker.FLUSH_COUNT),
+            compaction_count=stats.ticker(Ticker.COMPACTION_COUNT),
+            bytes_written=stats.ticker(Ticker.BYTES_WRITTEN),
+            bytes_read=stats.ticker(Ticker.BYTES_READ),
+            level_shape=db.describe(),
+            db_size_bytes=db.approximate_size(),
+            tickers=stats.as_dict(),
+            snapshot=db.monitor.snapshot(self.env.clock.now_us),
+        )
+
+
+def run_benchmark(
+    spec: WorkloadSpec,
+    options: Options | None = None,
+    profile: HardwareProfile | None = None,
+    *,
+    byte_scale: float = 1.0,
+    progress: ProgressCallback | None = None,
+) -> BenchResult:
+    """Convenience wrapper: build a :class:`DbBench` and run it once."""
+    bench = DbBench(spec, options, profile, byte_scale=byte_scale)
+    return bench.run(progress)

@@ -1,0 +1,146 @@
+"""Workload specifications, including the paper's four workloads.
+
+The paper evaluates: fillrandom (FR, write-intensive), readrandom (RR,
+read-intensive over a preloaded store), readrandomwriterandom (RRWR,
+mixed, 2 threads), and mixgraph (production-like 50/50). Specs carry a
+``scale`` so the 50M/25M-op originals can run at laptop size with the
+dataset/memory pressure preserved (see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.errors import WorkloadError
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Everything the runner needs to drive one benchmark."""
+
+    name: str
+    #: Operations in the measured phase.
+    num_ops: int
+    #: Size of the key space (indices 0..num_keys-1).
+    num_keys: int
+    #: Keys preloaded (sequential fill) before measurement; 0 = none.
+    preload_keys: int
+    #: Fraction of measured ops that are reads.
+    read_fraction: float
+    #: Key distribution: uniform | zipfian | mixgraph.
+    distribution: str
+    value_size: int = 100
+    #: Pareto-distributed value sizes (mixgraph).
+    pareto_values: bool = False
+    threads: int = 1
+    seed: int = 42
+
+    def __post_init__(self) -> None:
+        if self.num_ops <= 0 or self.num_keys <= 0:
+            raise WorkloadError("ops and key space must be positive")
+        if not 0.0 <= self.read_fraction <= 1.0:
+            raise WorkloadError("read_fraction must be in [0, 1]")
+        if self.threads < 1:
+            raise WorkloadError("need at least one thread")
+        if self.preload_keys < 0:
+            raise WorkloadError("preload_keys cannot be negative")
+
+    def scaled(self, factor: float) -> "WorkloadSpec":
+        """Scale op counts and key space by ``factor`` (< 1 shrinks)."""
+        if factor <= 0:
+            raise WorkloadError("scale factor must be positive")
+        return replace(
+            self,
+            num_ops=max(1000, int(self.num_ops * factor)),
+            num_keys=max(1000, int(self.num_keys * factor)),
+            preload_keys=int(self.preload_keys * factor),
+        )
+
+    def with_seed(self, seed: int) -> "WorkloadSpec":
+        return replace(self, seed=seed)
+
+    def describe(self) -> str:
+        """One-line summary for prompts/reports."""
+        kind = (
+            "write-intensive"
+            if self.read_fraction < 0.2
+            else "read-intensive"
+            if self.read_fraction > 0.8
+            else "mixed read/write"
+        )
+        return (
+            f"{self.name}: {self.num_ops} ops, {self.read_fraction * 100:.0f}% reads "
+            f"({kind}), key space {self.num_keys}, value ~{self.value_size}B, "
+            f"{self.threads} thread(s), {self.distribution} key distribution"
+        )
+
+
+#: Paper workload 1: write 50M KV pairs in random order.
+FILLRANDOM = WorkloadSpec(
+    name="fillrandom",
+    num_ops=50_000_000,
+    num_keys=50_000_000,
+    preload_keys=0,
+    read_fraction=0.0,
+    distribution="uniform",
+)
+
+#: Paper workload 2: read 10M pairs at random, DB preloaded with 25M.
+READRANDOM = WorkloadSpec(
+    name="readrandom",
+    num_ops=10_000_000,
+    num_keys=25_000_000,
+    preload_keys=25_000_000,
+    read_fraction=1.0,
+    distribution="uniform",
+)
+
+#: Paper workload 3: 25M mixed ops on 2 threads (db_bench default
+#: readwritepercent=90).
+READRANDOMWRITERANDOM = WorkloadSpec(
+    name="readrandomwriterandom",
+    num_ops=25_000_000,
+    num_keys=25_000_000,
+    preload_keys=25_000_000,
+    read_fraction=0.9,
+    distribution="uniform",
+    threads=2,
+)
+
+#: Paper workload 4: mixgraph, 25M ops, 50% writes / 50% reads.
+MIXGRAPH = WorkloadSpec(
+    name="mixgraph",
+    num_ops=25_000_000,
+    num_keys=25_000_000,
+    preload_keys=25_000_000,
+    read_fraction=0.5,
+    distribution="mixgraph",
+    pareto_values=True,
+)
+
+PAPER_WORKLOADS: dict[str, WorkloadSpec] = {
+    "fillrandom": FILLRANDOM,
+    "readrandom": READRANDOM,
+    "readrandomwriterandom": READRANDOMWRITERANDOM,
+    "mixgraph": MIXGRAPH,
+}
+
+#: Default scale used by the benchmark suite: the paper's 50M-op runs
+#: shrink by 1000x; memory is scaled alongside (see bench harness).
+DEFAULT_SCALE = 1.0 / 1000.0
+
+#: Byte-world scale used with DEFAULT_SCALE: buffer/cache/level sizes,
+#: plus the hardware memory budget, shrink by ~the same factor as the
+#: dataset so cache pressure and flush/compaction cadence match the
+#: paper's regime (a power of two keeps scaled sizes round).
+DEFAULT_BYTE_SCALE = 1.0 / 1024.0
+
+
+def paper_workload(name: str, scale: float = DEFAULT_SCALE) -> WorkloadSpec:
+    """Fetch one of the paper's workloads at the given scale."""
+    try:
+        spec = PAPER_WORKLOADS[name]
+    except KeyError:
+        known = ", ".join(sorted(PAPER_WORKLOADS))
+        raise WorkloadError(f"unknown workload {name!r}; known: {known}") from None
+    return spec.scaled(scale)

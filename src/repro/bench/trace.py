@@ -1,0 +1,211 @@
+"""Workload trace recording and replay.
+
+``db_bench`` can replay production traces (the mixgraph paper was built
+from such traces). This module provides the same capability for PyLSM:
+record the operation stream of any run to a compact text format, then
+replay it — against different options or hardware — for
+apples-to-apples comparisons on *identical* operation sequences.
+
+Trace line format (one op per line)::
+
+    P <hex key> <hex value>     put
+    G <hex key>                 get
+    D <hex key>                 delete
+    S <hex key> <limit>         scan
+"""
+
+from __future__ import annotations
+
+import io
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+from repro.errors import WorkloadError
+from repro.hardware.profile import HardwareProfile, make_profile
+from repro.lsm.db import DB
+from repro.lsm.env import Env
+from repro.lsm.options import Options
+from repro.lsm.statistics import OpClass, Statistics
+
+
+@dataclass(frozen=True)
+class TraceOp:
+    """One recorded operation."""
+
+    kind: str  # "put" | "get" | "delete" | "scan"
+    key: bytes
+    value: bytes = b""
+    limit: int = 0
+
+    _KINDS = ("put", "get", "delete", "scan")
+
+    def __post_init__(self) -> None:
+        if self.kind not in self._KINDS:
+            raise WorkloadError(f"unknown trace op kind {self.kind!r}")
+        if not self.key:
+            raise WorkloadError("trace ops need a key")
+
+    def to_line(self) -> str:
+        if self.kind == "put":
+            return f"P {self.key.hex()} {self.value.hex()}"
+        if self.kind == "get":
+            return f"G {self.key.hex()}"
+        if self.kind == "delete":
+            return f"D {self.key.hex()}"
+        return f"S {self.key.hex()} {self.limit}"
+
+    @classmethod
+    def from_line(cls, line: str) -> "TraceOp":
+        parts = line.split()
+        if not parts:
+            raise WorkloadError("empty trace line")
+        tag = parts[0]
+        try:
+            if tag == "P" and len(parts) == 3:
+                return cls("put", bytes.fromhex(parts[1]),
+                           bytes.fromhex(parts[2]))
+            if tag == "P" and len(parts) == 2:  # empty value
+                return cls("put", bytes.fromhex(parts[1]), b"")
+            if tag == "G" and len(parts) == 2:
+                return cls("get", bytes.fromhex(parts[1]))
+            if tag == "D" and len(parts) == 2:
+                return cls("delete", bytes.fromhex(parts[1]))
+            if tag == "S" and len(parts) == 3:
+                return cls("scan", bytes.fromhex(parts[1]),
+                           limit=int(parts[2]))
+        except ValueError as exc:
+            raise WorkloadError(f"malformed trace line {line!r}") from exc
+        raise WorkloadError(f"malformed trace line {line!r}")
+
+
+class TraceWriter:
+    """Collects ops (optionally streaming them to a file object)."""
+
+    def __init__(self, stream: io.TextIOBase | None = None) -> None:
+        self._stream = stream
+        self.ops: list[TraceOp] = []
+
+    def record(self, op: TraceOp) -> None:
+        self.ops.append(op)
+        if self._stream is not None:
+            self._stream.write(op.to_line() + "\n")
+
+    def put(self, key: bytes, value: bytes) -> None:
+        self.record(TraceOp("put", key, value))
+
+    def get(self, key: bytes) -> None:
+        self.record(TraceOp("get", key))
+
+    def delete(self, key: bytes) -> None:
+        self.record(TraceOp("delete", key))
+
+    def scan(self, key: bytes, limit: int) -> None:
+        self.record(TraceOp("scan", key, limit=limit))
+
+    def dump(self) -> str:
+        return "\n".join(op.to_line() for op in self.ops) + (
+            "\n" if self.ops else ""
+        )
+
+
+def parse_trace(text: str) -> list[TraceOp]:
+    """Parse a whole trace file body."""
+    ops = []
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        try:
+            ops.append(TraceOp.from_line(line))
+        except WorkloadError as exc:
+            raise WorkloadError(f"line {lineno}: {exc}") from exc
+    return ops
+
+
+class TracingDB:
+    """A DB wrapper that records every operation it forwards."""
+
+    def __init__(self, db: DB, writer: TraceWriter) -> None:
+        self._db = db
+        self.trace = writer
+
+    def put(self, key: bytes, value: bytes):
+        self.trace.put(key, value)
+        return self._db.put(key, value)
+
+    def get(self, key: bytes):
+        self.trace.get(key)
+        return self._db.get(key)
+
+    def delete(self, key: bytes):
+        self.trace.delete(key)
+        return self._db.delete(key)
+
+    def scan(self, start: bytes, limit: int):
+        self.trace.scan(start, limit)
+        return self._db.scan(start, limit)
+
+    def __getattr__(self, name: str):
+        return getattr(self._db, name)
+
+
+@dataclass
+class ReplayResult:
+    """Outcome of replaying a trace."""
+
+    ops_replayed: int
+    duration_s: float
+    statistics: Statistics
+    per_kind: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def ops_per_sec(self) -> float:
+        return self.ops_replayed / self.duration_s if self.duration_s else 0.0
+
+    def p99_us(self, op: OpClass) -> float:
+        return self.statistics.histogram(op).percentile(99)
+
+
+def replay_trace(
+    ops: Iterable[TraceOp],
+    options: Options | None = None,
+    profile: HardwareProfile | None = None,
+    *,
+    byte_scale: float = 1.0,
+    db_path: str = "/trace/db",
+) -> ReplayResult:
+    """Replay ``ops`` against a fresh DB; returns timing + statistics."""
+    stats = Statistics()
+    env = Env()
+    db = DB.open(
+        db_path,
+        options if options is not None else Options(),
+        env=env,
+        profile=profile if profile is not None else make_profile(4, 4),
+        statistics=stats,
+        byte_scale=byte_scale,
+    )
+    per_kind: dict[str, int] = {}
+    count = 0
+    start_us = env.clock.now_us
+    try:
+        for op in ops:
+            if op.kind == "put":
+                db.put(op.key, op.value)
+            elif op.kind == "get":
+                db.get(op.key)
+            elif op.kind == "delete":
+                db.delete(op.key)
+            else:
+                db.scan(op.key, op.limit or None)
+            per_kind[op.kind] = per_kind.get(op.kind, 0) + 1
+            count += 1
+        duration_s = (env.clock.now_us - start_us) / 1e6
+    finally:
+        db.close()
+    return ReplayResult(
+        ops_replayed=count,
+        duration_s=duration_s,
+        statistics=stats,
+        per_kind=per_kind,
+    )

@@ -1,0 +1,205 @@
+"""YCSB core workloads A-F mapped onto the PyLSM benchmark harness.
+
+The Yahoo! Cloud Serving Benchmark's six core workloads are the lingua
+franca of KV-store evaluation (RTune, Endure, and Dremel — the paper's
+baselines — all evaluate on them). Each maps to a
+:class:`~repro.bench.spec.WorkloadSpec`-driven run with the right
+operation mix and key distribution.
+
+| Workload | Mix                      | Distribution |
+|----------|--------------------------|--------------|
+| A        | 50% read / 50% update    | zipfian      |
+| B        | 95% read / 5% update     | zipfian      |
+| C        | 100% read                | zipfian      |
+| D        | 95% read / 5% insert     | latest       |
+| E        | 95% scan / 5% insert     | zipfian      |
+| F        | 50% read / 50% RMW       | zipfian      |
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.bench.keygen import ValueGenerator, ZipfianKeys, format_key
+from repro.errors import WorkloadError
+from repro.hardware.profile import HardwareProfile, make_profile
+from repro.lsm.db import DB
+from repro.lsm.env import Env
+from repro.lsm.options import Options
+from repro.lsm.statistics import OpClass, Statistics
+
+
+@dataclass(frozen=True)
+class YcsbSpec:
+    """One YCSB workload instance."""
+
+    letter: str
+    record_count: int = 10_000
+    operation_count: int = 10_000
+    value_size: int = 100
+    scan_max_len: int = 100
+    seed: int = 42
+
+    _MIXES = {
+        "A": {"read": 0.5, "update": 0.5},
+        "B": {"read": 0.95, "update": 0.05},
+        "C": {"read": 1.0},
+        "D": {"read": 0.95, "insert": 0.05},
+        "E": {"scan": 0.95, "insert": 0.05},
+        "F": {"read": 0.5, "rmw": 0.5},
+    }
+
+    def __post_init__(self) -> None:
+        if self.letter not in self._MIXES:
+            raise WorkloadError(
+                f"unknown YCSB workload {self.letter!r}; use A-F"
+            )
+        if self.record_count < 1 or self.operation_count < 1:
+            raise WorkloadError("record and operation counts must be positive")
+
+    @property
+    def mix(self) -> dict[str, float]:
+        return dict(self._MIXES[self.letter])
+
+    @property
+    def uses_latest_distribution(self) -> bool:
+        return self.letter == "D"
+
+    def describe(self) -> str:
+        mix = ", ".join(f"{int(v * 100)}% {k}" for k, v in self.mix.items())
+        dist = "latest" if self.uses_latest_distribution else "zipfian"
+        return (
+            f"YCSB-{self.letter}: {self.operation_count} ops over "
+            f"{self.record_count} records ({mix}; {dist} distribution)"
+        )
+
+
+@dataclass
+class YcsbResult:
+    """Outcome of one YCSB run."""
+
+    spec: YcsbSpec
+    duration_s: float
+    op_counts: dict[str, int] = field(default_factory=dict)
+    statistics: Statistics | None = None
+    found: int = 0
+    missed: int = 0
+
+    @property
+    def ops_per_sec(self) -> float:
+        total = sum(self.op_counts.values())
+        return total / self.duration_s if self.duration_s > 0 else 0.0
+
+    def p99_read_us(self) -> float:
+        assert self.statistics is not None
+        return self.statistics.histogram(OpClass.GET).percentile(99)
+
+    def p99_update_us(self) -> float:
+        assert self.statistics is not None
+        return self.statistics.histogram(OpClass.PUT).percentile(99)
+
+
+class YcsbRunner:
+    """Loads the table and drives one YCSB workload against PyLSM."""
+
+    def __init__(
+        self,
+        spec: YcsbSpec,
+        options: Options | None = None,
+        profile: HardwareProfile | None = None,
+        *,
+        byte_scale: float = 1.0,
+        db_path: str = "/ycsb/db",
+    ) -> None:
+        self.spec = spec
+        self.options = options if options is not None else Options()
+        self.profile = profile if profile is not None else make_profile(4, 4)
+        self.byte_scale = byte_scale
+        self.db_path = db_path
+
+    def _choose_op(self, rng: random.Random) -> str:
+        roll = rng.random()
+        cumulative = 0.0
+        for op, share in self.spec.mix.items():
+            cumulative += share
+            if roll < cumulative:
+                return op
+        return next(iter(self.spec.mix))
+
+    def run(self) -> YcsbResult:
+        spec = self.spec
+        stats = Statistics()
+        env = Env()
+        db = DB.open(self.db_path, self.options, env=env,
+                     profile=self.profile, statistics=stats,
+                     byte_scale=self.byte_scale)
+        values = ValueGenerator(spec.value_size, seed=spec.seed ^ 0xACE)
+        rng = random.Random(spec.seed)
+        # Load phase: insert the initial records in shuffled order.
+        order = list(range(spec.record_count))
+        rng.shuffle(order)
+        for index in order:
+            db.put(format_key(index), values.next_value())
+        db.flush(wait_compactions=False)
+        stats.reset()
+
+        zipf = ZipfianKeys(spec.record_count, seed=spec.seed ^ 0xF00)
+        inserted = spec.record_count
+        op_counts: dict[str, int] = {}
+        found = missed = 0
+        start_us = env.clock.now_us
+        try:
+            for _ in range(spec.operation_count):
+                op = self._choose_op(rng)
+                op_counts[op] = op_counts.get(op, 0) + 1
+                if op == "insert":
+                    db.put(format_key(inserted), values.next_value())
+                    inserted += 1
+                    continue
+                if spec.uses_latest_distribution:
+                    # "latest": skew toward recently inserted records.
+                    offset = zipf.next_index() % inserted
+                    index = inserted - 1 - offset
+                else:
+                    index = zipf.next_index() % inserted
+                key = format_key(index)
+                if op == "read":
+                    hit = db.get(key)
+                    found += hit is not None
+                    missed += hit is None
+                elif op == "update":
+                    db.put(key, values.next_value())
+                elif op == "scan":
+                    length = 1 + rng.randrange(spec.scan_max_len)
+                    db.scan(start=key, limit=length)
+                elif op == "rmw":  # read-modify-write
+                    db.get(key)
+                    db.put(key, values.next_value())
+            duration_s = (env.clock.now_us - start_us) / 1e6
+        finally:
+            db.close()
+        return YcsbResult(
+            spec=spec,
+            duration_s=duration_s,
+            op_counts=op_counts,
+            statistics=stats,
+            found=found,
+            missed=missed,
+        )
+
+
+def run_ycsb(
+    letter: str,
+    options: Options | None = None,
+    profile: HardwareProfile | None = None,
+    *,
+    record_count: int = 10_000,
+    operation_count: int = 10_000,
+    byte_scale: float = 1.0,
+    seed: int = 42,
+) -> YcsbResult:
+    """One-call YCSB run."""
+    spec = YcsbSpec(letter=letter.upper(), record_count=record_count,
+                    operation_count=operation_count, seed=seed)
+    return YcsbRunner(spec, options, profile, byte_scale=byte_scale).run()

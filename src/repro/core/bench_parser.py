@@ -1,0 +1,92 @@
+"""Benchmark Parser (Figure 2): db_bench report text -> metrics.
+
+ELMo-Tune consumes the *textual* report — the same interface the paper
+has against real ``db_bench`` — so the framework keeps working if the
+engine is swapped for a real RocksDB behind a subprocess.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.errors import BenchmarkParseError
+
+_RE_HEADLINE = re.compile(
+    r"^(\w+)\s*:\s*([\d.]+)\s*micros/op\s*(\d+)\s*ops/sec;\s*([\d.]+)\s*MB/s"
+    r"(\s*\(ABORTED EARLY\))?",
+    re.MULTILINE,
+)
+_RE_WRITE_BLOCK = re.compile(
+    r"Microseconds per write:.*?Percentiles:.*?P99:\s*([\d.]+)", re.DOTALL
+)
+_RE_READ_BLOCK = re.compile(
+    r"Microseconds per read:.*?Percentiles:.*?P99:\s*([\d.]+)", re.DOTALL
+)
+_RE_STALL = re.compile(r"Cumulative stall:.*?,\s*([\d.]+)\s*percent")
+_RE_CACHE = re.compile(r"Block cache hit rate:\s*([\d.]+)%")
+_RE_BLOOM = re.compile(r"Bloom filter useful:\s*([\d.]+)%")
+_RE_STALL_COUNT = re.compile(r"Write stall count:\s*(\d+)")
+
+
+@dataclass(frozen=True)
+class BenchMetrics:
+    """Headline numbers ELMo-Tune steers by."""
+
+    benchmark: str
+    micros_per_op: float
+    ops_per_sec: float
+    mb_per_sec: float
+    p99_write_us: float | None
+    p99_read_us: float | None
+    stall_percent: float
+    stall_count: int
+    cache_hit_rate: float
+    bloom_useful_rate: float
+    aborted: bool
+
+    def better_than(self, other: "BenchMetrics", *, tolerance: float = 0.0) -> bool:
+        """Primary criterion: throughput (ops/sec), with a tolerance band."""
+        return self.ops_per_sec > other.ops_per_sec * (1.0 + tolerance)
+
+    def describe(self) -> str:
+        bits = [
+            f"{self.benchmark}: {self.ops_per_sec:.0f} ops/sec "
+            f"({self.micros_per_op:.2f} us/op)"
+        ]
+        if self.p99_write_us is not None:
+            bits.append(f"p99 write {self.p99_write_us:.2f} us")
+        if self.p99_read_us is not None:
+            bits.append(f"p99 read {self.p99_read_us:.2f} us")
+        bits.append(f"stall {self.stall_percent:.1f}%")
+        return ", ".join(bits)
+
+
+def parse_report(text: str) -> BenchMetrics:
+    """Parse one db_bench-format report into :class:`BenchMetrics`."""
+    headline = _RE_HEADLINE.search(text)
+    if headline is None:
+        raise BenchmarkParseError("no benchmark headline line found in report")
+    p99_write = None
+    if m := _RE_WRITE_BLOCK.search(text):
+        p99_write = float(m.group(1))
+    p99_read = None
+    if m := _RE_READ_BLOCK.search(text):
+        p99_read = float(m.group(1))
+    stall = float(m.group(1)) if (m := _RE_STALL.search(text)) else 0.0
+    stall_count = int(m.group(1)) if (m := _RE_STALL_COUNT.search(text)) else 0
+    cache = float(m.group(1)) / 100 if (m := _RE_CACHE.search(text)) else 0.0
+    bloom = float(m.group(1)) / 100 if (m := _RE_BLOOM.search(text)) else 0.0
+    return BenchMetrics(
+        benchmark=headline.group(1),
+        micros_per_op=float(headline.group(2)),
+        ops_per_sec=float(headline.group(3)),
+        mb_per_sec=float(headline.group(4)),
+        p99_write_us=p99_write,
+        p99_read_us=p99_read,
+        stall_percent=stall,
+        stall_count=stall_count,
+        cache_hit_rate=cache,
+        bloom_useful_rate=bloom,
+        aborted=headline.group(5) is not None,
+    )

@@ -1,0 +1,70 @@
+"""``elmo-tune``: run one tuning session from the command line."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.bench.spec import DEFAULT_BYTE_SCALE, DEFAULT_SCALE, PAPER_WORKLOADS, paper_workload
+from repro.core.reporting import format_option_trajectory
+from repro.core.stopping import StoppingCriteria
+from repro.core.tuner import ElmoTune, TunerConfig
+from repro.hardware.device import device_by_name
+from repro.hardware.profile import make_profile
+from repro.llm.hallucination import HallucinationProfile
+from repro.llm.simulated import SimulatedExpert
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="elmo-tune",
+        description="LLM-driven auto-tuning of the PyLSM key-value store",
+    )
+    parser.add_argument("--workload", default="fillrandom",
+                        choices=sorted(PAPER_WORKLOADS))
+    parser.add_argument("--device", default="nvme-ssd")
+    parser.add_argument("--cpus", type=int, default=4)
+    parser.add_argument("--memory-gib", type=float, default=4.0)
+    parser.add_argument("--iterations", type=int, default=7)
+    parser.add_argument("--scale", type=float, default=DEFAULT_SCALE)
+    parser.add_argument("--byte-scale", type=float, default=DEFAULT_BYTE_SCALE)
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument("--no-hallucinations", action="store_true",
+                        help="run a perfectly disciplined expert")
+    parser.add_argument("--save-options", default=None,
+                        help="write the final OPTIONS file here")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        device = device_by_name(args.device)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    config = TunerConfig(
+        workload=paper_workload(args.workload, args.scale).with_seed(args.seed),
+        profile=make_profile(args.cpus, args.memory_gib, device),
+        byte_scale=args.byte_scale,
+        stopping=StoppingCriteria(max_iterations=args.iterations),
+    )
+    hallucination = (
+        HallucinationProfile.none() if args.no_hallucinations else None
+    )
+    llm = SimulatedExpert(seed=args.seed, hallucination=hallucination)
+    tuner = ElmoTune(config, llm)
+    session = tuner.run()
+    print(session.describe())
+    print()
+    print("Option changes across iterations (Table 5 shape):")
+    print(format_option_trajectory(session))
+    if args.save_options:
+        with open(args.save_options, "w", encoding="utf-8") as f:
+            f.write(tuner.final_options_text(session))
+        print(f"\nfinal OPTIONS written to {args.save_options}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

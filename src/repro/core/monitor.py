@@ -1,0 +1,58 @@
+"""Benchmark Monitor (Figure 2, "First 30s" early-stop check).
+
+Watches a run's progress stream; if, after a warmup window, throughput
+sits far below the best configuration's, the run is aborted so the
+flagger can revert without paying for a full benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.bench.runner import ProgressEvent
+
+
+@dataclass(frozen=True)
+class MonitorConfig:
+    """Early-stop policy knobs.
+
+    The paper checks after the first 30 seconds of a minutes-long run;
+    scaled runs check after the equivalent *fraction* of work.
+    """
+
+    #: Fraction of total ops after which the check may fire.
+    warmup_fraction: float = 0.2
+    #: Abort when current throughput < ratio x the reference throughput.
+    abort_ratio: float = 0.5
+    #: Disable entirely (ablation switch).
+    enabled: bool = True
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.warmup_fraction < 1.0:
+            raise ValueError("warmup_fraction must be in (0, 1)")
+        if not 0.0 < self.abort_ratio < 1.0:
+            raise ValueError("abort_ratio must be in (0, 1)")
+
+
+class BenchmarkMonitor:
+    """Progress-callback implementing the early-stop policy."""
+
+    def __init__(
+        self,
+        config: MonitorConfig,
+        reference_ops_per_sec: float | None,
+    ) -> None:
+        self.config = config
+        self.reference = reference_ops_per_sec
+        self.fired = False
+
+    def __call__(self, event: ProgressEvent) -> bool:
+        """Return False to abort the run."""
+        if not self.config.enabled or self.reference is None:
+            return True
+        if event.ops_done < event.total_ops * self.config.warmup_fraction:
+            return True
+        if event.ops_per_sec < self.reference * self.config.abort_ratio:
+            self.fired = True
+            return False
+        return True

@@ -1,0 +1,65 @@
+"""Stopping criteria for the tuning loop.
+
+The paper stops on "minimal performance improvement or a maximum number
+of iterations"; both are modeled, plus an optional absolute target.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.bench_parser import BenchMetrics
+
+
+@dataclass(frozen=True)
+class StoppingCriteria:
+    """When ELMo-Tune declares the session finished."""
+
+    #: Hard cap on tuning iterations (the paper runs 7).
+    max_iterations: int = 7
+    #: Stop early after this many consecutive non-improving iterations
+    #: (None disables the patience rule).
+    patience: int | None = None
+    #: Fractional gain below which an improvement counts as "minimal".
+    minimal_gain: float = 0.01
+    #: Absolute ops/sec target (None disables).
+    target_ops_per_sec: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.max_iterations < 1:
+            raise ValueError("need at least one iteration")
+        if self.patience is not None and self.patience < 1:
+            raise ValueError("patience must be positive when set")
+
+
+class StopTracker:
+    """Evaluates the criteria as iterations complete."""
+
+    def __init__(self, criteria: StoppingCriteria) -> None:
+        self.criteria = criteria
+        self._no_improvement_streak = 0
+        self._iterations_done = 0
+
+    def record(self, improved: bool, best: BenchMetrics) -> None:
+        self._iterations_done += 1
+        if improved:
+            self._no_improvement_streak = 0
+        else:
+            self._no_improvement_streak += 1
+
+    def should_stop(self, best: BenchMetrics) -> str | None:
+        """Return the stop reason, or None to continue."""
+        c = self.criteria
+        if self._iterations_done >= c.max_iterations:
+            return f"reached max iterations ({c.max_iterations})"
+        if c.patience is not None and self._no_improvement_streak >= c.patience:
+            return (
+                f"no improvement for {self._no_improvement_streak} "
+                "consecutive iterations"
+            )
+        if (
+            c.target_ops_per_sec is not None
+            and best.ops_per_sec >= c.target_ops_per_sec
+        ):
+            return f"reached target throughput ({c.target_ops_per_sec:.0f} ops/sec)"
+        return None

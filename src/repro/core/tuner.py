@@ -1,0 +1,218 @@
+"""ElmoTune: the feedback-loop orchestrator (Figure 2).
+
+Per iteration: build prompt -> LLM -> parse -> safeguard -> benchmark
+(with early-stop monitoring) -> flag keep/revert -> feed back. The user
+provides only the expected workload, exactly as the paper prescribes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.bench.report import render_report
+from repro.bench.runner import BenchResult, DbBench
+from repro.bench.spec import DEFAULT_BYTE_SCALE, WorkloadSpec
+from repro.core.bench_parser import BenchMetrics, parse_report
+from repro.core.flagger import ActiveFlagger
+from repro.core.monitor import BenchmarkMonitor, MonitorConfig
+from repro.core.parser import extract_changes
+from repro.core.prompt import FeedbackContext, PromptGenerator, PromptSections
+from repro.core.safeguard import SafeguardEnforcer
+from repro.core.session import IterationRecord, TuningSession
+from repro.core.stopping import StoppingCriteria, StopTracker
+from repro.errors import LLMResponseError
+from repro.hardware.profile import HardwareProfile, make_profile
+from repro.llm.client import ChatMessage, LLMClient, Transcript
+from repro.llm.simulated import SimulatedExpert
+from repro.lsm.options import Options
+from repro.lsm.options_file import apply_changes, diff_as_text, serialize_options
+
+_FORMAT_REMINDER = (
+    "Your previous reply contained no parseable option changes. Please "
+    "answer again with explicit `name=value` lines in a code block."
+)
+
+
+@dataclass
+class TunerConfig:
+    """Everything configurable about one tuning session."""
+
+    workload: WorkloadSpec
+    profile: HardwareProfile = field(default_factory=lambda: make_profile(4, 4))
+    base_options: Options = field(default_factory=Options)
+    byte_scale: float = DEFAULT_BYTE_SCALE
+    stopping: StoppingCriteria = field(default_factory=StoppingCriteria)
+    monitor: MonitorConfig = field(default_factory=MonitorConfig)
+    prompt_sections: PromptSections = field(default_factory=PromptSections)
+    #: Re-ask the LLM at most this many times on unparseable output.
+    format_retries: int = 1
+    #: Disable the flagger's revert behaviour (ablation: keep everything).
+    always_keep: bool = False
+    db_path: str = "/elmo/db"
+
+
+class ElmoTune:
+    """One tuning session: construct, :meth:`run`, read the session."""
+
+    def __init__(
+        self,
+        config: TunerConfig,
+        llm: LLMClient | None = None,
+        *,
+        safeguard: SafeguardEnforcer | None = None,
+        flagger: ActiveFlagger | None = None,
+    ) -> None:
+        self.config = config
+        self.llm = llm if llm is not None else SimulatedExpert(seed=config.workload.seed)
+        self.safeguard = safeguard if safeguard is not None else SafeguardEnforcer()
+        self.flagger = flagger if flagger is not None else ActiveFlagger()
+        self.transcript = Transcript()
+        self._prompter = PromptGenerator(
+            config.profile, config.workload, sections=config.prompt_sections
+        )
+
+    # -- benchmarking -------------------------------------------------------
+
+    def _run_bench(
+        self, options: Options, reference_ops: float | None
+    ) -> tuple[BenchResult, BenchMetrics, str, bool]:
+        monitor = BenchmarkMonitor(self.config.monitor, reference_ops)
+        bench = DbBench(
+            self.config.workload,
+            options,
+            self.config.profile,
+            byte_scale=self.config.byte_scale,
+            db_path=self.config.db_path,
+        )
+        result = bench.run(monitor)
+        report = render_report(result)
+        metrics = parse_report(report)
+        return result, metrics, report, monitor.fired
+
+    # -- LLM round-trip -------------------------------------------------------
+
+    def _ask_llm(
+        self, options: Options, snapshot, feedback: FeedbackContext
+    ) -> tuple[str | None, list, int]:
+        """Returns (response, proposals, parse_failures)."""
+        messages = self._prompter.build(options, snapshot, feedback)
+        failures = 0
+        response: str | None = None
+        for _attempt in range(1 + max(0, self.config.format_retries)):
+            response = self.llm.complete(messages)
+            self.transcript.record(messages, response)
+            try:
+                return response, extract_changes(response), failures
+            except LLMResponseError:
+                failures += 1
+                messages = messages + [
+                    ChatMessage("assistant", response),
+                    ChatMessage("user", _FORMAT_REMINDER),
+                ]
+        return response, [], failures
+
+    # -- main loop -------------------------------------------------------------
+
+    def run(self) -> TuningSession:
+        """Execute the full feedback loop; returns the session record."""
+        cfg = self.config
+        session = TuningSession(
+            workload_name=cfg.workload.name, profile_name=cfg.profile.name
+        )
+        best_options = cfg.base_options.copy()
+        result, metrics, report, _ = self._run_bench(best_options, None)
+        session.add(
+            IterationRecord(
+                iteration=0,
+                options=best_options.copy(),
+                metrics=metrics,
+                report_text=report,
+                kept=True,
+                note="baseline (out-of-box configuration)",
+            )
+        )
+        best_metrics = metrics
+        last_feedback = FeedbackContext(iteration=1, previous_report=report)
+        last_snapshot = result.snapshot
+        tracker = StopTracker(cfg.stopping)
+
+        iteration = 0
+        while True:
+            reason = tracker.should_stop(best_metrics)
+            if reason is not None:
+                session.stop_reason = reason
+                break
+            iteration += 1
+            response, proposals, failures = self._ask_llm(
+                best_options, last_snapshot, last_feedback
+            )
+            vet = self.safeguard.vet(proposals, best_options)
+            if not vet.accepted:
+                # Nothing usable this round: configuration unchanged.
+                session.add(
+                    IterationRecord(
+                        iteration=iteration,
+                        options=best_options.copy(),
+                        metrics=best_metrics,
+                        report_text=report,
+                        kept=True,
+                        llm_response=response,
+                        rejections=vet.rejected,
+                        parse_failures=failures,
+                        note="no acceptable changes; configuration unchanged",
+                    )
+                )
+                tracker.record(False, best_metrics)
+                last_feedback = FeedbackContext(
+                    iteration=iteration + 1,
+                    previous_report=report,
+                    deteriorated=False,
+                )
+                continue
+            candidate = apply_changes(best_options, vet.accepted)
+            result, metrics, report, fired = self._run_bench(
+                candidate, best_metrics.ops_per_sec
+            )
+            decision = self.flagger.decide(best_metrics, metrics)
+            keep = decision.keep or cfg.always_keep
+            session.add(
+                IterationRecord(
+                    iteration=iteration,
+                    options=candidate.copy() if keep else best_options.copy(),
+                    metrics=metrics,
+                    report_text=report,
+                    kept=keep,
+                    llm_response=response,
+                    accepted_changes=list(vet.accepted),
+                    rejections=vet.rejected,
+                    aborted_early=fired,
+                    parse_failures=failures,
+                    note=decision.reason,
+                )
+            )
+            if keep:
+                reverted_diff = None
+                deteriorated = False
+                if decision.keep:
+                    best_options = candidate
+                    best_metrics = metrics
+                else:  # always_keep ablation: adopt despite regression
+                    best_options = candidate
+                    best_metrics = metrics
+            else:
+                reverted_diff = diff_as_text(best_options, candidate)
+                deteriorated = True
+            tracker.record(decision.improved, best_metrics)
+            last_snapshot = result.snapshot
+            last_feedback = FeedbackContext(
+                iteration=iteration + 1,
+                previous_report=report,
+                deteriorated=deteriorated,
+                reverted_diff=reverted_diff,
+                aborted_early=fired,
+            )
+        return session
+
+    def final_options_text(self, session: TuningSession) -> str:
+        """The optimized OPTIONS file ELMo-Tune outputs at the end."""
+        return serialize_options(session.final_options)

@@ -1,0 +1,86 @@
+"""Exception hierarchy for the repro package.
+
+Every subsystem raises a subclass of :class:`ReproError` so callers can
+catch library failures without masking programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class OptionError(ReproError):
+    """An LSM option was unknown, mistyped, or out of range."""
+
+
+class UnknownOptionError(OptionError):
+    """An option name does not exist in the catalog (e.g. hallucinated)."""
+
+    def __init__(self, name: str) -> None:
+        super().__init__(f"unknown option: {name!r}")
+        self.name = name
+
+
+class DeprecatedOptionError(OptionError):
+    """An option exists but is deprecated and must not be tuned."""
+
+    def __init__(self, name: str) -> None:
+        super().__init__(f"deprecated option: {name!r}")
+        self.name = name
+
+
+class InvalidOptionValueError(OptionError):
+    """A value failed type or range validation for its option."""
+
+    def __init__(self, name: str, value: object, reason: str) -> None:
+        super().__init__(f"invalid value for {name!r}: {value!r} ({reason})")
+        self.name = name
+        self.value = value
+        self.reason = reason
+
+
+class OptionsFileError(ReproError):
+    """The OPTIONS ini file could not be parsed."""
+
+
+class DBError(ReproError):
+    """Generic LSM engine failure."""
+
+
+class DBClosedError(DBError):
+    """Operation attempted on a closed database."""
+
+
+class CorruptionError(DBError):
+    """On-disk state (WAL record, SSTable block, manifest) failed a check."""
+
+
+class NotFoundError(DBError):
+    """Key not present (raised only by APIs documented to raise)."""
+
+
+class WorkloadError(ReproError):
+    """A benchmark workload specification was invalid."""
+
+
+class BenchmarkParseError(ReproError):
+    """A db_bench-style report could not be parsed."""
+
+
+class LLMResponseError(ReproError):
+    """The LLM response could not be interpreted as a config change."""
+
+
+class SafeguardViolation(ReproError):
+    """A proposed option change was rejected by the safeguard enforcer."""
+
+    def __init__(self, name: str, reason: str) -> None:
+        super().__init__(f"safeguard rejected {name!r}: {reason}")
+        self.name = name
+        self.reason = reason
+
+
+class TuningError(ReproError):
+    """The tuning loop hit an unrecoverable condition."""

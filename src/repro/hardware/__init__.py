@@ -1,0 +1,36 @@
+"""Simulated hardware: device models, profiles, monitoring probes."""
+
+from repro.hardware.device import NVME_SSD, SATA_HDD, DeviceModel, device_by_name
+from repro.hardware.fio import FioProbe, FioReport
+from repro.hardware.monitor import SystemMonitor, SystemSnapshot
+from repro.hardware.profile import (
+    GiB,
+    KiB,
+    MiB,
+    PAPER_GRID,
+    PAPER_HDD_2C4G,
+    PAPER_HDD_4C4G,
+    PAPER_NVME_4C4G,
+    HardwareProfile,
+    make_profile,
+)
+
+__all__ = [
+    "DeviceModel",
+    "NVME_SSD",
+    "SATA_HDD",
+    "device_by_name",
+    "FioProbe",
+    "FioReport",
+    "SystemMonitor",
+    "SystemSnapshot",
+    "HardwareProfile",
+    "make_profile",
+    "PAPER_GRID",
+    "PAPER_NVME_4C4G",
+    "PAPER_HDD_2C4G",
+    "PAPER_HDD_4C4G",
+    "GiB",
+    "MiB",
+    "KiB",
+]

@@ -1,0 +1,81 @@
+"""fio-like storage probe.
+
+The paper's prompt generator characterizes the storage device "e.g., via
+fio". This probe runs the same four canonical jobs fio would (sequential
+read/write, random read/write) against the :class:`DeviceModel` and
+reports bandwidth and IOPS, so the prompt can tell the LLM what the
+device is actually capable of rather than just its name.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hardware.device import DeviceModel
+
+_4K = 4096
+_128K = 128 * 1024
+
+
+@dataclass(frozen=True)
+class FioJobResult:
+    """Result of one fio-style job."""
+
+    job: str
+    block_size: int
+    bandwidth_mb_s: float
+    iops: float
+    avg_latency_us: float
+
+
+@dataclass(frozen=True)
+class FioReport:
+    """Results of the standard four-job device characterization."""
+
+    device: str
+    seq_read: FioJobResult
+    seq_write: FioJobResult
+    rand_read: FioJobResult
+    rand_write: FioJobResult
+
+    def describe(self) -> str:
+        """Render fio-style summary text for prompts."""
+        lines = [f"Storage characterization ({self.device}):"]
+        for r in (self.seq_read, self.seq_write, self.rand_read, self.rand_write):
+            lines.append(
+                f"  {r.job}: bw={r.bandwidth_mb_s:.1f} MB/s, iops={r.iops:.0f}, "
+                f"lat={r.avg_latency_us:.0f} us (bs={r.block_size // 1024}k)"
+            )
+        return "\n".join(lines)
+
+
+class FioProbe:
+    """Characterizes a device model with fio's canonical jobs.
+
+    The probe is purely analytic (it asks the cost model, it does not
+    loop), so it is free to run before every tuning session.
+    """
+
+    def __init__(self, device: DeviceModel) -> None:
+        self._device = device
+
+    def _job(self, name: str, bs: int, *, write: bool, sequential: bool) -> FioJobResult:
+        if write:
+            lat = self._device.write_cost_us(bs, sequential=sequential)
+        else:
+            lat = self._device.read_cost_us(bs, sequential=sequential)
+        iops = 1e6 / lat
+        bw = iops * bs / 1e6  # bytes/us == MB/s
+        return FioJobResult(
+            job=name, block_size=bs, bandwidth_mb_s=bw, iops=iops, avg_latency_us=lat
+        )
+
+    def run(self) -> FioReport:
+        """Run the four canonical jobs and return a report."""
+        return FioReport(
+            device=self._device.name,
+            seq_read=self._job("seq-read", _128K, write=False, sequential=True),
+            seq_write=self._job("seq-write", _128K, write=True, sequential=True),
+            rand_read=self._job("rand-read", _4K, write=False, sequential=False),
+            rand_write=self._job("rand-write", _4K, write=True, sequential=False),
+        )

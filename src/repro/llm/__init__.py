@@ -1,0 +1,22 @@
+"""LLM layer: client interface, simulated expert, imperfection injection."""
+
+from repro.llm.client import ChatMessage, Exchange, LLMClient, ScriptedLLM, Transcript
+from repro.llm.hallucination import HallucinationInjector, HallucinationProfile
+from repro.llm.knowledge import PromptFacts, RULES, TuningRule, matching_rules
+from repro.llm.simulated import SimulatedExpert, parse_prompt
+
+__all__ = [
+    "ChatMessage",
+    "Exchange",
+    "LLMClient",
+    "ScriptedLLM",
+    "Transcript",
+    "HallucinationProfile",
+    "HallucinationInjector",
+    "PromptFacts",
+    "TuningRule",
+    "RULES",
+    "matching_rules",
+    "SimulatedExpert",
+    "parse_prompt",
+]

@@ -1,0 +1,348 @@
+"""The tuning knowledge base behind the simulated expert.
+
+Each :class:`TuningRule` encodes one piece of LSM-tuning lore of the
+kind GPT-4 absorbed from tuning guides, blogs, and the RocksDB wiki:
+a condition over the observed facts, and one or more candidate option
+moves. The simulated expert selects among matching rules.
+
+The facts come from *parsing the prompt text* — the expert knows only
+what the prompt tells it, exactly like the real API.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.lsm.options import GiB, MiB
+
+# --------------------------------------------------------------------- facts
+
+
+@dataclass
+class PromptFacts:
+    """What the expert understood from one prompt."""
+
+    cpu_cores: int = 4
+    memory_gib: float = 8.0
+    rotational: bool = False
+    read_fraction: float = 0.0
+    threads: int = 1
+    workload_name: str = ""
+    iteration: int = 0
+    deteriorated: bool = False
+    throughput_ops: float | None = None
+    p99_write_us: float | None = None
+    p99_read_us: float | None = None
+    stall_percent: float | None = None
+    cache_hit_rate: float | None = None
+    bloom_useful_rate: float | None = None
+    current: dict[str, Any] = field(default_factory=dict)
+
+    # -- derived ----------------------------------------------------------
+
+    @property
+    def write_heavy(self) -> bool:
+        return self.read_fraction < 0.3
+
+    @property
+    def read_heavy(self) -> bool:
+        return self.read_fraction > 0.7
+
+    @property
+    def mixed(self) -> bool:
+        return 0.3 <= self.read_fraction <= 0.7
+
+    @property
+    def memory_bytes(self) -> int:
+        return int(self.memory_gib * GiB)
+
+    def option(self, name: str, default: Any = None) -> Any:
+        return self.current.get(name, default)
+
+
+# --------------------------------------------------------------------- rules
+
+
+@dataclass(frozen=True)
+class Move:
+    """One candidate option change with its rationale."""
+
+    option: str
+    value: Callable[[PromptFacts], Any]
+    rationale: str
+
+
+@dataclass(frozen=True)
+class TuningRule:
+    """A conditional bundle of moves."""
+
+    name: str
+    priority: int  # higher = considered earlier
+    applies: Callable[[PromptFacts], bool]
+    moves: tuple[Move, ...]
+    lore: str = ""  # one-line "why", echoed into responses
+
+
+def _pick(facts: PromptFacts, options: list[Any], salt: int) -> Any:
+    """Deterministic variety: rotate choices by iteration + salt.
+
+    This is how the expert "experiments" across iterations (the paper's
+    Table 5 shows values being revisited and adjusted repeatedly).
+    """
+    return options[(facts.iteration + salt) % len(options)]
+
+
+RULES: tuple[TuningRule, ...] = (
+    # ------------------------------------------------- write-path buffering
+    TuningRule(
+        name="bigger-write-buffers",
+        priority=90,
+        applies=lambda f: f.write_heavy or f.mixed,
+        lore="Larger and more numerous memtables absorb write bursts and "
+             "cut flush frequency.",
+        moves=(
+            Move("write_buffer_size",
+                 lambda f: _pick(f, [128 * MiB, 32 * MiB, 64 * MiB], 0),
+                 "trade memory for fewer, larger flushes"),
+            Move("max_write_buffer_number",
+                 lambda f: _pick(f, [3, 4, 6, 3], 1),
+                 "keep accepting writes while flushes drain"),
+            Move("min_write_buffer_number_to_merge",
+                 lambda f: _pick(f, [2, 1, 2, 3], 2),
+                 "merge buffers before flushing to amortize I/O"),
+        ),
+    ),
+    TuningRule(
+        name="background-parallelism",
+        priority=85,
+        applies=lambda f: f.write_heavy or f.mixed or (f.stall_percent or 0) > 5,
+        lore="Flush and compaction parallelism should track the core "
+             "budget; stalls mean background work is falling behind.",
+        moves=(
+            Move("max_background_jobs",
+                 lambda f: max(2, min(8, _pick(f, [f.cpu_cores,
+                                                   f.cpu_cores + 1,
+                                                   f.cpu_cores - 1 or 1,
+                                                   f.cpu_cores + 2], 0))),
+                 "match background job budget to available cores"),
+            Move("max_background_compactions",
+                 lambda f: max(1, min(8, _pick(f, [2, 3, f.cpu_cores, 4], 1))),
+                 "compactions are the bulk of background work"),
+            Move("max_background_flushes",
+                 lambda f: _pick(f, [2, 1, 2], 2),
+                 "dedicated flush threads prevent memtable pile-up"),
+        ),
+    ),
+    TuningRule(
+        name="sync-smoothing",
+        priority=80,
+        applies=lambda f: f.write_heavy or f.mixed,
+        lore="Periodic range-syncs bound OS writeback bursts, smoothing "
+             "tail latency, especially on rotational media.",
+        moves=(
+            Move("bytes_per_sync",
+                 lambda f: _pick(f, [1 * MiB, 512 * 1024, 1 * MiB], 0),
+                 "bound dirty-page bursts from SST writes"),
+            Move("wal_bytes_per_sync",
+                 lambda f: _pick(f, [1 * MiB, 512 * 1024, 1 * MiB], 0),
+                 "bound dirty-page bursts from the WAL"),
+            Move("strict_bytes_per_sync",
+                 lambda f: True,
+                 "enforce the sync window strictly for predictable tails"),
+        ),
+    ),
+    TuningRule(
+        name="hdd-compaction-readahead",
+        priority=88,
+        applies=lambda f: f.rotational,
+        lore="On spinning disks compaction reads must be batched into "
+             "large sequential chunks or seeks dominate.",
+        moves=(
+            Move("compaction_readahead_size",
+                 lambda f: _pick(f, [4 * MiB, 8 * MiB, 2 * MiB, 16 * MiB], 0),
+                 "larger readahead converts seeks into sequential reads"),
+        ),
+    ),
+    TuningRule(
+        name="write-path-overheads",
+        priority=70,
+        applies=lambda f: f.write_heavy or f.mixed,
+        lore="Per-write bookkeeping that does not pay for itself should "
+             "be turned off.",
+        moves=(
+            Move("dump_malloc_stats", lambda f: False,
+                 "allocator stat dumps steal CPU from flushes"),
+            Move("enable_pipelined_write",
+                 lambda f: f.threads > 1,
+                 "pipelining only pays off with concurrent writers"),
+        ),
+    ),
+    TuningRule(
+        name="leveling-geometry",
+        priority=60,
+        applies=lambda f: f.write_heavy,
+        lore="Write-heavy stores benefit from slightly flatter levels and "
+             "smaller target files.",
+        moves=(
+            Move("max_bytes_for_level_multiplier",
+                 lambda f: _pick(f, [8, 10, 8], 0),
+                 "flatter geometry lowers compaction write amplification"),
+            Move("target_file_size_base",
+                 lambda f: _pick(f, [32 * MiB, 64 * MiB, 32 * MiB], 1),
+                 "smaller files make compactions finer-grained"),
+            Move("level0_file_num_compaction_trigger",
+                 lambda f: _pick(f, [6, 4, 6], 2),
+                 "tolerate a deeper L0 before compacting"),
+        ),
+    ),
+    # ------------------------------------------------------- read path
+    TuningRule(
+        name="bloom-filters",
+        priority=100,
+        applies=lambda f: f.read_heavy or f.mixed,
+        lore="Point lookups without bloom filters read a data block from "
+             "every level they probe; ~10 bits/key eliminates nearly all "
+             "of those wasted reads.",
+        moves=(
+            Move("bloom_filter_bits_per_key",
+                 lambda f: _pick(f, [10.0, 14.0, 10.0], 0),
+                 "skip SSTs that cannot contain the key"),
+            Move("whole_key_filtering", lambda f: True,
+                 "whole-key entries serve point gets"),
+        ),
+    ),
+    TuningRule(
+        name="block-cache-sizing",
+        priority=95,
+        applies=lambda f: f.read_heavy
+        or (f.mixed and (f.cache_hit_rate or 0.0) < 0.5),
+        lore="The default 8 MB block cache is far too small for a "
+             "read-heavy store; a third to half of RAM is customary.",
+        moves=(
+            Move("block_cache_size",
+                 lambda f: int(f.memory_bytes
+                               * _pick(f, [0.50, 0.33, 0.50, 0.25], 0)),
+                 "serve hot blocks from memory instead of the device"),
+            Move("cache_index_and_filter_blocks",
+                 lambda f: True,
+                 "account metadata in the cache so it scales with it"),
+            Move("pin_l0_filter_and_index_blocks_in_cache",
+                 lambda f: True,
+                 "L0 metadata is hit by every lookup"),
+        ),
+    ),
+    TuningRule(
+        name="read-block-geometry",
+        priority=55,
+        applies=lambda f: f.read_heavy and f.rotational,
+        lore="Bigger blocks amortize seeks on rotational media.",
+        moves=(
+            Move("block_size",
+                 lambda f: _pick(f, [16 * 1024, 32 * 1024, 8 * 1024], 0),
+                 "fewer, larger reads per lookup"),
+        ),
+    ),
+    TuningRule(
+        name="filters-when-hitting",
+        priority=50,
+        applies=lambda f: f.read_heavy and (f.bloom_useful_rate or 0.0) > 0.2,
+        lore="When most lookups find their key, bottommost filters mostly "
+             "waste memory.",
+        moves=(
+            Move("optimize_filters_for_hits", lambda f: True,
+                 "drop filters on the last level to spend RAM elsewhere"),
+        ),
+    ),
+    # ------------------------------------------------------- feedback-driven
+    TuningRule(
+        name="relieve-stalls",
+        priority=97,
+        applies=lambda f: (f.stall_percent or 0.0) > 10,
+        lore="Visible write stalls call for more headroom before the "
+             "slowdown triggers fire.",
+        moves=(
+            Move("level0_slowdown_writes_trigger",
+                 lambda f: _pick(f, [28, 24, 32], 0),
+                 "delay throttling until L0 is genuinely deep"),
+            Move("level0_stop_writes_trigger",
+                 lambda f: _pick(f, [46, 40, 52], 0),
+                 "keep the hard stop well above the slowdown point"),
+            Move("max_subcompactions",
+                 lambda f: max(1, min(f.cpu_cores, 4)),
+                 "parallelize large compactions to drain L0 faster"),
+        ),
+    ),
+    TuningRule(
+        name="raise-bloom-precision",
+        priority=45,
+        applies=lambda f: (f.bloom_useful_rate or 1.0) < 0.5
+        and float(f.option("bloom_filter_bits_per_key", -1) or -1) > 0,
+        lore="A bloom filter that rarely rules files out needs more bits.",
+        moves=(
+            Move("bloom_filter_bits_per_key",
+                 lambda f: min(20.0,
+                               float(f.option("bloom_filter_bits_per_key", 10))
+                               + 4.0),
+                 "reduce the false-positive rate"),
+        ),
+    ),
+    # ------------------------------------------------------- compression
+    TuningRule(
+        name="compression-trade",
+        priority=40,
+        applies=lambda f: f.write_heavy and not f.rotational,
+        lore="Fast codecs trade a little space for lower compaction CPU.",
+        moves=(
+            Move("compression",
+                 lambda f: _pick(f, ["lz4", "snappy", "lz4"], 0),
+                 "lz4 compresses faster than snappy at similar ratios"),
+            Move("bottommost_compression",
+                 lambda f: _pick(f, ["zstd", "disable"], 1),
+                 "cold data can afford a denser codec"),
+        ),
+    ),
+)
+
+
+def matching_rules(facts: PromptFacts) -> list[TuningRule]:
+    """Rules whose condition holds, strongest first."""
+    hits = [rule for rule in RULES if rule.applies(facts)]
+    hits.sort(key=lambda r: -r.priority)
+    return hits
+
+
+def memory_budget_ok(facts: PromptFacts, proposal: dict[str, Any]) -> bool:
+    """Would the proposed config overcommit RAM?"""
+    wbs = int(proposal.get(
+        "write_buffer_size", facts.option("write_buffer_size", 64 * MiB)))
+    nbuf = int(proposal.get(
+        "max_write_buffer_number", facts.option("max_write_buffer_number", 2)))
+    cache = int(proposal.get(
+        "block_cache_size", facts.option("block_cache_size", 8 * MiB)))
+    return wbs * nbuf + cache <= facts.memory_bytes * 0.60
+
+
+def fit_to_memory(facts: PromptFacts, proposal: dict[str, Any]) -> dict[str, Any]:
+    """Shrink the proposal's memory consumers until the budget fits.
+
+    This mirrors the paper's observation that GPT-4 keeps the total
+    memory budget in mind when setting buffer counts (Table 5 analysis).
+    """
+    out = dict(proposal)
+    while not memory_budget_ok(facts, out):
+        cache = int(out.get("block_cache_size",
+                            facts.option("block_cache_size", 8 * MiB)))
+        wbs = int(out.get("write_buffer_size",
+                          facts.option("write_buffer_size", 64 * MiB)))
+        nbuf = int(out.get("max_write_buffer_number",
+                           facts.option("max_write_buffer_number", 2)))
+        if cache > 64 * MiB:
+            out["block_cache_size"] = cache // 2
+        elif nbuf > 2:
+            out["max_write_buffer_number"] = nbuf - 1
+        elif wbs > 16 * MiB:
+            out["write_buffer_size"] = wbs // 2
+        else:
+            break
+    return out

@@ -1,0 +1,117 @@
+"""Render expert proposals as natural-language responses.
+
+The paper's Option Evaluator must cope with "text, a singular code
+block, and an interleaving combination of both". This module produces
+all three shapes (seed-rotated), so the parser is exercised against the
+same variety a real LLM emits.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any
+
+_FORMATS = ("ini_block", "fenced", "bullets", "interleaved")
+
+_OPENERS = (
+    "Based on the system information and workload characteristics you "
+    "provided, I recommend the following configuration adjustments.",
+    "Looking at the benchmark output and hardware profile, several "
+    "options stand out as mis-sized for this workload.",
+    "Here is an updated set of options tailored to your setup.",
+    "Given the current performance numbers, I would adjust the "
+    "configuration as follows.",
+)
+
+_CLOSERS = (
+    "Apply these changes and re-run the benchmark; further refinement "
+    "may help once we see the new numbers.",
+    "These values should be re-evaluated after the next iteration.",
+    "Let me know how the next run performs and we can iterate further.",
+)
+
+
+def _format_value(value: Any) -> str:
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, float):
+        return f"{value:g}"
+    return str(value)
+
+
+def render_response(
+    proposal: dict[str, Any],
+    rationales: dict[str, str],
+    lore_lines: list[str],
+    rng: random.Random,
+    *,
+    deteriorated: bool = False,
+) -> str:
+    """Render one assistant response containing ``proposal``."""
+    fmt = rng.choice(_FORMATS)
+    parts: list[str] = []
+    if deteriorated:
+        parts.append(
+            "I see the last change regressed performance; reverting course "
+            "and trying a more conservative adjustment."
+        )
+    parts.append(rng.choice(_OPENERS))
+    if lore_lines:
+        parts.append(" ".join(lore_lines[:2]))
+    body = _render_body(fmt, proposal, rationales, rng)
+    parts.append(body)
+    parts.append(rng.choice(_CLOSERS))
+    return "\n\n".join(parts)
+
+
+def render_prose_only(lore_lines: list[str], rng: random.Random) -> str:
+    """A response with NO parseable configuration (format-checker food)."""
+    filler = (
+        "Tuning an LSM store is fundamentally about balancing ingestion "
+        "against background maintenance. ",
+        "The memtable, the write-ahead log, and the compaction pipeline "
+        "all compete for the same memory and I/O budget. ",
+        "It is often best to start from the workload's read/write ratio "
+        "and work outward toward device characteristics. ",
+    )
+    lines = [rng.choice(_OPENERS)]
+    lines += list(lore_lines[:2])
+    lines += [rng.choice(filler), rng.choice(_CLOSERS)]
+    return "\n\n".join(lines)
+
+
+def _render_body(
+    fmt: str,
+    proposal: dict[str, Any],
+    rationales: dict[str, str],
+    rng: random.Random,
+) -> str:
+    if fmt == "ini_block":
+        lines = ["[DBOptions]"]
+        lines += [f"{k}={_format_value(v)}" for k, v in proposal.items()]
+        return "\n".join(lines)
+    if fmt == "fenced":
+        lines = ["```ini"]
+        lines += [f"{k}={_format_value(v)}" for k, v in proposal.items()]
+        lines.append("```")
+        return "\n".join(lines)
+    if fmt == "bullets":
+        lines = []
+        for k, v in proposal.items():
+            why = rationales.get(k, "")
+            suffix = f" — {why}" if why else ""
+            lines.append(f"- Set `{k}` to `{_format_value(v)}`{suffix}.")
+        return "\n".join(lines)
+    # interleaved: prose paragraphs with small fenced fragments
+    chunks: list[str] = []
+    items = list(proposal.items())
+    for start in range(0, len(items), 2):
+        group = items[start : start + 2]
+        why = "; ".join(
+            rationales.get(k, "") for k, _ in group if rationales.get(k)
+        )
+        if why:
+            chunks.append(f"Next, {why}:")
+        block = "\n".join(f"{k}={_format_value(v)}" for k, v in group)
+        chunks.append(f"```\n{block}\n```")
+    return "\n\n".join(chunks)

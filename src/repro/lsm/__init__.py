@@ -1,0 +1,22 @@
+"""PyLSM: a from-scratch LSM-tree key-value store with virtual-time
+performance accounting (the RocksDB stand-in for the reproduction)."""
+
+from repro.lsm.db import DB
+from repro.lsm.env import Env, MemFileSystem
+from repro.lsm.options import Options, default_options
+from repro.lsm.snapshot import Snapshot
+from repro.lsm.statistics import OpClass, Statistics, Ticker
+from repro.lsm.write_batch import WriteBatch
+
+__all__ = [
+    "DB",
+    "Env",
+    "MemFileSystem",
+    "Options",
+    "default_options",
+    "Snapshot",
+    "WriteBatch",
+    "Statistics",
+    "Ticker",
+    "OpClass",
+]

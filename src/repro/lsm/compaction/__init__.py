@@ -1,0 +1,15 @@
+"""Compaction strategies: leveled, universal (tiered), and FIFO."""
+
+from repro.lsm.compaction.fifo import FifoPicker
+from repro.lsm.compaction.leveled import CompactionResult, run_compaction
+from repro.lsm.compaction.picker import Compaction, CompactionPicker
+from repro.lsm.compaction.universal import UniversalPicker
+
+__all__ = [
+    "Compaction",
+    "CompactionPicker",
+    "CompactionResult",
+    "FifoPicker",
+    "UniversalPicker",
+    "run_compaction",
+]

@@ -1,0 +1,56 @@
+"""FIFO compaction: age out the oldest files.
+
+The cheapest "compaction" there is: when total size exceeds the cap the
+oldest L0 files are simply deleted. Appropriate for caches and TTL data;
+available because ``compaction_style=fifo`` is in the tuning pool.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.lsm.options import Options
+from repro.lsm.sstable import FileMetaData
+from repro.lsm.version import Version
+
+
+@dataclass
+class FifoDrop:
+    """Files the FIFO policy wants deleted outright."""
+
+    doomed: list[FileMetaData]
+
+
+class FifoPicker:
+    """Deletes oldest files once the total exceeds the cap.
+
+    The cap reuses ``max_bytes_for_level_base`` (PyLSM keeps the option
+    surface flat instead of nesting compaction_options_fifo).
+    """
+
+    def __init__(self, options: Options) -> None:
+        self._options = options
+
+    def pending_compaction_bytes(self, version: Version) -> int:
+        return 0
+
+    def level_score(self, version: Version, level: int) -> float:
+        if level != 0:
+            return 0.0
+        cap = self._options.get("max_bytes_for_level_base")
+        return version.level_bytes(0) / max(1, cap)
+
+    def pick_drop(self, version: Version) -> FifoDrop | None:
+        cap = self._options.get("max_bytes_for_level_base")
+        files = version.files_at(0)
+        total = sum(f.file_size for f in files)
+        if total <= cap:
+            return None
+        doomed: list[FileMetaData] = []
+        # Oldest first: L0 install order is age order.
+        for f in files:
+            if total <= cap:
+                break
+            doomed.append(f)
+            total -= f.file_size
+        return FifoDrop(doomed=doomed) if doomed else None

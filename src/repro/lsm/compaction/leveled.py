@@ -1,0 +1,129 @@
+"""Leveled compaction execution: k-way merge with version GC.
+
+Merges the input tables in internal-key order, keeps only the newest
+version of each user key, drops tombstones when the output is the
+bottommost populated level, and splits outputs at the per-level target
+file size.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Callable, Iterator
+
+from repro.lsm import ikey as ikey_mod
+from repro.lsm.compaction.picker import Compaction
+from repro.lsm.memtable import ValueKind
+from repro.lsm.options import Options
+from repro.lsm.snapshot import SnapshotList, may_drop_version
+from repro.lsm.sstable import FileMetaData, ReadStats, SSTableBuilder, SSTableReader
+
+
+@dataclass
+class CompactionResult:
+    """Everything the DB needs to install and price a finished compaction."""
+
+    new_files: list[FileMetaData]
+    bytes_read: int
+    bytes_written: int
+    entries_merged: int
+    entries_dropped: int
+    read_stats: ReadStats = field(default_factory=ReadStats)
+
+
+def merge_tables(
+    readers: list[SSTableReader],
+    *,
+    stats: ReadStats | None = None,
+) -> Iterator[tuple[bytes, ValueKind, bytes]]:
+    """Yield entries from many tables in global internal-key order.
+
+    Ties cannot occur: internal keys embed unique sequence numbers.
+    """
+    heap: list[tuple[bytes, int, ValueKind, bytes, Iterator]] = []
+    for idx, reader in enumerate(readers):
+        it = reader.iter_entries(stats=stats)
+        first = next(it, None)
+        if first is not None:
+            key, kind, value = first
+            heap.append((key, idx, kind, value, it))
+    heapq.heapify(heap)
+    while heap:
+        key, idx, kind, value, it = heapq.heappop(heap)
+        yield key, kind, value
+        nxt = next(it, None)
+        if nxt is not None:
+            nkey, nkind, nvalue = nxt
+            heapq.heappush(heap, (nkey, idx, nkind, nvalue, it))
+
+
+def run_compaction(
+    compaction: Compaction,
+    readers: list[SSTableReader],
+    options: Options,
+    *,
+    new_table_path: Callable[[], str],
+    open_builder: Callable[[str, int], SSTableBuilder],
+    bottommost: bool,
+    snapshots: "SnapshotList | None" = None,
+) -> CompactionResult:
+    """Execute ``compaction`` over already-open ``readers``.
+
+    ``open_builder(path, output_level)`` lets the DB apply per-level
+    build options (compression, bloom bits). Output files are written
+    but *not* installed; the caller applies the version edit.
+    """
+    # L0 outputs (universal-style merges) must stay ONE sorted run:
+    # splitting them would multiply the run count every merge and the
+    # compaction loop would never converge.
+    if compaction.output_level == 0:
+        target_size = 1 << 62
+    else:
+        target_size = options.target_file_size(compaction.output_level)
+    stats = ReadStats()
+    new_files: list[FileMetaData] = []
+    builder: SSTableBuilder | None = None
+    bytes_written = 0
+    entries_merged = 0
+    entries_dropped = 0
+    last_user_key: bytes | None = None
+    last_seq = 0
+    no_snapshots = snapshots is None or len(snapshots) == 0
+
+    def finish_builder() -> None:
+        nonlocal builder, bytes_written
+        if builder is not None and builder.num_entries > 0:
+            meta = builder.finish()
+            bytes_written += meta.file_size
+            new_files.append(meta)
+        builder = None
+
+    for internal_key, kind, value in merge_tables(readers, stats=stats):
+        entries_merged += 1
+        user_key, seq = ikey_mod.decode(internal_key)
+        if user_key == last_user_key and may_drop_version(
+            last_seq, seq, snapshots
+        ):
+            entries_dropped += 1  # shadowed older version, no snapshot needs it
+            continue
+        last_user_key = user_key
+        last_seq = seq
+        if kind is ValueKind.DELETE and bottommost and no_snapshots:
+            entries_dropped += 1  # tombstone reached the bottom
+            continue
+        if builder is None:
+            builder = open_builder(new_table_path(), compaction.output_level)
+        builder.add(internal_key, kind, value)
+        if builder.current_size >= target_size:
+            finish_builder()
+    finish_builder()
+    bytes_read = compaction.input_bytes
+    return CompactionResult(
+        new_files=new_files,
+        bytes_read=bytes_read,
+        bytes_written=bytes_written,
+        entries_merged=entries_merged,
+        entries_dropped=entries_dropped,
+        read_stats=stats,
+    )

@@ -1,0 +1,177 @@
+"""Compaction picking: which files to merge next.
+
+Scores levels like RocksDB's leveled picker: L0 by file count against
+``level0_file_num_compaction_trigger``, L1+ by actual size against the
+target schedule. The highest-scoring level above 1.0 is compacted into
+the next level. Files already claimed by an in-flight compaction are
+skipped.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.lsm.options import Options
+from repro.lsm.sstable import FileMetaData
+from repro.lsm.version import Version
+
+
+@dataclass
+class Compaction:
+    """A planned compaction (inputs chosen, nothing executed yet)."""
+
+    level: int
+    output_level: int
+    inputs: list[FileMetaData]
+    overlapping: list[FileMetaData] = field(default_factory=list)
+
+    @property
+    def all_inputs(self) -> list[FileMetaData]:
+        return self.inputs + self.overlapping
+
+    @property
+    def input_bytes(self) -> int:
+        return sum(f.file_size for f in self.all_inputs)
+
+    def key_range(self) -> tuple[bytes, bytes]:
+        lo = min(f.smallest_key for f in self.inputs)
+        hi = max(f.largest_key for f in self.inputs)
+        return lo, hi
+
+
+class CompactionPicker:
+    """Stateless picker over (version, options, claimed files)."""
+
+    def __init__(self, options: Options) -> None:
+        self._options = options
+
+    # -- scoring -----------------------------------------------------------
+
+    def level_score(self, version: Version, level: int) -> float:
+        opts = self._options
+        if level == 0:
+            trigger = opts.get("level0_file_num_compaction_trigger")
+            return version.num_files(0) / max(1, trigger)
+        target = opts.level_target_bytes(level)
+        if target <= 0:
+            return 0.0
+        return version.level_bytes(level) / target
+
+    def pending_compaction_bytes(self, version: Version) -> int:
+        """Debt estimate: bytes above target across all levels."""
+        debt = 0
+        opts = self._options
+        l0_bytes = version.level_bytes(0)
+        trigger = opts.get("level0_file_num_compaction_trigger")
+        if version.num_files(0) > trigger:
+            debt += l0_bytes
+        for level in range(1, version.num_levels - 1):
+            target = opts.level_target_bytes(level)
+            debt += max(0, version.level_bytes(level) - target)
+        return debt
+
+    # -- picking -----------------------------------------------------------
+
+    def pick(
+        self, version: Version, claimed: set[int] | None = None
+    ) -> Compaction | None:
+        """Pick the most urgent compaction, or None if nothing scores > 1."""
+        if self._options.get("disable_auto_compactions"):
+            return None
+        claimed = claimed or set()
+        best_level = -1
+        best_score = 1.0
+        for level in range(version.num_levels - 1):
+            score = self.level_score(version, level)
+            if score >= best_score and self._has_free_inputs(version, level, claimed):
+                best_score = score
+                best_level = level
+        if best_level < 0:
+            return None
+        return self._pick_for_level(version, best_level, claimed)
+
+    def _has_free_inputs(
+        self, version: Version, level: int, claimed: set[int]
+    ) -> bool:
+        return any(
+            f.file_number not in claimed for f in version.files_at(level)
+        )
+
+    def _pick_for_level(
+        self, version: Version, level: int, claimed: set[int]
+    ) -> Compaction | None:
+        if level == 0:
+            inputs = [
+                f for f in version.files_at(0) if f.file_number not in claimed
+            ]
+            if not inputs:
+                return None
+        else:
+            inputs = self._pick_one_file(version, level, claimed)
+            if not inputs:
+                return None
+        lo = min(f.smallest_key for f in inputs)
+        hi = max(f.largest_key for f in inputs)
+        output_level = level + 1
+        overlapping = [
+            f
+            for f in version.overlapping_files(output_level, lo, hi)
+            if f.file_number not in claimed
+        ]
+        # If any overlapping output file is claimed, the merge would race;
+        # bail and let the in-flight job finish first.
+        if any(
+            f.file_number in claimed
+            for f in version.overlapping_files(output_level, lo, hi)
+        ):
+            return None
+        max_bytes = self._options.get("max_compaction_bytes")
+        total = sum(f.file_size for f in inputs) + sum(
+            f.file_size for f in overlapping
+        )
+        if level > 0 and total > max_bytes and len(inputs) > 1:
+            inputs = inputs[:1]
+            lo = min(f.smallest_key for f in inputs)
+            hi = max(f.largest_key for f in inputs)
+            overlapping = [
+                f
+                for f in version.overlapping_files(output_level, lo, hi)
+                if f.file_number not in claimed
+            ]
+        return Compaction(
+            level=level,
+            output_level=output_level,
+            inputs=inputs,
+            overlapping=overlapping,
+        )
+
+    def _pick_one_file(
+        self, version: Version, level: int, claimed: set[int]
+    ) -> list[FileMetaData]:
+        """Pick the seed file at L>=1 per ``compaction_pri``."""
+        candidates = [
+            f for f in version.files_at(level) if f.file_number not in claimed
+        ]
+        if not candidates:
+            return []
+        pri = self._options.get("compaction_pri")
+        if pri == "by_compensated_size":
+            return [max(candidates, key=lambda f: f.file_size)]
+        if pri == "oldest_largest_seq_first":
+            return [min(candidates, key=lambda f: f.file_number)]
+        if pri == "oldest_smallest_seq_first":
+            return [min(candidates, key=lambda f: f.file_number)]
+        if pri == "round_robin":
+            return [candidates[0]]
+        # min_overlapping_ratio (default): least overlap with next level
+        # relative to own size.
+        def overlap_ratio(f: FileMetaData) -> float:
+            overlap = sum(
+                o.file_size
+                for o in version.overlapping_files(
+                    level + 1, f.smallest_key, f.largest_key
+                )
+            )
+            return overlap / max(1, f.file_size)
+
+        return [min(candidates, key=overlap_ratio)]

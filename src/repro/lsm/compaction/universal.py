@@ -1,0 +1,61 @@
+"""Universal (tiered) compaction.
+
+PyLSM's universal mode keeps every sorted run in L0 and merges runs when
+the run count exceeds the trigger, preferring size-similar neighbors
+(space-amplification-bounded tiering). Write amplification is lower than
+leveled; read amplification and space usage are higher — the classic
+trade the ``compaction_style`` option exposes.
+"""
+
+from __future__ import annotations
+
+from repro.lsm.compaction.picker import Compaction
+from repro.lsm.options import Options
+from repro.lsm.version import Version
+
+
+class UniversalPicker:
+    """Run-count-triggered picker over L0 sorted runs."""
+
+    #: Merge candidates whose size is within this ratio are "similar".
+    SIZE_RATIO = 1.25
+    #: Never merge fewer than this many runs at once.
+    MIN_MERGE_WIDTH = 2
+
+    def __init__(self, options: Options) -> None:
+        self._options = options
+
+    def pending_compaction_bytes(self, version: Version) -> int:
+        trigger = self._options.get("level0_file_num_compaction_trigger")
+        files = version.files_at(0)
+        if len(files) <= trigger:
+            return 0
+        return sum(f.file_size for f in files)
+
+    def level_score(self, version: Version, level: int) -> float:
+        if level != 0:
+            return 0.0
+        trigger = self._options.get("level0_file_num_compaction_trigger")
+        return version.num_files(0) / max(1, trigger)
+
+    def pick(
+        self, version: Version, claimed: set[int] | None = None
+    ) -> Compaction | None:
+        if self._options.get("disable_auto_compactions"):
+            return None
+        claimed = claimed or set()
+        files = [
+            f for f in version.files_at(0) if f.file_number not in claimed
+        ]
+        trigger = self._options.get("level0_file_num_compaction_trigger")
+        if len(files) <= trigger:
+            return None
+        # Runs must be merged adjacent-in-age to preserve shadowing, and
+        # claimed runs break adjacency, so only proceed when the oldest
+        # runs are free. L0 install order is age order (oldest first).
+        all_files = version.files_at(0)
+        width = max(self.MIN_MERGE_WIDTH, len(all_files) - trigger + 1)
+        merge = all_files[:width]
+        if any(f.file_number in claimed for f in merge):
+            return None
+        return Compaction(level=0, output_level=0, inputs=merge, overlapping=[])

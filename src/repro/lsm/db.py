@@ -1,0 +1,1098 @@
+"""PyLSM database facade.
+
+Single-writer LSM engine with RocksDB-shaped behaviour: WAL + memtable
+writes, leveled/universal/FIFO compaction, bloom-filtered block-based
+tables, an LRU block cache, write stalls, and a virtual-time performance
+model parameterized by a :class:`~repro.hardware.profile.HardwareProfile`.
+
+All real data-structure work happens eagerly; *time* is virtual. Each
+public operation returns after advancing the simulated clock by its
+modeled latency and recording it in the statistics histograms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.errors import DBClosedError, DBError
+from repro.hardware.monitor import SystemMonitor
+from repro.hardware.profile import HardwareProfile, make_profile
+from repro.lsm.block_cache import LRUCache
+from repro.lsm.compaction.fifo import FifoPicker
+from repro.lsm.compaction.leveled import run_compaction
+from repro.lsm.compaction.picker import Compaction, CompactionPicker
+from repro.lsm.compaction.universal import UniversalPicker
+from repro.lsm.env import Env
+from repro.lsm.flush import run_flush
+from repro.lsm.iterator import memtable_source, merge_sources, user_view
+from repro.lsm.manifest import Manifest, VersionEdit
+from repro.lsm.memtable import MemTable, ValueKind
+from repro.lsm.options import Options
+from repro.lsm.perf_model import PerfModel
+from repro.lsm.rate_limiter import RateLimiter
+from repro.lsm.snapshot import Snapshot, SnapshotList
+from repro.lsm.sstable import SSTableBuilder, SSTableReader
+from repro.lsm.statistics import OpClass, Statistics, Ticker
+from repro.lsm.table_cache import TableCache
+from repro.lsm.version import Version
+from repro.lsm.wal import WalWriter, replay_wal
+from repro.lsm.write_batch import WriteBatch
+from repro.lsm.write_controller import WriteController, WriteState
+from repro.sim.resources import Completion, CompletionQueue, SlotPool
+
+_DEFAULT_PROFILE = make_profile(4, 8)
+
+#: Penalty charged when the engine is wedged (e.g. stalls with
+#: auto-compaction disabled): one full virtual second per write.
+_WEDGED_PENALTY_US = 1_000_000.0
+
+
+@dataclass
+class _FlushPayload:
+    memtable_ids: list[int]
+    result: object  # FlushResult
+    wal_paths: list[str]
+    duration_us: float
+
+
+@dataclass
+class _CompactionPayload:
+    compaction: Compaction
+    result: object  # CompactionResult
+    duration_us: float
+
+
+class DB:
+    """An open PyLSM database.
+
+    Use :meth:`DB.open` (or the module-level helper in
+    :mod:`repro.lsm`) rather than the constructor.
+    """
+
+    def __init__(
+        self,
+        path: str,
+        options: Options,
+        env: Env,
+        profile: HardwareProfile,
+        statistics: Statistics,
+        byte_scale: float = 1.0,
+    ) -> None:
+        from repro.lsm.options import scale_bytes
+
+        self._path = path.rstrip("/")
+        self._user_options = options
+        self._byte_scale = byte_scale
+        #: Effective options: byte-denominated values scaled to the
+        #: experiment's dataset size (identity when byte_scale == 1).
+        self._options = scale_bytes(options, byte_scale) if byte_scale != 1.0 else options
+        self._memory_bytes = int(profile.memory_bytes * byte_scale)
+        options = self._options  # every engine component sees scaled values
+        self._env = env
+        self._profile = profile
+        self._stats = statistics
+        self._monitor = SystemMonitor(profile)
+        self._perf = PerfModel(profile, options, byte_scale=byte_scale)
+        self._closed = False
+        self._foreground_parallelism = 1
+
+        self._seq = 0
+        self._next_file_number = 1
+        self._mem: MemTable = self._new_memtable()
+        self._imm: list[MemTable] = []
+        self._imm_wal_paths: list[str] = []
+        self._flushing_ids: set[int] = set()
+        self._claimed_files: set[int] = set()
+        #: (output_level, lo, hi) per in-flight compaction: a new job may
+        #: not read from or write into a range another job will install.
+        self._inflight_ranges: list[tuple[int, bytes, bytes]] = []
+
+        self._version = Version(num_levels=options.get("num_levels"))
+        self._manifest: Manifest | None = None
+        self._wal: WalWriter | None = None
+
+        self._snapshots = SnapshotList()
+        self._completions = CompletionQueue()
+        self._flush_pool = SlotPool(options.effective_max_background_flushes())
+        self._compaction_pool = SlotPool(
+            options.effective_max_background_compactions()
+        )
+        self._controller = WriteController(options)
+        self._rate_limiter = RateLimiter(options.get("rate_limiter_bytes_per_sec"))
+        self._block_cache = LRUCache(
+            self._effective_cache_bytes(),
+            options.get("block_cache_numshardbits") if options.get("block_cache_size") else 0,
+        )
+        self._table_cache = TableCache(
+            self._open_reader, options.get("max_open_files")
+        )
+        self._page_cache = LRUCache(self._page_cache_bytes(), 2)
+        self._swap_factor = self._compute_swap_factor()
+        self._last_stats_dump_us = 0.0
+        self._style = options.get("compaction_style")
+        if self._style == "level":
+            self._picker = CompactionPicker(options)
+        elif self._style == "universal":
+            self._picker = UniversalPicker(options)
+        else:
+            self._picker = FifoPicker(options)
+
+    # ------------------------------------------------------------- open
+
+    @classmethod
+    def open(
+        cls,
+        path: str,
+        options: Options | None = None,
+        *,
+        env: Env | None = None,
+        profile: HardwareProfile | None = None,
+        statistics: Statistics | None = None,
+        byte_scale: float = 1.0,
+    ) -> "DB":
+        """Open (creating or recovering) a database at ``path``.
+
+        ``byte_scale`` shrinks byte-denominated options and the memory
+        budget together for scaled-down experiments; see
+        :data:`repro.lsm.options.BYTE_SCALED_OPTIONS`.
+        """
+        options = options if options is not None else Options()
+        env = env if env is not None else Env()
+        profile = profile if profile is not None else _DEFAULT_PROFILE
+        statistics = statistics if statistics is not None else Statistics()
+        db = cls(path, options, env, profile, statistics, byte_scale)
+        db._recover()
+        return db
+
+    def _recover(self) -> None:
+        fs = self._env.fs
+        manifest_path = f"{self._path}/MANIFEST"
+        existed = fs.exists(manifest_path)
+        if existed:
+            if self._options.get("error_if_exists"):
+                raise DBError(f"database already exists at {self._path}")
+            version, last_seq, next_file = Manifest.replay(
+                fs, manifest_path, self._options.get("num_levels")
+            )
+            self._version = version
+            self._seq = last_seq
+            self._next_file_number = next_file
+        elif not self._options.get("create_if_missing"):
+            raise DBError(f"database missing at {self._path}")
+        self._manifest = Manifest(fs, manifest_path)
+        # Replay any leftover WALs (oldest first by file number) into the
+        # memtable AND into a fresh WAL: recovered-but-unflushed entries
+        # must survive a second crash before the next flush.
+        old_wals = [p for p in sorted(fs.list_dir(self._path))
+                    if p.endswith(".log")]
+        # WAL rotations are not manifest events, so the persisted file
+        # counter can lag live WAL numbers; never reuse one.
+        for path in old_wals:
+            number = int(path.rsplit("/", 1)[-1].split(".")[0])
+            self._next_file_number = max(self._next_file_number, number + 1)
+        self._wal = WalWriter(fs, self._wal_path(self._new_file_number()))
+        for path in old_wals:
+            for seq, kind, key, value in replay_wal(fs, path):
+                self._mem.add(seq, kind, key, value)
+                self._wal.add_record(seq, kind, key, value)
+                self._seq = max(self._seq, seq)
+        self._wal.sync()
+        for path in old_wals:
+            fs.delete(path)
+        if not existed:
+            self._manifest.append(
+                VersionEdit(
+                    last_sequence=self._seq,
+                    next_file_number=self._next_file_number,
+                    comment="create",
+                )
+            )
+
+    # -------------------------------------------------------- plumbing
+
+    def _new_file_number(self) -> int:
+        n = self._next_file_number
+        self._next_file_number += 1
+        return n
+
+    def _sst_path(self, number: int) -> str:
+        return f"{self._path}/{number:06d}.sst"
+
+    def _wal_path(self, number: int) -> str:
+        return f"{self._path}/{number:06d}.log"
+
+    def _new_memtable(self) -> MemTable:
+        opts = self._options
+        bloom_ratio = opts.get("memtable_prefix_bloom_size_ratio")
+        bloom_bits = 10 if bloom_ratio > 0 else 0
+        return MemTable(
+            capacity_bytes=opts.get("write_buffer_size"),
+            bloom_bits=bloom_bits,
+            whole_key_filtering=opts.get("memtable_whole_key_filtering"),
+            seed=1,
+        )
+
+    def _effective_cache_bytes(self) -> int:
+        opts = self._options
+        if opts.get("no_block_cache"):
+            return 0
+        configured = opts.get("block_cache_size")
+        os_overhead = int(self._memory_bytes * 0.20)
+        available = self._memory_bytes - os_overhead - opts.memtable_budget_bytes()
+        return max(0, min(configured, max(0, available)))
+
+    def _page_cache_bytes(self) -> int:
+        """OS page cache stand-in: a slice of the memory the process does
+        not claim. Under a container memory cap the kernel reclaims page
+        cache aggressively, so only a fraction of free memory is modeled
+        as effective. Direct reads bypass it entirely."""
+        if self._options.get("use_direct_reads"):
+            return 0
+        free = (
+            self._memory_bytes
+            - int(self._memory_bytes * 0.20)
+            - self._options.memtable_budget_bytes()
+            - self._block_cache.capacity_bytes
+        )
+        return max(0, int(free * 0.10))
+
+    def _compute_swap_factor(self) -> float:
+        budget = self._options.memory_budget_bytes()
+        memory = self._memory_bytes
+        if budget <= memory * 0.80:
+            return 1.0
+        # Overcommitting memory thrashes: costs inflate sharply.
+        over = budget / (memory * 0.80)
+        return min(6.0, over * over)
+
+    def _open_reader(self, file_number: int) -> SSTableReader:
+        file = self._env.fs.open_random(self._sst_path(file_number))
+        return SSTableReader(
+            file, file_number,
+            verify_checksums=self._options.get("paranoid_checks"),
+        )
+
+    def _busy_bg_jobs(self) -> int:
+        now = self._env.clock.now_us
+        return self._flush_pool.busy_count(now) + self._compaction_pool.busy_count(now)
+
+    def _cache_get(self, key):
+        payload = self._block_cache.get(key)
+        if payload is None:
+            self._stats.bump(Ticker.BLOCK_CACHE_MISS)
+        else:
+            self._stats.bump(Ticker.BLOCK_CACHE_HIT)
+        return payload
+
+    def _cache_put(self, key, payload, charge) -> None:
+        self._block_cache.put(key, payload, charge)
+
+    def _page_get(self, key):
+        return self._page_cache.get(key)
+
+    def _page_put(self, key, envelope, charge) -> None:
+        self._page_cache.put(key, envelope, charge)
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise DBClosedError("database is closed")
+
+    def _advance(self, latency_us: float) -> None:
+        self._env.clock.advance(latency_us / max(1, self.foreground_parallelism))
+
+    def _maybe_stats_dump(self) -> float:
+        period_us = self._options.get("stats_dump_period_sec") * 1e6
+        if period_us <= 0:
+            return 0.0
+        now = self._env.clock.now_us
+        if now - self._last_stats_dump_us >= period_us:
+            self._last_stats_dump_us = now
+            return self._perf.stats_dump_cost_us()
+        return 0.0
+
+    # ----------------------------------------------------- completions
+
+    def _process_completions(self) -> None:
+        now = self._env.clock.now_us
+        for completion in self._completions.pop_due(now):
+            self._apply_completion(completion)
+
+    def _apply_completion(self, completion: Completion) -> None:
+        if completion.kind == "flush":
+            self._install_flush(completion.payload)  # type: ignore[arg-type]
+        elif completion.kind == "compaction":
+            self._install_compaction(completion.payload)  # type: ignore[arg-type]
+        else:  # pragma: no cover - defensive
+            raise DBError(f"unknown completion kind {completion.kind!r}")
+
+    def _install_flush(self, payload: _FlushPayload) -> None:
+        result = payload.result
+        ids = set(payload.memtable_ids)
+        self._imm = [mt for mt in self._imm if id(mt) not in ids]
+        self._flushing_ids -= ids
+        keep_paths = []
+        for path in payload.wal_paths:
+            if self._env.fs.exists(path):
+                self._env.fs.delete(path)
+        self._imm_wal_paths = [
+            p for p in self._imm_wal_paths if p not in set(payload.wal_paths)
+        ]
+        del keep_paths
+        if result.file_meta is not None:
+            self._version.add_file(0, result.file_meta)
+            assert self._manifest is not None
+            self._manifest.append(
+                VersionEdit(
+                    added=[self._version.files_at(0)[-1]],
+                    last_sequence=self._seq,
+                    next_file_number=self._next_file_number,
+                    comment="flush",
+                )
+            )
+        self._stats.bump(Ticker.FLUSH_COUNT)
+        self._stats.bump(Ticker.FLUSH_BYTES, result.bytes_out)
+        self._stats.bump(Ticker.BYTES_WRITTEN, result.bytes_out)
+        self._stats.observe(OpClass.FLUSH, payload.duration_us)
+        self._monitor.record_write(result.bytes_out)
+        self._maybe_schedule_compaction()
+
+    def _install_compaction(self, payload: _CompactionPayload) -> None:
+        compaction = payload.compaction
+        result = payload.result
+        lo, hi = compaction.key_range()
+        try:
+            self._inflight_ranges.remove((compaction.output_level, lo, hi))
+        except ValueError:  # pragma: no cover - defensive
+            pass
+        edit = VersionEdit(comment=f"compaction L{compaction.level}")
+        for meta in compaction.all_inputs:
+            removed = self._version.remove_file(meta.level, meta.file_number)
+            edit.deleted.append((removed.level, removed.file_number))
+            self._claimed_files.discard(meta.file_number)
+            self._table_cache.evict(meta.file_number)
+            self._block_cache.erase_file(meta.file_number)
+            self._page_cache.erase_file(meta.file_number)
+            path = self._sst_path(meta.file_number)
+            if self._env.fs.exists(path):
+                self._env.fs.delete(path)
+        from dataclasses import replace as _replace
+
+        for meta in result.new_files:
+            if compaction.output_level == 0:
+                self._version.add_file_l0_front(meta)
+            else:
+                self._version.add_file(compaction.output_level, meta)
+            # The manifest must record the *installed* level or replay
+            # would put compaction outputs back at L0.
+            edit.added.append(_replace(meta, level=compaction.output_level))
+        edit.last_sequence = self._seq
+        edit.next_file_number = self._next_file_number
+        assert self._manifest is not None
+        self._manifest.append(edit)
+        self._stats.bump(Ticker.COMPACTION_COUNT)
+        self._stats.bump(Ticker.COMPACTION_BYTES_READ, result.bytes_read)
+        self._stats.bump(Ticker.COMPACTION_BYTES_WRITTEN, result.bytes_written)
+        self._stats.bump(Ticker.BYTES_WRITTEN, result.bytes_written)
+        self._stats.bump(Ticker.BYTES_READ, result.bytes_read)
+        self._stats.observe(OpClass.COMPACTION, payload.duration_us)
+        self._monitor.record_write(result.bytes_written)
+        self._monitor.record_read(result.bytes_read)
+        self._maybe_schedule_compaction()
+
+    # ------------------------------------------------------- scheduling
+
+    def _maybe_schedule_flush(self, *, force: bool = False) -> bool:
+        batch = [mt for mt in self._imm if id(mt) not in self._flushing_ids]
+        if not batch:
+            return False
+        min_merge = self._options.get("min_write_buffer_number_to_merge")
+        if not force and len(batch) < min_merge:
+            return False
+        wal_paths = list(self._imm_wal_paths[-len(batch):])
+        result = run_flush(batch, self._l0_builder, self._snapshots)
+        now = self._env.clock.now_us
+        duration = self._perf.flush_duration_us(
+            result.bytes_in, result.bytes_out, result.entries_in
+        ) * self._swap_factor
+        duration += self._rate_limiter.request(now, result.bytes_out)
+        done_at = self._flush_pool.acquire(now, duration)
+        self._completions.push(
+            done_at,
+            "flush",
+            _FlushPayload(
+                memtable_ids=[id(mt) for mt in batch],
+                result=result,
+                wal_paths=wal_paths,
+                duration_us=duration,
+            ),
+        )
+        self._flushing_ids.update(id(mt) for mt in batch)
+        return True
+
+    def _l0_builder(self) -> SSTableBuilder:
+        return self._make_builder(self._sst_path(self._new_file_number()), level=0)
+
+    def _make_builder(self, path: str, level: int) -> SSTableBuilder:
+        opts = self._options
+        compression = opts.get("compression")
+        bottom = level >= max(1, self._version.max_populated_level())
+        if bottom and opts.get("bottommost_compression") != "disable":
+            compression = opts.get("bottommost_compression")
+            if compression == "disable":  # pragma: no cover - guarded above
+                compression = opts.get("compression")
+        bloom_bits = opts.get("bloom_filter_bits_per_key")
+        if bottom and level > 0 and opts.get("optimize_filters_for_hits"):
+            bloom_bits = -1.0
+        return SSTableBuilder(
+            self._env.fs,
+            path,
+            block_size=opts.get("block_size"),
+            restart_interval=opts.get("block_restart_interval"),
+            compression=compression,
+            bloom_bits_per_key=bloom_bits,
+            whole_key_filtering=opts.get("whole_key_filtering"),
+        )
+
+    def _conflicts_with_inflight(self, compaction: Compaction) -> bool:
+        lo, hi = compaction.key_range()
+        touched = (compaction.level, compaction.output_level)
+        for level, rlo, rhi in self._inflight_ranges:
+            if level in touched and not (hi < rlo or lo > rhi):
+                return True
+        return False
+
+    def _maybe_schedule_compaction(self) -> bool:
+        if self._style == "fifo":
+            return self._run_fifo_drop()
+        compaction = self._picker.pick(self._version, self._claimed_files)
+        if compaction is None:
+            return False
+        if self._conflicts_with_inflight(compaction):
+            return False
+        return self._execute_compaction(compaction)
+
+    def _execute_compaction(self, compaction: Compaction) -> bool:
+        """Run the merge eagerly and schedule its virtual completion."""
+        readers = []
+        for meta in compaction.all_inputs:
+            reader, _cached = self._table_cache.get(meta.file_number)
+            readers.append(reader)
+        bottommost = compaction.output_level >= self._version.max_populated_level()
+        result = run_compaction(
+            compaction,
+            readers,
+            self._options,
+            new_table_path=lambda: self._sst_path(self._new_file_number()),
+            open_builder=lambda path, level: self._make_builder(path, level),
+            bottommost=bottommost,
+            snapshots=self._snapshots,
+        )
+        now = self._env.clock.now_us
+        duration = self._perf.compaction_duration_us(
+            result.bytes_read, result.bytes_written, result.entries_merged
+        ) * self._swap_factor
+        duration += self._rate_limiter.request(now, result.bytes_written)
+        subcompactions = max(1, min(
+            self._options.get("max_subcompactions"),
+            self._profile.cpu_cores,
+            len(compaction.all_inputs),
+        ))
+        duration /= subcompactions
+        done_at = self._compaction_pool.acquire(now, duration)
+        self._completions.push(
+            done_at,
+            "compaction",
+            _CompactionPayload(
+                compaction=compaction, result=result, duration_us=duration
+            ),
+        )
+        self._claimed_files.update(
+            f.file_number for f in compaction.all_inputs
+        )
+        lo, hi = compaction.key_range()
+        self._inflight_ranges.append((compaction.output_level, lo, hi))
+        return True
+
+    def _run_fifo_drop(self) -> bool:
+        drop = self._picker.pick_drop(self._version)
+        if drop is None:
+            return False
+        edit = VersionEdit(comment="fifo drop")
+        for meta in drop.doomed:
+            removed = self._version.remove_file(0, meta.file_number)
+            edit.deleted.append((0, removed.file_number))
+            self._table_cache.evict(meta.file_number)
+            self._block_cache.erase_file(meta.file_number)
+            self._page_cache.erase_file(meta.file_number)
+            path = self._sst_path(meta.file_number)
+            if self._env.fs.exists(path):
+                self._env.fs.delete(path)
+        assert self._manifest is not None
+        self._manifest.append(edit)
+        self._stats.bump(Ticker.COMPACTION_COUNT)
+        return True
+
+    # ------------------------------------------------------------ write
+
+    def _pending_compaction_bytes(self) -> int:
+        return self._picker.pending_compaction_bytes(self._version)
+
+    def _make_room_for_write(self, entry_bytes: int) -> float:
+        """Apply the stall state machine; return extra latency in us."""
+        extra_us = 0.0
+        slowdown_counted = False
+        while True:
+            self._process_completions()
+            decision = self._controller.decide(
+                l0_files=self._version.num_files(0),
+                immutable_memtables=len(self._imm),
+                pending_compaction_bytes=self._pending_compaction_bytes(),
+            )
+            if decision.state is WriteState.NORMAL:
+                return extra_us
+            if decision.state is WriteState.DELAYED:
+                if not slowdown_counted:
+                    self._stats.bump(Ticker.SLOWDOWN_COUNT)
+                    slowdown_counted = True
+                delay = self._controller.delay_us_for(decision, entry_bytes)
+                self._stats.bump(Ticker.DELAYED_WRITE_MICROS, int(delay))
+                self._advance(delay)
+                return extra_us + delay
+            # STOPPED: wait for background work to finish.
+            self._stats.bump(Ticker.STALL_COUNT)
+            scheduled = self._maybe_schedule_flush(force=True)
+            scheduled = self._maybe_schedule_compaction() or scheduled
+            nxt = self._completions.pop_next()
+            if nxt is None:
+                # Wedged (e.g. compactions disabled while L0 is over the
+                # stop trigger): charge a heavy penalty and let it through.
+                self._stats.bump(Ticker.STALL_MICROS, int(_WEDGED_PENALTY_US))
+                self._advance(_WEDGED_PENALTY_US)
+                return extra_us + _WEDGED_PENALTY_US
+            wait = max(0.0, nxt.at_us - self._env.clock.now_us)
+            self._env.clock.advance_to(nxt.at_us)
+            self._apply_completion(nxt)
+            self._stats.bump(Ticker.STALL_MICROS, int(wait))
+            self._monitor.record_iowait(wait)
+            extra_us += wait
+
+    def put(self, key: bytes, value: bytes) -> float:
+        """Insert/overwrite ``key``; returns the modeled latency in us."""
+        return self._write(ValueKind.VALUE, key, value)
+
+    def delete(self, key: bytes) -> float:
+        """Delete ``key`` (writes a tombstone); returns latency in us."""
+        return self._write(ValueKind.DELETE, key, b"")
+
+    def write(self, batch: "WriteBatch") -> float:
+        """Apply a :class:`~repro.lsm.write_batch.WriteBatch` atomically.
+
+        All ops share one stall check and one WAL sync boundary; the
+        memtable never rotates mid-batch, so readers observe either none
+        or all of the batch. Returns the total modeled latency in us.
+        """
+        self._check_open()
+        if not batch.ops:
+            return 0.0
+        self._process_completions()
+        stall_us = self._make_room_for_write(batch.approximate_bytes)
+        busy = self._busy_bg_jobs()
+        latency = 0.0
+        wal_bytes = 0
+        wal_enabled = not self._options.get("disable_wal")
+        for op in batch.ops:
+            self._seq += 1
+            latency += self._perf.put_cost_us(
+                len(op.key), len(op.value),
+                busy_bg_jobs=busy, wal_enabled=wal_enabled,
+            ) * self._swap_factor
+            if wal_enabled:
+                assert self._wal is not None
+                wal_bytes += self._wal.add_record(
+                    self._seq, op.kind, op.key, op.value
+                )
+            self._mem.add(self._seq, op.kind, op.key, op.value)
+            self._stats.bump(Ticker.NUMBER_KEYS_WRITTEN)
+        if wal_enabled:
+            self._stats.bump(Ticker.WAL_BYTES, wal_bytes)
+            self._stats.bump(Ticker.WRITE_WITH_WAL)
+            if self._options.get("use_fsync"):
+                self._wal.sync()
+                latency += self._perf.wal_sync_cost_us()
+                self._stats.bump(Ticker.WAL_SYNCS)
+                self._monitor.record_sync()
+        latency += self._perf.writeback_stall_us(
+            wal_bytes + batch.approximate_bytes
+        )
+        self._stats.bump(Ticker.WRITE_DONE_BY_SELF)
+        self._monitor.record_cpu(latency)
+        self._monitor.record_write(wal_bytes)
+        self._update_memory_gauge()
+        self._advance(latency)
+        total = latency + stall_us
+        self._stats.observe(OpClass.PUT, total)
+        if self._mem.should_flush() or self._over_global_write_budget():
+            rotation_cost = self._perf.rotation_overhead_us()
+            self._advance(rotation_cost)
+            total += rotation_cost
+            self._rotate_memtable()
+        return total
+
+    def _write(self, kind: ValueKind, key: bytes, value: bytes) -> float:
+        self._check_open()
+        if not key:
+            raise DBError("empty keys are not supported")
+        self._process_completions()
+        entry_bytes = len(key) + len(value) + 24
+        stall_us = self._make_room_for_write(entry_bytes)
+        self._seq += 1
+        busy = self._busy_bg_jobs()
+        latency = self._perf.put_cost_us(
+            len(key), len(value),
+            busy_bg_jobs=busy,
+            wal_enabled=not self._options.get("disable_wal"),
+        ) * self._swap_factor
+        wal_bytes = 0
+        if not self._options.get("disable_wal"):
+            assert self._wal is not None
+            wal_bytes = self._wal.add_record(self._seq, kind, key, value)
+            self._stats.bump(Ticker.WAL_BYTES, wal_bytes)
+            self._stats.bump(Ticker.WRITE_WITH_WAL)
+            if self._options.get("use_fsync"):
+                self._wal.sync()
+                latency += self._perf.wal_sync_cost_us()
+                self._stats.bump(Ticker.WAL_SYNCS)
+                self._monitor.record_sync()
+        self._mem.add(self._seq, kind, key, value)
+        latency += self._perf.writeback_stall_us(wal_bytes + entry_bytes)
+        latency += self._maybe_stats_dump()
+        self._stats.bump(Ticker.NUMBER_KEYS_WRITTEN)
+        self._stats.bump(Ticker.WRITE_DONE_BY_SELF)
+        self._monitor.record_cpu(latency)
+        self._monitor.record_write(wal_bytes)
+        self._update_memory_gauge()
+        self._advance(latency)
+        total = latency + stall_us
+        op = OpClass.DELETE if kind is ValueKind.DELETE else OpClass.PUT
+        self._stats.observe(op, total)
+        if self._mem.should_flush() or self._over_global_write_budget():
+            rotation_cost = self._perf.rotation_overhead_us()
+            self._advance(rotation_cost)
+            total += rotation_cost
+            self._rotate_memtable()
+        return total
+
+    def _over_global_write_budget(self) -> bool:
+        cap = self._options.get("db_write_buffer_size")
+        if cap:
+            total = self._mem.approximate_memory_usage + sum(
+                mt.approximate_memory_usage for mt in self._imm
+            )
+            if total >= cap:
+                return True
+        wal_cap = self._options.get("max_total_wal_size")
+        if wal_cap and self._wal is not None:
+            live = self._wal.size() + sum(
+                self._env.fs.file_size(p)
+                for p in self._imm_wal_paths
+                if self._env.fs.exists(p)
+            )
+            if live >= wal_cap:
+                return True
+        return False
+
+    def _rotate_memtable(self) -> None:
+        if self._mem.empty():
+            return
+        assert self._wal is not None
+        self._wal.sync()
+        self._wal.close()
+        self._imm.append(self._mem)
+        self._imm_wal_paths.append(self._wal.path)
+        self._mem = self._new_memtable()
+        self._wal = WalWriter(self._env.fs, self._wal_path(self._new_file_number()))
+        self._maybe_schedule_flush()
+
+    # ------------------------------------------------------------- read
+
+    def get(self, key: bytes, snapshot: Snapshot | None = None) -> bytes | None:
+        """Point lookup; returns the value or None.
+
+        With ``snapshot``, returns the value visible at the snapshot's
+        sequence number (a consistent historical read).
+        """
+        self._check_open()
+        self._process_completions()
+        busy = self._busy_bg_jobs()
+        latency = 0.0
+        self._stats.bump(Ticker.NUMBER_KEYS_READ)
+        found_value: bytes | None = None
+        found = False
+        probes = 0
+        snap_seq = snapshot.sequence if snapshot is not None else None
+        for mt in [self._mem, *reversed(self._imm)]:
+            probes += 1
+            hit, kind, value = mt.get(key, snapshot_seq=snap_seq)
+            if hit:
+                found = True
+                if kind is ValueKind.VALUE:
+                    found_value = value
+                break
+        latency += self._perf.memtable_get_cost_us(probes, busy)
+        if found:
+            self._stats.bump(Ticker.MEMTABLE_HIT)
+        else:
+            self._stats.bump(Ticker.MEMTABLE_MISS)
+            found, found_value, level_hit, read_cost = self._search_levels(
+                key, busy, snap_seq
+            )
+            latency += read_cost
+            if found and level_hit == 0:
+                self._stats.bump(Ticker.GET_HIT_L0)
+            elif found and level_hit == 1:
+                self._stats.bump(Ticker.GET_HIT_L1)
+            elif found:
+                self._stats.bump(Ticker.GET_HIT_L2_PLUS)
+        latency *= self._swap_factor
+        latency += self._maybe_stats_dump()
+        if found_value is not None:
+            self._stats.bump(Ticker.NUMBER_KEYS_FOUND)
+        self._monitor.record_cpu(latency)
+        self._update_memory_gauge()
+        self._advance(latency)
+        self._stats.observe(OpClass.GET, latency)
+        return found_value
+
+    def _search_levels(
+        self, key: bytes, busy: int, snapshot_seq: int | None = None
+    ) -> tuple[bool, bytes | None, int, float]:
+        from repro.lsm import ikey as _ikey
+
+        max_seq = (
+            snapshot_seq if snapshot_seq is not None else _ikey.MAX_SEQUENCE
+        )
+        cost = 0.0
+        for level in range(self._version.num_levels):
+            for meta in self._version.files_for_key(level, key):
+                reader, cached = self._table_cache.get(meta.file_number)
+                if not cached:
+                    self._stats.bump(Ticker.TABLE_OPENS)
+                    cost += self._perf.table_open_cost_us(
+                        reader.index_size_bytes, reader.filter_size_bytes
+                    )
+                hit, kind, value, rstats = reader.get(
+                    key,
+                    max_seq,
+                    cache_get=self._cache_get,
+                    cache_put=self._cache_put,
+                    page_get=self._page_get,
+                    page_put=self._page_put,
+                )
+                cost += self._perf.table_read_cost_us(rstats, busy_bg_jobs=busy)
+                if rstats.bloom_checked:
+                    self._stats.bump(Ticker.BLOOM_CHECKED)
+                    if rstats.bloom_negative:
+                        self._stats.bump(Ticker.BLOOM_USEFUL)
+                device_bytes = rstats.device_block_bytes()
+                if device_bytes:
+                    self._stats.bump(Ticker.BYTES_READ, device_bytes)
+                    self._monitor.record_read(device_bytes)
+                if hit:
+                    if kind is ValueKind.DELETE:
+                        return True, None, level, cost
+                    return True, value, level, cost
+        return False, None, -1, cost
+
+    def multi_get(self, keys: list[bytes]) -> list[bytes | None]:
+        """Batched point lookups (sequential semantics)."""
+        return [self.get(k) for k in keys]
+
+    def scan(
+        self,
+        start: bytes | None = None,
+        limit: int | None = None,
+        snapshot: Snapshot | None = None,
+    ) -> list[tuple[bytes, bytes]]:
+        """Range scan from ``start`` (inclusive), up to ``limit`` entries.
+
+        With ``snapshot``, the scan sees the store as of the snapshot.
+        """
+        self._check_open()
+        self._process_completions()
+        busy = self._busy_bg_jobs()
+        self._stats.bump(Ticker.NUMBER_SEEKS)
+        from repro.lsm.sstable import ReadStats
+
+        shared = ReadStats()
+        sources = [memtable_source(self._mem, start)]
+        sources += [memtable_source(mt, start) for mt in reversed(self._imm)]
+        for level in range(self._version.num_levels):
+            for meta in self._version.files_at(level):
+                if start is not None and meta.largest_key < start:
+                    continue
+                reader, cached = self._table_cache.get(meta.file_number)
+                if not cached:
+                    self._stats.bump(Ticker.TABLE_OPENS)
+                if start is not None:
+                    sources.append(
+                        reader.iter_from(
+                            start,
+                            cache_get=self._cache_get,
+                            cache_put=self._cache_put,
+                            stats=shared,
+                        )
+                    )
+                else:
+                    sources.append(
+                        reader.iter_entries(
+                            cache_get=self._cache_get,
+                            cache_put=self._cache_put,
+                            stats=shared,
+                        )
+                    )
+        out: list[tuple[bytes, bytes]] = []
+        latency = self._perf.memtable_get_cost_us(len(sources), busy)
+        snap_seq = snapshot.sequence if snapshot is not None else None
+        for user_key, value in user_view(merge_sources(sources), snap_seq):
+            out.append((user_key, value))
+            latency += self._perf.scan_next_cost_us(len(value), busy)
+            if limit is not None and len(out) >= limit:
+                break
+        latency += self._perf.table_read_cost_us(shared, busy_bg_jobs=busy)
+        latency *= self._swap_factor
+        device_bytes = shared.device_block_bytes()
+        if device_bytes:
+            self._stats.bump(Ticker.BYTES_READ, device_bytes)
+            self._monitor.record_read(device_bytes)
+        self._monitor.record_cpu(latency)
+        self._advance(latency)
+        self._stats.observe(OpClass.SEEK, latency)
+        return out
+
+    # ------------------------------------------------------------ admin
+
+    def snapshot(self) -> Snapshot:
+        """Pin a consistent read view at the current sequence number.
+
+        Use as a context manager (``with db.snapshot() as snap:``) or
+        call ``snap.release()`` when done; live snapshots make flush and
+        compaction retain the versions they can still see.
+        """
+        self._check_open()
+        return self._snapshots.acquire(self._seq)
+
+    @property
+    def live_snapshots(self) -> int:
+        return len(self._snapshots)
+
+    def flush(self, *, wait_compactions: bool = True) -> None:
+        """Force-flush the active memtable and wait for it.
+
+        With ``wait_compactions=False`` only flush jobs are awaited; any
+        compaction backlog stays pending — matching a real store right
+        after a bulk load, where L0 is still deep when reads begin.
+        """
+        self._check_open()
+        self._rotate_memtable()
+        self._maybe_schedule_flush(force=True)
+        if wait_compactions:
+            self.wait_for_background()
+            return
+        while self._completions.has_kind("flush"):
+            nxt = self._completions.pop_next()
+            if nxt is None:  # pragma: no cover - guarded by the any()
+                return
+            self._env.clock.advance_to(nxt.at_us)
+            self._apply_completion(nxt)
+
+    def compact_range(
+        self, begin: bytes | None = None, end: bytes | None = None
+    ) -> None:
+        """Compact user-key range [begin, end] (None = unbounded).
+
+        With no bounds, drives automatic compactions until the picker is
+        satisfied. With bounds, manually pushes every overlapping file
+        down one level at a time, top to bottom — RocksDB's manual
+        CompactRange semantics.
+        """
+        self._check_open()
+        self.wait_for_background()
+        if (begin is None and end is None) or self._style != "level":
+            # Universal/FIFO keep everything in L0 where age order is
+            # the shadowing invariant; range-restricted merges cannot
+            # preserve it, so they fall back to the automatic driver.
+            while self._maybe_schedule_compaction():
+                self.wait_for_background()
+            return
+        for level in range(self._version.num_levels - 1):
+            while True:
+                scheduled = self._schedule_manual_compaction(level, begin, end)
+                self.wait_for_background()
+                if not scheduled:
+                    break
+
+    def _schedule_manual_compaction(
+        self, level: int, begin: bytes | None, end: bytes | None
+    ) -> bool:
+        """Push the files overlapping [begin, end] at ``level`` into
+        ``level + 1``; returns False when nothing overlaps."""
+        if self._style == "fifo":
+            return False
+        inputs = [
+            f for f in self._version.overlapping_files(level, begin, end)
+            if f.file_number not in self._claimed_files
+        ]
+        if not inputs:
+            return False
+        lo = min(f.smallest_key for f in inputs)
+        hi = max(f.largest_key for f in inputs)
+        output_level = level + 1
+        overlapping = [
+            f for f in self._version.overlapping_files(output_level, lo, hi)
+            if f.file_number not in self._claimed_files
+        ]
+        compaction = Compaction(
+            level=level, output_level=output_level,
+            inputs=inputs, overlapping=overlapping,
+        )
+        if self._conflicts_with_inflight(compaction):
+            return False
+        return self._execute_compaction(compaction)
+
+    def wait_for_background(self) -> None:
+        """Advance virtual time until all background work completes."""
+        self._check_open()
+        while True:
+            nxt = self._completions.pop_next()
+            if nxt is None:
+                return
+            self._env.clock.advance_to(nxt.at_us)
+            self._apply_completion(nxt)
+
+    def close(self) -> None:
+        """Flush (per options) and shut down."""
+        if self._closed:
+            return
+        if not self._options.get("avoid_flush_during_shutdown"):
+            if not self._mem.empty() or self._imm:
+                self._rotate_memtable()
+                self._maybe_schedule_flush(force=True)
+        self.wait_for_background()
+        if self._wal is not None:
+            self._wal.sync()
+            self._wal.close()
+        self._closed = True
+
+    def __enter__(self) -> "DB":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # ---------------------------------------------------------- getters
+
+    @property
+    def foreground_parallelism(self) -> int:
+        """Concurrent foreground client threads being modeled."""
+        return self._foreground_parallelism
+
+    @foreground_parallelism.setter
+    def foreground_parallelism(self, value: int) -> None:
+        if value < 1:
+            raise DBError("foreground parallelism must be >= 1")
+        self._foreground_parallelism = value
+        self._perf.foreground_threads = value
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    @property
+    def options(self) -> Options:
+        """The user-facing (paper-unit) options this DB was opened with."""
+        return self._user_options
+
+    @property
+    def effective_options(self) -> Options:
+        """The byte-scaled options the engine actually runs on."""
+        return self._options
+
+    @property
+    def statistics(self) -> Statistics:
+        return self._stats
+
+    @property
+    def version(self) -> Version:
+        return self._version
+
+    @property
+    def env(self) -> Env:
+        return self._env
+
+    @property
+    def profile(self) -> HardwareProfile:
+        return self._profile
+
+    @property
+    def monitor(self) -> SystemMonitor:
+        return self._monitor
+
+    @property
+    def block_cache(self) -> LRUCache:
+        return self._block_cache
+
+    @property
+    def last_sequence(self) -> int:
+        return self._seq
+
+    @property
+    def num_immutable_memtables(self) -> int:
+        return len(self._imm)
+
+    def _update_memory_gauge(self) -> None:
+        used = (
+            self._mem.approximate_memory_usage
+            + sum(mt.approximate_memory_usage for mt in self._imm)
+            + self._block_cache.used_bytes
+        )
+        self._monitor.set_used_memory(used)
+
+    def get_property(self, name: str) -> str | None:
+        """RocksDB-style string property lookup (``pylsm.*`` namespace);
+        see :mod:`repro.lsm.properties`."""
+        self._check_open()
+        from repro.lsm.properties import get_property
+
+        return get_property(self, name)
+
+    def approximate_size(self) -> int:
+        """Total bytes across all live SSTables."""
+        return self._version.total_bytes()
+
+    def approximate_sizes(
+        self, ranges: list[tuple[bytes, bytes]]
+    ) -> list[int]:
+        """Estimate on-disk bytes per user-key range [lo, hi].
+
+        Fully-contained files count in full; partially-overlapping files
+        contribute half their size (RocksDB's estimate is similarly
+        coarse without table-level sampling).
+        """
+        self._check_open()
+        out = []
+        for lo, hi in ranges:
+            if lo > hi:
+                raise DBError("range start exceeds range end")
+            total = 0
+            for meta in self._version.all_files():
+                if not meta.overlaps(lo, hi):
+                    continue
+                contained = lo <= meta.smallest_key and meta.largest_key <= hi
+                total += meta.file_size if contained else meta.file_size // 2
+            out.append(total)
+        return out
+
+    def describe(self) -> str:
+        """Level shape + headline stats (prompt material)."""
+        return self._version.describe()

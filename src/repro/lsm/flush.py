@@ -1,0 +1,87 @@
+"""Flush job: immutable memtables -> one L0 SSTable."""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Callable, Iterator
+
+from repro.lsm import ikey as ikey_mod
+from repro.lsm.memtable import MemTable, ValueKind
+from repro.lsm.snapshot import SnapshotList, may_drop_version
+from repro.lsm.sstable import FileMetaData, SSTableBuilder
+
+
+@dataclass
+class FlushResult:
+    """Outcome of flushing a batch of immutable memtables."""
+
+    file_meta: FileMetaData | None
+    bytes_in: int
+    bytes_out: int
+    entries_in: int
+    entries_out: int
+
+
+def merge_memtables(
+    memtables: list[MemTable],
+) -> Iterator[tuple[bytes, ValueKind, bytes]]:
+    """Merge memtables in internal-key order (each is already sorted)."""
+    sources = []
+    for idx, mt in enumerate(memtables):
+        it = mt.entries()
+        first = next(it, None)
+        if first is not None:
+            user_key, seq, kind, value = first
+            sources.append((ikey_mod.encode(user_key, seq), idx, kind, value, it))
+    heapq.heapify(sources)
+    while sources:
+        internal, idx, kind, value, it = heapq.heappop(sources)
+        yield internal, kind, value
+        nxt = next(it, None)
+        if nxt is not None:
+            user_key, seq, nkind, nvalue = nxt
+            heapq.heappush(
+                sources, (ikey_mod.encode(user_key, seq), idx, nkind, nvalue, it)
+            )
+
+
+def run_flush(
+    memtables: list[MemTable],
+    open_builder: Callable[[], SSTableBuilder],
+    snapshots: "SnapshotList | None" = None,
+) -> FlushResult:
+    """Write the merged contents of ``memtables`` into one new table.
+
+    Shadowed duplicate versions *within the batch* are collapsed (the
+    newest wins) unless a live snapshot still sees them; tombstones are
+    kept — they still shadow older levels.
+    """
+    if not memtables:
+        raise ValueError("flush needs at least one memtable")
+    bytes_in = sum(mt.approximate_memory_usage for mt in memtables)
+    entries_in = sum(mt.num_entries for mt in memtables)
+    builder: SSTableBuilder | None = None
+    last_user: bytes | None = None
+    last_seq = 0
+    entries_out = 0
+    for internal, kind, value in merge_memtables(memtables):
+        user_key, seq = ikey_mod.decode(internal)
+        if user_key == last_user and may_drop_version(last_seq, seq, snapshots):
+            continue  # newer version already emitted, no snapshot needs this
+        last_user = user_key
+        last_seq = seq
+        if builder is None:
+            builder = open_builder()
+        builder.add(internal, kind, value)
+        entries_out += 1
+    if builder is None:
+        return FlushResult(None, bytes_in, 0, entries_in, 0)
+    meta = builder.finish()
+    return FlushResult(
+        file_meta=meta,
+        bytes_in=bytes_in,
+        bytes_out=meta.file_size,
+        entries_in=entries_in,
+        entries_out=entries_out,
+    )

@@ -1,0 +1,155 @@
+"""Latency histogram with db_bench-style percentile estimation.
+
+Bucket limits grow geometrically (~1.5x), matching RocksDB's
+``HistogramBucketMapper``; percentiles are linearly interpolated inside
+the containing bucket, so p50/p99/p99.99 behave like the numbers
+``db_bench`` prints.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+def _build_bucket_limits() -> list[float]:
+    limits = [1.0]
+    while limits[-1] < 1e12:
+        nxt = max(limits[-1] + 1, math.floor(limits[-1] * 1.5))
+        limits.append(float(nxt))
+    return limits
+
+
+_BUCKET_LIMITS = _build_bucket_limits()
+
+
+@dataclass(frozen=True)
+class HistogramSummary:
+    """Immutable snapshot of a histogram's headline stats."""
+
+    count: int
+    average: float
+    std_dev: float
+    minimum: float
+    maximum: float
+    median: float
+    p95: float
+    p99: float
+    p999: float
+
+    def describe(self) -> str:
+        return (
+            f"Count: {self.count} Average: {self.average:.4f} "
+            f"StdDev: {self.std_dev:.2f}\n"
+            f"Min: {self.minimum:.4f} Median: {self.median:.4f} "
+            f"Max: {self.maximum:.4f}\n"
+            f"Percentiles: P95: {self.p95:.2f} P99: {self.p99:.2f} "
+            f"P99.9: {self.p999:.2f}"
+        )
+
+
+class Histogram:
+    """Accumulates observations (microseconds) into geometric buckets."""
+
+    def __init__(self) -> None:
+        self._buckets = [0] * len(_BUCKET_LIMITS)
+        self._count = 0
+        self._sum = 0.0
+        self._sum_squares = 0.0
+        self._min = math.inf
+        self._max = 0.0
+
+    def add(self, value_us: float) -> None:
+        if value_us < 0:
+            raise ValueError("latency cannot be negative")
+        idx = self._bucket_index(value_us)
+        self._buckets[idx] += 1
+        self._count += 1
+        self._sum += value_us
+        self._sum_squares += value_us * value_us
+        self._min = min(self._min, value_us)
+        self._max = max(self._max, value_us)
+
+    @staticmethod
+    def _bucket_index(value: float) -> int:
+        lo, hi = 0, len(_BUCKET_LIMITS) - 1
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if _BUCKET_LIMITS[mid] < value:
+                lo = mid + 1
+            else:
+                hi = mid
+        return lo
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def average(self) -> float:
+        return self._sum / self._count if self._count else 0.0
+
+    @property
+    def minimum(self) -> float:
+        return self._min if self._count else 0.0
+
+    @property
+    def maximum(self) -> float:
+        return self._max
+
+    def std_dev(self) -> float:
+        if self._count == 0:
+            return 0.0
+        mean = self.average
+        variance = max(0.0, self._sum_squares / self._count - mean * mean)
+        return math.sqrt(variance)
+
+    def percentile(self, p: float) -> float:
+        """Estimate the p-th percentile (0 < p <= 100)."""
+        if not 0 < p <= 100:
+            raise ValueError("percentile must be in (0, 100]")
+        if self._count == 0:
+            return 0.0
+        threshold = self._count * (p / 100.0)
+        cumulative = 0
+        for idx, n in enumerate(self._buckets):
+            if n == 0:
+                continue
+            if cumulative + n >= threshold:
+                left = _BUCKET_LIMITS[idx - 1] if idx > 0 else 0.0
+                right = _BUCKET_LIMITS[idx]
+                within = (threshold - cumulative) / n
+                est = left + (right - left) * within
+                return min(max(est, self._min), self._max)
+            cumulative += n
+        return self._max
+
+    def merge(self, other: "Histogram") -> None:
+        for idx, n in enumerate(other._buckets):
+            self._buckets[idx] += n
+        self._count += other._count
+        self._sum += other._sum
+        self._sum_squares += other._sum_squares
+        self._min = min(self._min, other._min)
+        self._max = max(self._max, other._max)
+
+    def summary(self) -> HistogramSummary:
+        return HistogramSummary(
+            count=self._count,
+            average=self.average,
+            std_dev=self.std_dev(),
+            minimum=self.minimum,
+            maximum=self.maximum,
+            median=self.percentile(50),
+            p95=self.percentile(95),
+            p99=self.percentile(99),
+            p999=self.percentile(99.9),
+        )
+
+    def reset(self) -> None:
+        self._buckets = [0] * len(_BUCKET_LIMITS)
+        self._count = 0
+        self._sum = 0.0
+        self._sum_squares = 0.0
+        self._min = math.inf
+        self._max = 0.0

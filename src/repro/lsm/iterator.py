@@ -1,0 +1,68 @@
+"""Merged DB iterator: memtables + every level, user-visible view.
+
+Merges all sources in internal-key order, collapses versions (newest
+wins), and hides tombstones — producing the (user_key, value) stream a
+Scan sees.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Iterator
+
+from repro.lsm import ikey as ikey_mod
+from repro.lsm.memtable import MemTable, ValueKind
+
+
+def memtable_source(
+    memtable: MemTable, start: bytes | None = None
+) -> Iterator[tuple[bytes, ValueKind, bytes]]:
+    """Adapt a memtable to the (internal_key, kind, value) protocol."""
+    for user_key, seq, kind, value in memtable.entries():
+        if start is not None and user_key < start:
+            continue
+        yield ikey_mod.encode(user_key, seq), kind, value
+
+
+def merge_sources(
+    sources: list[Iterator[tuple[bytes, ValueKind, bytes]]],
+) -> Iterator[tuple[bytes, ValueKind, bytes]]:
+    """K-way merge by internal key. Earlier sources win ties only in the
+    impossible case of equal internal keys; sequence numbers are unique,
+    so order is total in practice."""
+    heap = []
+    for idx, source in enumerate(sources):
+        first = next(source, None)
+        if first is not None:
+            key, kind, value = first
+            heap.append((key, idx, kind, value, source))
+    heapq.heapify(heap)
+    while heap:
+        key, idx, kind, value, source = heapq.heappop(heap)
+        yield key, kind, value
+        nxt = next(source, None)
+        if nxt is not None:
+            nkey, nkind, nvalue = nxt
+            heapq.heappush(heap, (nkey, idx, nkind, nvalue, source))
+
+
+def user_view(
+    merged: Iterator[tuple[bytes, ValueKind, bytes]],
+    snapshot_seq: int | None = None,
+) -> Iterator[tuple[bytes, bytes]]:
+    """Collapse versions and hide tombstones.
+
+    With ``snapshot_seq``, versions newer than the snapshot are invisible
+    and the newest remaining version per key wins.
+    """
+    last_user: bytes | None = None
+    for internal, kind, value in merged:
+        user_key, seq = ikey_mod.decode(internal)
+        if snapshot_seq is not None and seq > snapshot_seq:
+            continue
+        if user_key == last_user:
+            continue
+        last_user = user_key
+        if kind is ValueKind.DELETE:
+            continue
+        yield user_key, value

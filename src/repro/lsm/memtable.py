@@ -1,0 +1,151 @@
+"""MemTable: the in-memory write buffer.
+
+A memtable maps internal keys (user key + sequence number + kind) to
+values, tracks its approximate memory footprint against
+``write_buffer_size``, and optionally carries a prefix/whole-key bloom
+filter (``memtable_prefix_bloom_size_ratio``).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Iterator
+
+from repro.lsm import ikey
+from repro.lsm.bloom import BloomFilter
+from repro.lsm.skiplist import SkipList
+
+
+class ValueKind(enum.IntEnum):
+    """Kind tag of an entry (mirrors RocksDB's ValueType)."""
+
+    DELETE = 0
+    VALUE = 1
+
+
+#: Fixed per-entry overhead charged to the arena (node pointers, seq tag).
+_ENTRY_OVERHEAD = 40
+
+
+class MemTable:
+    """A sorted in-memory buffer of versioned entries.
+
+    Keys are stored as ``user_key + encoded (seq, kind)`` so multiple
+    versions of a user key coexist, newest first, exactly like RocksDB's
+    internal-key ordering.
+    """
+
+    def __init__(
+        self,
+        capacity_bytes: int,
+        *,
+        bloom_bits: int = 0,
+        whole_key_filtering: bool = False,
+        seed: int | None = None,
+    ) -> None:
+        if capacity_bytes <= 0:
+            raise ValueError("memtable capacity must be positive")
+        self._table = SkipList(seed=seed)
+        self.capacity_bytes = capacity_bytes
+        self._approx_bytes = 0
+        self._num_entries = 0
+        self._num_deletes = 0
+        self._first_seq: int | None = None
+        self._last_seq = 0
+        self._bloom: BloomFilter | None = None
+        if bloom_bits > 0:
+            expected = max(64, capacity_bytes // 128)
+            self._bloom = BloomFilter(bits_per_key=bloom_bits, expected_keys=expected)
+        self._whole_key_filtering = whole_key_filtering
+
+    # -- encoding ----------------------------------------------------------
+
+    @staticmethod
+    def _internal_key(user_key: bytes, seq: int) -> bytes:
+        return ikey.encode(user_key, seq)
+
+    @staticmethod
+    def _split(internal: bytes) -> tuple[bytes, int]:
+        return ikey.decode(internal)
+
+    # -- mutation ----------------------------------------------------------
+
+    def add(self, seq: int, kind: ValueKind, user_key: bytes, value: bytes) -> None:
+        """Insert one versioned entry."""
+        ikey = self._internal_key(user_key, seq)
+        self._table.insert(ikey, (kind, value))
+        self._approx_bytes += len(user_key) + len(value) + _ENTRY_OVERHEAD
+        self._num_entries += 1
+        if kind is ValueKind.DELETE:
+            self._num_deletes += 1
+        if self._first_seq is None:
+            self._first_seq = seq
+        self._last_seq = max(self._last_seq, seq)
+        if self._bloom is not None and self._whole_key_filtering:
+            self._bloom.add(user_key)
+
+    # -- queries -----------------------------------------------------------
+
+    def get(self, user_key: bytes, snapshot_seq: int | None = None):
+        """Look up the newest visible version of ``user_key``.
+
+        Returns ``(found, kind, value)``; ``found`` False means the
+        memtable holds no visible entry (caller falls through to older
+        data).
+        """
+        if self._bloom is not None and self._whole_key_filtering:
+            if not self._bloom.may_contain(user_key):
+                return False, None, None
+        start = self._internal_key(
+            user_key,
+            snapshot_seq if snapshot_seq is not None else ikey.MAX_SEQUENCE,
+        )
+        for internal, (kind, value) in self._table.seek(start):
+            entry_key, _seq = self._split(internal)
+            if entry_key != user_key:
+                break
+            return True, kind, value
+        return False, None, None
+
+    def bloom_negative(self, user_key: bytes) -> bool:
+        """True when the memtable bloom filter can rule the key out."""
+        if self._bloom is None or not self._whole_key_filtering:
+            return False
+        return not self._bloom.may_contain(user_key)
+
+    # -- accounting ----------------------------------------------------------
+
+    @property
+    def approximate_memory_usage(self) -> int:
+        return self._approx_bytes
+
+    @property
+    def num_entries(self) -> int:
+        return self._num_entries
+
+    @property
+    def num_deletes(self) -> int:
+        return self._num_deletes
+
+    @property
+    def first_seq(self) -> int | None:
+        return self._first_seq
+
+    @property
+    def last_seq(self) -> int:
+        return self._last_seq
+
+    def should_flush(self) -> bool:
+        """Full enough that the active memtable must rotate."""
+        return self._approx_bytes >= self.capacity_bytes
+
+    def empty(self) -> bool:
+        return self._num_entries == 0
+
+    # -- iteration -----------------------------------------------------------
+
+    def entries(self) -> Iterator[tuple[bytes, int, ValueKind, bytes]]:
+        """Yield (user_key, seq, kind, value) in internal-key order."""
+        for internal, (kind, value) in self._table:
+            user_key, seq = self._split(internal)
+            yield user_key, seq, kind, value

@@ -1,0 +1,116 @@
+"""Probabilistic skiplist.
+
+The memtable representation RocksDB (and therefore PyLSM) defaults to:
+expected O(log n) insert/seek over byte-string keys, with in-order
+iteration for flushes and scans.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Iterator
+
+_MAX_HEIGHT = 12
+_BRANCHING = 4
+
+
+class _Node:
+    __slots__ = ("key", "value", "next")
+
+    def __init__(self, key: bytes | None, value: Any, height: int) -> None:
+        self.key = key
+        self.value = value
+        self.next: list[_Node | None] = [None] * height
+
+
+class SkipList:
+    """An ordered map from ``bytes`` keys to arbitrary values.
+
+    Inserting an existing key overwrites its value (the memtable layers
+    sequence numbers on top, so overwrite semantics are what it needs).
+    """
+
+    def __init__(self, seed: int | None = None) -> None:
+        self._head = _Node(None, None, _MAX_HEIGHT)
+        self._height = 1
+        self._len = 0
+        self._rng = random.Random(seed)
+
+    def __len__(self) -> int:
+        return self._len
+
+    def _random_height(self) -> int:
+        height = 1
+        while height < _MAX_HEIGHT and self._rng.randrange(_BRANCHING) == 0:
+            height += 1
+        return height
+
+    def _find_greater_or_equal(
+        self, key: bytes, prev: list[_Node] | None = None
+    ) -> _Node | None:
+        node = self._head
+        level = self._height - 1
+        while True:
+            nxt = node.next[level]
+            if nxt is not None and nxt.key < key:  # type: ignore[operator]
+                node = nxt
+            else:
+                if prev is not None:
+                    prev[level] = node
+                if level == 0:
+                    return nxt
+                level -= 1
+
+    def insert(self, key: bytes, value: Any) -> bool:
+        """Insert or overwrite; returns True if the key was new."""
+        prev: list[_Node] = [self._head] * _MAX_HEIGHT
+        node = self._find_greater_or_equal(key, prev)
+        if node is not None and node.key == key:
+            node.value = value
+            return False
+        height = self._random_height()
+        if height > self._height:
+            for level in range(self._height, height):
+                prev[level] = self._head
+            self._height = height
+        new = _Node(key, value, height)
+        for level in range(height):
+            new.next[level] = prev[level].next[level]
+            prev[level].next[level] = new
+        self._len += 1
+        return True
+
+    def get(self, key: bytes, default: Any = None) -> Any:
+        node = self._find_greater_or_equal(key)
+        if node is not None and node.key == key:
+            return node.value
+        return default
+
+    def contains(self, key: bytes) -> bool:
+        node = self._find_greater_or_equal(key)
+        return node is not None and node.key == key
+
+    def seek(self, key: bytes) -> Iterator[tuple[bytes, Any]]:
+        """Iterate (key, value) pairs with key >= ``key``, in order."""
+        node = self._find_greater_or_equal(key)
+        while node is not None:
+            yield node.key, node.value  # type: ignore[misc]
+            node = node.next[0]
+
+    def __iter__(self) -> Iterator[tuple[bytes, Any]]:
+        node = self._head.next[0]
+        while node is not None:
+            yield node.key, node.value  # type: ignore[misc]
+            node = node.next[0]
+
+    def first_key(self) -> bytes | None:
+        node = self._head.next[0]
+        return node.key if node is not None else None
+
+    def last_key(self) -> bytes | None:
+        """O(n) walk along the top lane; used only by tests/flush stats."""
+        node = self._head
+        for level in reversed(range(self._height)):
+            while node.next[level] is not None:
+                node = node.next[level]  # type: ignore[assignment]
+        return node.key

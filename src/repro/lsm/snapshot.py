@@ -1,0 +1,79 @@
+"""Snapshots: consistent point-in-time read views.
+
+A snapshot pins a sequence number; reads through it see exactly the
+versions visible at acquisition time. Flush and compaction must then
+retain any version that is the newest one visible to *some* live
+snapshot — the classic LSM version-GC rule.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+
+from repro.errors import DBError
+
+
+@dataclass(frozen=True)
+class Snapshot:
+    """A pinned read view. Release via :meth:`SnapshotList.release` or
+    by using the DB's ``snapshot()`` context manager."""
+
+    sequence: int
+    _list: "SnapshotList" = field(repr=False, compare=False)
+
+    def release(self) -> None:
+        self._list.release(self)
+
+    def __enter__(self) -> "Snapshot":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.release()
+
+
+class SnapshotList:
+    """Reference-counted multiset of live snapshot sequence numbers."""
+
+    def __init__(self) -> None:
+        self._seqs: list[int] = []  # sorted, with duplicates
+
+    def __len__(self) -> int:
+        return len(self._seqs)
+
+    def acquire(self, sequence: int) -> Snapshot:
+        bisect.insort(self._seqs, sequence)
+        return Snapshot(sequence=sequence, _list=self)
+
+    def release(self, snapshot: Snapshot) -> None:
+        idx = bisect.bisect_left(self._seqs, snapshot.sequence)
+        if idx >= len(self._seqs) or self._seqs[idx] != snapshot.sequence:
+            raise DBError("snapshot already released")
+        del self._seqs[idx]
+
+    def live_sequences(self) -> list[int]:
+        return list(self._seqs)
+
+    def oldest(self) -> int | None:
+        return self._seqs[0] if self._seqs else None
+
+    def has_snapshot_in(self, lo: int, hi: int) -> bool:
+        """Any live snapshot s with lo <= s < hi?"""
+        if lo >= hi:
+            return False
+        idx = bisect.bisect_left(self._seqs, lo)
+        return idx < len(self._seqs) and self._seqs[idx] < hi
+
+
+def may_drop_version(
+    newer_seq: int, older_seq: int, snapshots: "SnapshotList | None"
+) -> bool:
+    """May the version at ``older_seq`` be dropped given a newer version
+    at ``newer_seq`` exists for the same user key?
+
+    Droppable unless some live snapshot sees the older version as its
+    newest (i.e. a snapshot s with older_seq <= s < newer_seq).
+    """
+    if snapshots is None or len(snapshots) == 0:
+        return True
+    return not snapshots.has_snapshot_in(older_seq, newer_seq)

@@ -1,0 +1,152 @@
+"""sst_dump: inspect SSTable files (the RocksDB tool's PyLSM analog).
+
+Programmatic API (:func:`inspect_table`, :func:`dump_entries`) plus a
+text renderer used by operators and tests to look inside tables:
+properties, per-block layout, bloom stats, and (optionally) entries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.lsm import ikey as ikey_mod
+from repro.lsm.env import MemFileSystem
+from repro.lsm.memtable import ValueKind
+from repro.lsm.sstable import SSTableReader, _file_number_from_path
+
+
+@dataclass(frozen=True)
+class BlockInfo:
+    """One data block's footprint."""
+
+    index: int
+    offset: int
+    stored_bytes: int
+    num_entries: int
+    first_key: bytes
+    last_key: bytes
+
+
+@dataclass
+class TableInfo:
+    """Everything :func:`inspect_table` learns about one table."""
+
+    path: str
+    file_number: int
+    file_bytes: int
+    num_entries: int
+    num_blocks: int
+    num_deletes: int
+    smallest_key: bytes
+    largest_key: bytes
+    min_seq: int
+    max_seq: int
+    has_bloom: bool
+    bloom_bytes: int
+    index_bytes: int
+    avg_key_bytes: float
+    avg_value_bytes: float
+    blocks: list[BlockInfo] = field(default_factory=list)
+
+    def describe(self, *, include_blocks: bool = False) -> str:
+        lines = [
+            f"SSTable {self.path} (file #{self.file_number})",
+            f"  size: {self.file_bytes} bytes in {self.num_blocks} data blocks",
+            f"  entries: {self.num_entries} "
+            f"({self.num_deletes} tombstones)",
+            f"  key range: {self.smallest_key!r} .. {self.largest_key!r}",
+            f"  sequence range: {self.min_seq} .. {self.max_seq}",
+            f"  avg key/value: {self.avg_key_bytes:.1f} / "
+            f"{self.avg_value_bytes:.1f} bytes",
+            f"  bloom filter: "
+            + (f"{self.bloom_bytes} bytes" if self.has_bloom else "none"),
+            f"  index: {self.index_bytes} bytes",
+        ]
+        if include_blocks:
+            lines.append("  blocks:")
+            for block in self.blocks:
+                lines.append(
+                    f"    #{block.index} @{block.offset}: "
+                    f"{block.stored_bytes}B, {block.num_entries} entries, "
+                    f"{block.first_key!r}..{block.last_key!r}"
+                )
+        return "\n".join(lines)
+
+
+def inspect_table(fs: MemFileSystem, path: str) -> TableInfo:
+    """Read one table end to end and summarize it."""
+    reader = SSTableReader(fs.open_random(path), _file_number_from_path(path))
+    blocks: list[BlockInfo] = []
+    num_deletes = 0
+    key_bytes = value_bytes = 0
+    min_seq = None
+    max_seq = 0
+    smallest = largest = None
+    for idx, (_last, offset, size) in enumerate(reader._index):
+        entries = reader._read_block(idx, None, None, _DISCARD_STATS())
+        first_user = ikey_mod.user_key_of(entries[0][0])
+        last_user = ikey_mod.user_key_of(entries[-1][0])
+        if smallest is None:
+            smallest = first_user
+        largest = last_user
+        for internal, packed in entries:
+            user_key, seq = ikey_mod.decode(internal)
+            key_bytes += len(user_key)
+            value_bytes += len(packed) - 1
+            if ValueKind(packed[0]) is ValueKind.DELETE:
+                num_deletes += 1
+            min_seq = seq if min_seq is None else min(min_seq, seq)
+            max_seq = max(max_seq, seq)
+        blocks.append(BlockInfo(
+            index=idx, offset=offset, stored_bytes=size,
+            num_entries=len(entries), first_key=first_user,
+            last_key=last_user,
+        ))
+    total = sum(b.num_entries for b in blocks)
+    return TableInfo(
+        path=path,
+        file_number=reader.file_number,
+        file_bytes=fs.file_size(path),
+        num_entries=total,
+        num_blocks=len(blocks),
+        num_deletes=num_deletes,
+        smallest_key=smallest or b"",
+        largest_key=largest or b"",
+        min_seq=min_seq or 0,
+        max_seq=max_seq,
+        has_bloom=reader.has_bloom,
+        bloom_bytes=reader.filter_size_bytes,
+        index_bytes=reader.index_size_bytes,
+        avg_key_bytes=key_bytes / total if total else 0.0,
+        avg_value_bytes=value_bytes / total if total else 0.0,
+        blocks=blocks,
+    )
+
+
+def dump_entries(
+    fs: MemFileSystem, path: str, *, limit: int | None = None
+) -> list[tuple[bytes, int, str, bytes]]:
+    """List (user_key, seq, kind, value) for up to ``limit`` entries."""
+    reader = SSTableReader(fs.open_random(path), _file_number_from_path(path))
+    out: list[tuple[bytes, int, str, bytes]] = []
+    for internal, kind, value in reader.iter_entries():
+        user_key, seq = ikey_mod.decode(internal)
+        out.append((user_key, seq, kind.name.lower(), value))
+        if limit is not None and len(out) >= limit:
+            break
+    return out
+
+
+def dump_database(fs: MemFileSystem, db_path: str) -> str:
+    """Summarize every live table under a database directory."""
+    lines = [f"Database: {db_path}"]
+    for path in fs.list_dir(db_path):
+        if path.endswith(".sst"):
+            lines.append(inspect_table(fs, path).describe())
+    return "\n".join(lines)
+
+
+def _DISCARD_STATS():
+    from repro.lsm.sstable import ReadStats
+
+    return ReadStats()

@@ -1,0 +1,359 @@
+"""SSTable builder and reader.
+
+Layout (offsets grow downward)::
+
+    [data block envelope] *
+    [bloom filter envelope]      (optional)
+    [index block envelope]       last internal key per block -> (offset, size)
+    [footer]                     fixed-size struct + magic
+
+Entries map internal keys to ``kind byte + value``. The reader performs
+real binary searches over a real index and real bloom-filter probes, and
+reports *what it touched* in a :class:`ReadStats` so the caller can
+charge virtual time for it.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+from typing import Callable, Iterator
+
+from repro.errors import CorruptionError
+from repro.lsm import ikey as ikey_mod
+from repro.lsm.block import (
+    BlockBuilder,
+    block_entries_seek,
+    compress_block,
+    decode_block,
+    decompress_block,
+)
+from repro.lsm.bloom import BloomFilter
+from repro.lsm.env import MemFileSystem, RandomAccessFile
+from repro.lsm.memtable import ValueKind
+
+_FOOTER = struct.Struct("<QQQQQdQ")
+_MAGIC = 0x88E241B785F4CFF7
+
+
+@dataclass(frozen=True)
+class FileMetaData:
+    """Catalog entry for one SSTable (lives in the Version/MANIFEST)."""
+
+    file_number: int
+    file_size: int
+    smallest_key: bytes  # user key
+    largest_key: bytes  # user key
+    num_entries: int
+    level: int = 0
+
+    def overlaps(self, lo: bytes | None, hi: bytes | None) -> bool:
+        """Whether this file's user-key range intersects [lo, hi]."""
+        if hi is not None and self.smallest_key > hi:
+            return False
+        if lo is not None and self.largest_key < lo:
+            return False
+        return True
+
+
+@dataclass
+class ReadStats:
+    """What one point lookup touched inside a table.
+
+    ``block_reads`` records ``(nbytes, source)`` per data block touched,
+    where source is ``"cache"`` (block cache, decompressed), ``"page"``
+    (OS page cache, compressed), or ``"device"``.
+    """
+
+    bloom_checked: bool = False
+    bloom_negative: bool = False
+    index_read: bool = False
+    block_reads: list[tuple[int, str]] = field(default_factory=list)
+
+    def device_block_bytes(self) -> int:
+        return sum(n for n, source in self.block_reads if source == "device")
+
+
+class SSTableBuilder:
+    """Builds one table; entries must arrive in internal-key order."""
+
+    def __init__(
+        self,
+        fs: MemFileSystem,
+        path: str,
+        *,
+        block_size: int = 4096,
+        restart_interval: int = 16,
+        compression: str = "none",
+        bloom_bits_per_key: float = -1.0,
+        whole_key_filtering: bool = True,
+    ) -> None:
+        self._file = fs.create(path)
+        self._path = path
+        self._block_size = max(256, block_size)
+        self._restart_interval = restart_interval
+        self._compression = compression
+        self._bloom_bits = bloom_bits_per_key
+        self._whole_key = whole_key_filtering
+        self._block = BlockBuilder(restart_interval)
+        self._index: list[tuple[bytes, int, int]] = []
+        self._offset = 0
+        self._num_entries = 0
+        self._smallest_user: bytes | None = None
+        self._largest_user: bytes | None = None
+        self._last_ikey = b""
+        self._bloom_keys: set[bytes] = set()
+        self._finished = False
+
+    @property
+    def num_entries(self) -> int:
+        return self._num_entries
+
+    @property
+    def current_size(self) -> int:
+        return self._offset + self._block.size_estimate()
+
+    def add(self, internal_key: bytes, kind: ValueKind, value: bytes) -> None:
+        if self._finished:
+            raise CorruptionError("add() after finish()")
+        if self._num_entries and internal_key <= self._last_ikey:
+            raise CorruptionError("sstable keys must be strictly increasing")
+        user_key = ikey_mod.user_key_of(internal_key)
+        if self._smallest_user is None:
+            self._smallest_user = user_key
+        self._largest_user = user_key
+        self._block.add(internal_key, bytes([int(kind)]) + value)
+        self._last_ikey = internal_key
+        self._num_entries += 1
+        if self._bloom_bits > 0 and self._whole_key:
+            self._bloom_keys.add(user_key)
+        if self._block.size_estimate() >= self._block_size:
+            self._flush_block()
+
+    def _flush_block(self) -> None:
+        if self._block.empty():
+            return
+        payload = compress_block(self._block.finish(), self._compression)
+        self._file.append(payload)
+        self._index.append((self._last_ikey, self._offset, len(payload)))
+        self._offset += len(payload)
+        self._block = BlockBuilder(self._restart_interval)
+
+    def finish(self) -> FileMetaData:
+        """Flush pending data, write filter+index+footer, return metadata."""
+        if self._finished:
+            raise CorruptionError("finish() called twice")
+        self._flush_block()
+        filter_off = filter_sz = 0
+        if self._bloom_bits > 0 and self._bloom_keys:
+            bloom = BloomFilter(self._bloom_bits, max(1, len(self._bloom_keys)))
+            for key in self._bloom_keys:
+                bloom.add(key)
+            payload = compress_block(bloom.to_bytes(), "none")
+            filter_off = self._offset
+            filter_sz = len(payload)
+            self._file.append(payload)
+            self._offset += filter_sz
+        index = BlockBuilder(1)
+        for last_key, off, size in self._index:
+            index.add(last_key, struct.pack("<QI", off, size))
+        index_payload = compress_block(index.finish(), "none")
+        index_off = self._offset
+        self._file.append(index_payload)
+        self._offset += len(index_payload)
+        self._file.append(
+            _FOOTER.pack(
+                index_off,
+                len(index_payload),
+                filter_off,
+                filter_sz,
+                self._num_entries,
+                self._bloom_bits,
+                _MAGIC,
+            )
+        )
+        self._file.sync()
+        self._file.close()
+        self._finished = True
+        file_number = _file_number_from_path(self._path)
+        return FileMetaData(
+            file_number=file_number,
+            file_size=self._file.size(),
+            smallest_key=self._smallest_user or b"",
+            largest_key=self._largest_user or b"",
+            num_entries=self._num_entries,
+        )
+
+
+def _file_number_from_path(path: str) -> int:
+    name = path.rsplit("/", 1)[-1]
+    digits = name.split(".", 1)[0]
+    try:
+        return int(digits)
+    except ValueError:
+        return 0
+
+
+CacheGet = Callable[[tuple[int, int]], bytes | None]
+CachePut = Callable[[tuple[int, int], bytes, int], None]
+
+
+class SSTableReader:
+    """Reads one table; index and filter are loaded once at open."""
+
+    def __init__(
+        self,
+        file: RandomAccessFile,
+        file_number: int,
+        *,
+        verify_checksums: bool = True,
+    ) -> None:
+        self._file = file
+        self.file_number = file_number
+        self._verify = verify_checksums
+        size = file.size()
+        if size < _FOOTER.size:
+            raise CorruptionError(f"table {file.path} shorter than footer")
+        footer = file.read(size - _FOOTER.size, _FOOTER.size)
+        (index_off, index_sz, filter_off, filter_sz, num_entries,
+         bloom_bits, magic) = _FOOTER.unpack(footer)
+        if magic != _MAGIC:
+            raise CorruptionError(f"bad magic in table {file.path}")
+        self.num_entries = num_entries
+        index_payload = decompress_block(
+            file.read(index_off, index_sz), verify_checksum=verify_checksums
+        )
+        self._index: list[tuple[bytes, int, int]] = []
+        for last_key, packed in decode_block(index_payload):
+            off, sz = struct.unpack("<QI", packed)
+            self._index.append((last_key, off, sz))
+        self.index_size_bytes = index_sz
+        self._bloom: BloomFilter | None = None
+        self.filter_size_bytes = filter_sz
+        if filter_sz:
+            bloom_payload = decompress_block(
+                file.read(filter_off, filter_sz), verify_checksum=verify_checksums
+            )
+            self._bloom = BloomFilter.from_bytes(bloom_payload, bloom_bits)
+
+    @property
+    def num_blocks(self) -> int:
+        return len(self._index)
+
+    @property
+    def has_bloom(self) -> bool:
+        return self._bloom is not None
+
+    def _block_index_for(self, internal_key: bytes) -> int | None:
+        """First block whose last key >= internal_key, else None."""
+        lo, hi = 0, len(self._index)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self._index[mid][0] < internal_key:
+                lo = mid + 1
+            else:
+                hi = mid
+        return lo if lo < len(self._index) else None
+
+    def _read_block(
+        self,
+        idx: int,
+        cache_get: CacheGet | None,
+        cache_put: CachePut | None,
+        stats: ReadStats,
+        page_get: CacheGet | None = None,
+        page_put: CachePut | None = None,
+    ) -> list[tuple[bytes, bytes]]:
+        _last, off, sz = self._index[idx]
+        cache_key = (self.file_number, off)
+        if cache_get is not None:
+            cached = cache_get(cache_key)
+            if cached is not None:
+                stats.block_reads.append((sz, "cache"))
+                return decode_block(cached)
+        source = "device"
+        envelope: bytes | None = None
+        if page_get is not None:
+            hit = page_get(cache_key)
+            if hit is not None:
+                envelope = hit  # type: ignore[assignment]
+                source = "page"
+        if envelope is None:
+            envelope = self._file.read(off, sz)
+            if page_put is not None:
+                page_put(cache_key, envelope, len(envelope))
+        payload = decompress_block(envelope, verify_checksum=self._verify)
+        stats.block_reads.append((sz, source))
+        if cache_put is not None:
+            cache_put(cache_key, payload, len(payload))
+        return decode_block(payload)
+
+    def get(
+        self,
+        user_key: bytes,
+        snapshot_seq: int = ikey_mod.MAX_SEQUENCE,
+        *,
+        cache_get: CacheGet | None = None,
+        cache_put: CachePut | None = None,
+        page_get: CacheGet | None = None,
+        page_put: CachePut | None = None,
+    ) -> tuple[bool, ValueKind | None, bytes | None, ReadStats]:
+        """Point lookup for the newest version visible at ``snapshot_seq``."""
+        stats = ReadStats()
+        if self._bloom is not None:
+            stats.bloom_checked = True
+            if not self._bloom.may_contain(user_key):
+                stats.bloom_negative = True
+                return False, None, None, stats
+        seek = ikey_mod.seek_key(user_key, snapshot_seq)
+        idx = self._block_index_for(seek)
+        if idx is None:
+            return False, None, None, stats
+        stats.index_read = True
+        entries = self._read_block(
+            idx, cache_get, cache_put, stats, page_get, page_put
+        )
+        for entry_ikey, packed in block_entries_seek(entries, seek):
+            entry_user, _seq = ikey_mod.decode(entry_ikey)
+            if entry_user != user_key:
+                break
+            return True, ValueKind(packed[0]), packed[1:], stats
+        return False, None, None, stats
+
+    def iter_entries(
+        self,
+        *,
+        cache_get: CacheGet | None = None,
+        cache_put: CachePut | None = None,
+        stats: ReadStats | None = None,
+    ) -> Iterator[tuple[bytes, ValueKind, bytes]]:
+        """Full in-order scan of (internal_key, kind, value)."""
+        local = stats if stats is not None else ReadStats()
+        for idx in range(len(self._index)):
+            for entry_ikey, packed in self._read_block(
+                idx, cache_get, cache_put, local
+            ):
+                yield entry_ikey, ValueKind(packed[0]), packed[1:]
+
+    def iter_from(
+        self,
+        user_key: bytes,
+        *,
+        cache_get: CacheGet | None = None,
+        cache_put: CachePut | None = None,
+        stats: ReadStats | None = None,
+    ) -> Iterator[tuple[bytes, ValueKind, bytes]]:
+        """In-order scan starting at the first entry >= user_key."""
+        local = stats if stats is not None else ReadStats()
+        seek = ikey_mod.seek_key(user_key)
+        start = self._block_index_for(seek)
+        if start is None:
+            return
+        for idx in range(start, len(self._index)):
+            entries = self._read_block(idx, cache_get, cache_put, local)
+            if idx == start:
+                pairs = block_entries_seek(entries, seek)
+            else:
+                pairs = iter(entries)
+            for entry_ikey, packed in pairs:
+                yield entry_ikey, ValueKind(packed[0]), packed[1:]

@@ -1,0 +1,118 @@
+"""Engine statistics: tickers and per-operation histograms.
+
+A small, typed version of RocksDB's ``Statistics``: named monotonically
+increasing tickers plus latency histograms per operation class. The
+tuner's prompt generator and the db_bench report both read from here.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.lsm.histogram import Histogram
+
+
+class Ticker(str, enum.Enum):
+    """Monotonic counters the engine maintains."""
+
+    BYTES_WRITTEN = "bytes.written"
+    BYTES_READ = "bytes.read"
+    WAL_BYTES = "wal.bytes"
+    WAL_SYNCS = "wal.syncs"
+    FLUSH_COUNT = "flush.count"
+    FLUSH_BYTES = "flush.bytes"
+    COMPACTION_COUNT = "compaction.count"
+    COMPACTION_BYTES_READ = "compaction.bytes.read"
+    COMPACTION_BYTES_WRITTEN = "compaction.bytes.written"
+    STALL_MICROS = "stall.micros"
+    DELAYED_WRITE_MICROS = "delayed.write.micros"
+    STALL_COUNT = "stall.count"
+    SLOWDOWN_COUNT = "slowdown.count"
+    BLOCK_CACHE_HIT = "block.cache.hit"
+    BLOCK_CACHE_MISS = "block.cache.miss"
+    BLOOM_USEFUL = "bloom.useful"
+    BLOOM_CHECKED = "bloom.checked"
+    MEMTABLE_HIT = "memtable.hit"
+    MEMTABLE_MISS = "memtable.miss"
+    GET_HIT_L0 = "get.hit.l0"
+    GET_HIT_L1 = "get.hit.l1"
+    GET_HIT_L2_PLUS = "get.hit.l2plus"
+    NUMBER_KEYS_WRITTEN = "keys.written"
+    NUMBER_KEYS_READ = "keys.read"
+    NUMBER_KEYS_FOUND = "keys.found"
+    NUMBER_SEEKS = "seeks"
+    TABLE_OPENS = "table.opens"
+    WRITE_WITH_WAL = "write.with.wal"
+    WRITE_DONE_BY_SELF = "write.done.self"
+
+
+class OpClass(str, enum.Enum):
+    """Histogram families."""
+
+    PUT = "put"
+    GET = "get"
+    SEEK = "seek"
+    DELETE = "delete"
+    FLUSH = "flush"
+    COMPACTION = "compaction"
+    WAL_SYNC = "wal.sync"
+
+
+class Statistics:
+    """Ticker + histogram registry for one DB instance."""
+
+    def __init__(self) -> None:
+        self._tickers: dict[Ticker, int] = {t: 0 for t in Ticker}
+        self._histograms: dict[OpClass, Histogram] = {c: Histogram() for c in OpClass}
+
+    # -- tickers -----------------------------------------------------------
+
+    def bump(self, ticker: Ticker, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError("tickers are monotonic")
+        self._tickers[ticker] += amount
+
+    def ticker(self, ticker: Ticker) -> int:
+        return self._tickers[ticker]
+
+    # -- histograms ----------------------------------------------------------
+
+    def observe(self, op: OpClass, latency_us: float) -> None:
+        self._histograms[op].add(latency_us)
+
+    def histogram(self, op: OpClass) -> Histogram:
+        return self._histograms[op]
+
+    # -- views -----------------------------------------------------------
+
+    def cache_hit_rate(self) -> float:
+        hits = self._tickers[Ticker.BLOCK_CACHE_HIT]
+        total = hits + self._tickers[Ticker.BLOCK_CACHE_MISS]
+        return hits / total if total else 0.0
+
+    def bloom_useful_rate(self) -> float:
+        useful = self._tickers[Ticker.BLOOM_USEFUL]
+        checked = self._tickers[Ticker.BLOOM_CHECKED]
+        return useful / checked if checked else 0.0
+
+    def as_dict(self) -> dict[str, int]:
+        return {t.value: v for t, v in self._tickers.items()}
+
+    def describe(self) -> str:
+        """Multi-line stats dump (embedded in prompts)."""
+        lines = [f"{t.value}: {v}" for t, v in sorted(
+            self._tickers.items(), key=lambda kv: kv[0].value) if v]
+        for op, hist in self._histograms.items():
+            if hist.count:
+                s = hist.summary()
+                lines.append(
+                    f"{op.value}.latency_us: count={s.count} avg={s.average:.2f} "
+                    f"p99={s.p99:.2f} max={s.maximum:.2f}"
+                )
+        return "\n".join(lines)
+
+    def reset(self) -> None:
+        for t in self._tickers:
+            self._tickers[t] = 0
+        for h in self._histograms.values():
+            h.reset()

@@ -1,0 +1,98 @@
+"""Write-ahead log.
+
+Record format per entry::
+
+    crc32(u32) | payload_len(u32) | payload
+
+where payload is ``seq(u64) | kind(u8) | klen(u32) | key | vlen(u32) | value``.
+Replay stops at the first damaged or truncated record (torn tail after a
+crash), which is exactly LevelDB's recovery contract.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from typing import Iterator
+
+from repro.errors import CorruptionError
+from repro.lsm.env import MemFileSystem, WritableFile
+from repro.lsm.memtable import ValueKind
+
+_HEADER = struct.Struct("<II")
+_PAYLOAD_FIXED = struct.Struct("<QBI")
+
+
+class WalWriter:
+    """Appends records to one WAL file."""
+
+    def __init__(self, fs: MemFileSystem, path: str) -> None:
+        self._file: WritableFile = fs.open_writable(path)
+        self.path = path
+
+    def add_record(self, seq: int, kind: ValueKind, key: bytes, value: bytes) -> int:
+        """Append one record; returns bytes written."""
+        payload = (
+            _PAYLOAD_FIXED.pack(seq, int(kind), len(key))
+            + key
+            + struct.pack("<I", len(value))
+            + value
+        )
+        record = _HEADER.pack(zlib.crc32(payload), len(payload)) + payload
+        return self._file.append(record)
+
+    def sync(self) -> int:
+        """Durability barrier; returns newly synced bytes."""
+        return self._file.sync()
+
+    def unsynced_bytes(self) -> int:
+        return self._file.unsynced_bytes()
+
+    def size(self) -> int:
+        return self._file.size()
+
+    def close(self) -> None:
+        self._file.close()
+
+
+def replay_wal(
+    fs: MemFileSystem, path: str, *, strict: bool = False
+) -> Iterator[tuple[int, ValueKind, bytes, bytes]]:
+    """Yield (seq, kind, key, value) for every intact record.
+
+    A torn/corrupt tail ends replay silently (normal crash recovery); with
+    ``strict`` it raises :class:`CorruptionError` instead.
+    """
+    data = fs.read_all(path)
+    pos = 0
+    size = len(data)
+    while pos < size:
+        if pos + _HEADER.size > size:
+            if strict:
+                raise CorruptionError(f"truncated WAL header in {path}")
+            return
+        crc, length = _HEADER.unpack_from(data, pos)
+        payload_start = pos + _HEADER.size
+        payload_end = payload_start + length
+        if payload_end > size:
+            if strict:
+                raise CorruptionError(f"truncated WAL payload in {path}")
+            return
+        payload = data[payload_start:payload_end]
+        if zlib.crc32(payload) != crc:
+            if strict:
+                raise CorruptionError(f"WAL checksum mismatch in {path} @ {pos}")
+            return
+        seq, kind_byte, klen = _PAYLOAD_FIXED.unpack_from(payload, 0)
+        cursor = _PAYLOAD_FIXED.size
+        key = payload[cursor : cursor + klen]
+        cursor += klen
+        (vlen,) = struct.unpack_from("<I", payload, cursor)
+        cursor += 4
+        value = payload[cursor : cursor + vlen]
+        if len(key) != klen or len(value) != vlen:
+            if strict:
+                raise CorruptionError(f"WAL record length mismatch in {path}")
+            return
+        yield seq, ValueKind(kind_byte), key, value
+        pos = payload_end

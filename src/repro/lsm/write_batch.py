@@ -1,0 +1,53 @@
+"""WriteBatch: atomic multi-operation writes.
+
+All operations in a batch become durable together (single WAL sync
+boundary) and visible together (applied under one sequence range), the
+RocksDB contract. Replaying a torn WAL never surfaces half a batch
+because the batch is encoded as one WAL record per op but recovery
+consumes records in order and the memtable rotation happens after the
+whole batch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import DBError
+from repro.lsm.memtable import ValueKind
+
+
+@dataclass(frozen=True)
+class BatchOp:
+    kind: ValueKind
+    key: bytes
+    value: bytes
+
+
+@dataclass
+class WriteBatch:
+    """An ordered list of puts/deletes applied atomically via
+    :meth:`repro.lsm.db.DB.write`."""
+
+    ops: list[BatchOp] = field(default_factory=list)
+
+    def put(self, key: bytes, value: bytes) -> "WriteBatch":
+        if not key:
+            raise DBError("empty keys are not supported")
+        self.ops.append(BatchOp(ValueKind.VALUE, key, value))
+        return self
+
+    def delete(self, key: bytes) -> "WriteBatch":
+        if not key:
+            raise DBError("empty keys are not supported")
+        self.ops.append(BatchOp(ValueKind.DELETE, key, b""))
+        return self
+
+    def clear(self) -> None:
+        self.ops.clear()
+
+    def __len__(self) -> int:
+        return len(self.ops)
+
+    @property
+    def approximate_bytes(self) -> int:
+        return sum(len(op.key) + len(op.value) + 24 for op in self.ops)

@@ -1,0 +1,85 @@
+"""Write controller: slowdown and stop decisions.
+
+Mirrors RocksDB's write-stall state machine: L0 file count and pending
+compaction debt move the DB between NORMAL, DELAYED (writes are paced at
+``delayed_write_rate``), and STOPPED (writers wait for background work).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.lsm.options import Options
+
+
+class WriteState(str, enum.Enum):
+    NORMAL = "normal"
+    DELAYED = "delayed"
+    STOPPED = "stopped"
+
+
+@dataclass(frozen=True)
+class StallDecision:
+    """The controller's verdict for the current write."""
+
+    state: WriteState
+    #: Why the state was entered (for stats/prompt text).
+    reason: str = ""
+    #: Bytes/sec pacing when DELAYED.
+    delayed_rate: int = 0
+
+    @property
+    def normal(self) -> bool:
+        return self.state is WriteState.NORMAL
+
+
+class WriteController:
+    """Stateless policy object: inputs in, decision out."""
+
+    def __init__(self, options: Options) -> None:
+        self._options = options
+
+    def decide(
+        self,
+        *,
+        l0_files: int,
+        immutable_memtables: int,
+        pending_compaction_bytes: int,
+    ) -> StallDecision:
+        opts = self._options
+        max_bufs = opts.get("max_write_buffer_number")
+        if immutable_memtables >= max_bufs:
+            # Every buffer is immutable: writers must wait for a flush.
+            return StallDecision(WriteState.STOPPED, "memtable limit")
+        if l0_files >= opts.get("level0_stop_writes_trigger"):
+            return StallDecision(WriteState.STOPPED, "level0 stop trigger")
+        hard = opts.get("hard_pending_compaction_bytes_limit")
+        if hard and pending_compaction_bytes >= hard:
+            return StallDecision(WriteState.STOPPED, "pending compaction bytes (hard)")
+        rate = opts.get("delayed_write_rate")
+        if l0_files >= opts.get("level0_slowdown_writes_trigger"):
+            return StallDecision(
+                WriteState.DELAYED, "level0 slowdown trigger", delayed_rate=rate
+            )
+        soft = opts.get("soft_pending_compaction_bytes_limit")
+        if soft and pending_compaction_bytes >= soft:
+            return StallDecision(
+                WriteState.DELAYED, "pending compaction bytes (soft)",
+                delayed_rate=rate,
+            )
+        # RocksDB only *delays* on immutable-memtable pressure when there
+        # are three or more buffers; with two, pressure resolves as a
+        # hard wait at rotation time instead.
+        if max_bufs >= 3 and immutable_memtables >= max_bufs - 1:
+            return StallDecision(
+                WriteState.DELAYED, "too many immutable memtables",
+                delayed_rate=rate,
+            )
+        return StallDecision(WriteState.NORMAL)
+
+    def delay_us_for(self, decision: StallDecision, write_bytes: int) -> float:
+        """Pacing delay charged to one write while DELAYED."""
+        if decision.state is not WriteState.DELAYED or decision.delayed_rate <= 0:
+            return 0.0
+        return write_bytes / decision.delayed_rate * 1e6

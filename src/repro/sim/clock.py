@@ -1,0 +1,54 @@
+"""Virtual-time clock.
+
+The whole engine accounts time in *microseconds of virtual time*. Real
+data-structure work is executed eagerly; only the clock is simulated, so
+performance results are deterministic functions of the cost model rather
+than of the host machine.
+"""
+
+from __future__ import annotations
+
+
+class SimClock:
+    """A monotonically advancing microsecond clock.
+
+    The clock never goes backwards: :meth:`advance_to` with a time in the
+    past is a no-op, which makes it safe for overlapping background-job
+    completions to be retired out of order.
+    """
+
+    __slots__ = ("_now_us",)
+
+    def __init__(self, start_us: float = 0.0) -> None:
+        if start_us < 0:
+            raise ValueError("clock cannot start before time zero")
+        self._now_us = float(start_us)
+
+    @property
+    def now_us(self) -> float:
+        """Current virtual time in microseconds."""
+        return self._now_us
+
+    @property
+    def now_seconds(self) -> float:
+        """Current virtual time in seconds."""
+        return self._now_us / 1e6
+
+    def advance(self, delta_us: float) -> float:
+        """Advance the clock by ``delta_us`` and return the new time.
+
+        Negative deltas are rejected: virtual time is monotonic.
+        """
+        if delta_us < 0:
+            raise ValueError(f"cannot advance clock by negative {delta_us}")
+        self._now_us += delta_us
+        return self._now_us
+
+    def advance_to(self, t_us: float) -> float:
+        """Advance the clock to ``t_us`` if that is in the future."""
+        if t_us > self._now_us:
+            self._now_us = t_us
+        return self._now_us
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"SimClock(now_us={self._now_us:.3f})"

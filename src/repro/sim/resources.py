@@ -1,0 +1,126 @@
+"""Virtual-time resource primitives.
+
+Two resources matter for an LSM engine:
+
+* a pool of background-job *slots* (bounded by ``max_background_jobs``
+  and by the CPU core count), and
+* the storage device's *bandwidth*, which background jobs and foreground
+  I/O share.
+
+Both are modeled as availability timelines in virtual microseconds; no
+real threads are involved.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+
+
+class SlotPool:
+    """A pool of ``capacity`` slots, each busy until some virtual time.
+
+    ``acquire(now, duration)`` finds the earliest-free slot, runs the job
+    on it (start = max(now, slot free time)), and returns the completion
+    time. This models RocksDB's background thread pool: if all threads
+    are busy, a new flush/compaction queues behind the earliest one.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError("slot pool needs at least one slot")
+        self._free_at: list[float] = [0.0] * capacity
+
+    @property
+    def capacity(self) -> int:
+        return len(self._free_at)
+
+    def resize(self, capacity: int) -> None:
+        """Grow or shrink the pool; running jobs keep their slots."""
+        if capacity < 1:
+            raise ValueError("slot pool needs at least one slot")
+        cur = len(self._free_at)
+        if capacity > cur:
+            self._free_at.extend([0.0] * (capacity - cur))
+        elif capacity < cur:
+            # Drop the slots that free soonest last so in-flight work
+            # (later free times) is preserved conservatively.
+            self._free_at.sort(reverse=True)
+            del self._free_at[capacity:]
+
+    def earliest_free_us(self) -> float:
+        return min(self._free_at)
+
+    def busy_count(self, now_us: float) -> int:
+        """Number of slots still busy at ``now_us``."""
+        return sum(1 for t in self._free_at if t > now_us)
+
+    def acquire(self, now_us: float, duration_us: float) -> float:
+        """Schedule a job; return its virtual completion time."""
+        if duration_us < 0:
+            raise ValueError("job duration cannot be negative")
+        idx = min(range(len(self._free_at)), key=self._free_at.__getitem__)
+        start = max(now_us, self._free_at[idx])
+        done = start + duration_us
+        self._free_at[idx] = done
+        return done
+
+
+@dataclass(order=True)
+class Completion:
+    """A pending background completion, ordered by time."""
+
+    at_us: float
+    seqno: int
+    kind: str = field(compare=False)
+    payload: object = field(compare=False, default=None)
+
+
+class CompletionQueue:
+    """Min-heap of pending background completions.
+
+    The engine retires completions lazily: before each foreground
+    operation it pops every completion whose time is <= "now" and applies
+    its effect (memtable freed, L0 file count reduced, ...).
+    """
+
+    def __init__(self) -> None:
+        self._heap: list[Completion] = []
+        self._seq = 0
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def push(self, at_us: float, kind: str, payload: object = None) -> Completion:
+        self._seq += 1
+        item = Completion(at_us=at_us, seqno=self._seq, kind=kind, payload=payload)
+        heapq.heappush(self._heap, item)
+        return item
+
+    def peek(self) -> Completion | None:
+        return self._heap[0] if self._heap else None
+
+    def pop_due(self, now_us: float) -> list[Completion]:
+        """Pop all completions due at or before ``now_us``, in order."""
+        due: list[Completion] = []
+        while self._heap and self._heap[0].at_us <= now_us:
+            due.append(heapq.heappop(self._heap))
+        return due
+
+    def pop_next(self) -> Completion | None:
+        """Pop the earliest completion regardless of time (used when the
+        caller must block until *something* finishes)."""
+        if not self._heap:
+            return None
+        return heapq.heappop(self._heap)
+
+    def has_kind(self, kind: str) -> bool:
+        """Whether any pending completion is of ``kind``."""
+        return any(c.kind == kind for c in self._heap)
+
+    def drain(self) -> list[Completion]:
+        """Pop everything (used at DB close / explicit wait)."""
+        out: list[Completion] = []
+        while self._heap:
+            out.append(heapq.heappop(self._heap))
+        return out

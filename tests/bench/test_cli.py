@@ -1,0 +1,45 @@
+"""Tests for the pylsm-bench CLI."""
+
+import pytest
+
+from repro.bench.cli import build_parser, main
+
+
+class TestCli:
+    def test_defaults_parse(self):
+        args = build_parser().parse_args([])
+        assert args.benchmark == "fillrandom"
+        assert args.device == "nvme-ssd"
+
+    def test_run_tiny(self, capsys):
+        rc = main([
+            "--benchmark", "readrandom",
+            "--scale", "0.0002",
+            "--cpus", "2",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "readrandom" in out
+        assert "ops/sec" in out
+
+    def test_bad_device(self, capsys):
+        assert main(["--device", "tape"]) == 2
+        assert "unknown device" in capsys.readouterr().err
+
+    def test_options_file(self, tmp_path, capsys):
+        options_path = tmp_path / "OPTIONS"
+        options_path.write_text(
+            "[DBOptions]\nmax_background_jobs=4\n"
+            "[CFOptions]\nwrite_buffer_size=33554432\n"
+        )
+        rc = main([
+            "--benchmark", "fillrandom",
+            "--scale", "0.0001",
+            "--options-file", str(options_path),
+        ])
+        assert rc == 0
+        assert "fillrandom" in capsys.readouterr().out
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--benchmark", "ycsb"])

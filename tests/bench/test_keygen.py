@@ -1,0 +1,140 @@
+"""Tests for key/value generators."""
+
+import zlib
+from collections import Counter
+
+import pytest
+
+from repro.bench.keygen import (
+    MixgraphKeys,
+    UniformKeys,
+    ValueGenerator,
+    ZipfianKeys,
+    format_key,
+    make_generator,
+)
+from repro.errors import WorkloadError
+
+
+class TestFormatKey:
+    def test_fixed_width(self):
+        assert format_key(0) == b"0000000000000000"
+        assert format_key(123) == b"0000000000000123"
+        assert len(format_key(10**15)) == 16
+
+    def test_negative_rejected(self):
+        with pytest.raises(WorkloadError):
+            format_key(-1)
+
+    def test_sort_order_matches_numeric(self):
+        keys = [format_key(i) for i in (5, 50, 500)]
+        assert keys == sorted(keys)
+
+
+class TestUniform:
+    def test_in_range_and_deterministic(self):
+        a = UniformKeys(1000, seed=3)
+        b = UniformKeys(1000, seed=3)
+        seq_a = [a.next_index() for _ in range(100)]
+        seq_b = [b.next_index() for _ in range(100)]
+        assert seq_a == seq_b
+        assert all(0 <= i < 1000 for i in seq_a)
+
+    def test_roughly_uniform(self):
+        gen = UniformKeys(10, seed=1)
+        counts = Counter(gen.next_index() for _ in range(10_000))
+        assert max(counts.values()) < 2 * min(counts.values())
+
+    def test_invalid_space(self):
+        with pytest.raises(WorkloadError):
+            UniformKeys(0)
+
+
+class TestZipfian:
+    def test_skew_concentrates_mass(self):
+        gen = ZipfianKeys(10_000, theta=0.99, seed=5)
+        counts = Counter(gen.next_index() for _ in range(20_000))
+        top = sum(n for _, n in counts.most_common(100))
+        assert top > 20_000 * 0.3  # 1% of keys get >30% of accesses
+
+    def test_in_range(self):
+        gen = ZipfianKeys(50, seed=2)
+        assert all(0 <= gen.next_index() < 50 for _ in range(2000))
+
+    def test_invalid_theta(self):
+        with pytest.raises(WorkloadError):
+            ZipfianKeys(100, theta=1.0)
+        with pytest.raises(WorkloadError):
+            ZipfianKeys(100, theta=0.0)
+
+    def test_deterministic(self):
+        a = [ZipfianKeys(100, seed=9).next_index() for _ in range(1)]
+        b = [ZipfianKeys(100, seed=9).next_index() for _ in range(1)]
+        assert a == b
+
+
+class TestMixgraph:
+    def test_hot_region_dominates(self):
+        gen = MixgraphKeys(10_000, hot_fraction=0.01,
+                           hot_access_fraction=0.85, seed=4)
+        hits = [gen.next_index() for _ in range(20_000)]
+        hot = sum(1 for i in hits if i < 100)
+        assert 0.80 <= hot / len(hits) <= 0.90
+
+    def test_tail_covers_cold_region(self):
+        gen = MixgraphKeys(10_000, seed=4)
+        assert any(gen.next_index() >= 100 for _ in range(1000))
+
+    def test_invalid_params(self):
+        with pytest.raises(WorkloadError):
+            MixgraphKeys(100, hot_fraction=0.0)
+        with pytest.raises(WorkloadError):
+            MixgraphKeys(100, hot_access_fraction=1.5)
+
+
+class TestFactory:
+    @pytest.mark.parametrize("name,cls", [
+        ("uniform", UniformKeys),
+        ("zipfian", ZipfianKeys),
+        ("mixgraph", MixgraphKeys),
+    ])
+    def test_known(self, name, cls):
+        assert isinstance(make_generator(name, 100, 1), cls)
+
+    def test_unknown(self):
+        with pytest.raises(WorkloadError):
+            make_generator("gaussian", 100)
+
+    def test_next_key_is_formatted(self):
+        gen = make_generator("uniform", 100, 1)
+        assert len(gen.next_key()) == 16
+
+
+class TestValues:
+    def test_fixed_size(self):
+        gen = ValueGenerator(100, seed=1)
+        assert all(len(gen.next_value()) == 100 for _ in range(50))
+
+    def test_half_compressible(self):
+        gen = ValueGenerator(4096, compression_ratio=0.5, seed=1)
+        value = gen.next_value()
+        compressed = zlib.compress(value, 1)
+        assert 0.3 < len(compressed) / len(value) < 0.8
+
+    def test_fully_random_incompressible(self):
+        gen = ValueGenerator(4096, compression_ratio=1.0, seed=1)
+        value = gen.next_value()
+        assert len(zlib.compress(value, 1)) > 0.9 * len(value)
+
+    def test_pareto_sizes_heavy_tailed(self):
+        gen = ValueGenerator(100, pareto_sizes=True, seed=1)
+        sizes = [len(gen.next_value()) for _ in range(3000)]
+        assert min(sizes) >= 16
+        assert max(sizes) > 300  # tail beyond the mean
+        assert max(sizes) <= 2000
+
+    def test_invalid_params(self):
+        with pytest.raises(WorkloadError):
+            ValueGenerator(0)
+        with pytest.raises(WorkloadError):
+            ValueGenerator(100, compression_ratio=1.5)

@@ -1,0 +1,50 @@
+"""Tests for db_bench-format report rendering (paired with the core
+bench_parser tests for round-trip coverage)."""
+
+import pytest
+
+from repro.bench.report import render_report
+from repro.bench.runner import DbBench
+from repro.bench.spec import WorkloadSpec
+from repro.hardware import make_profile
+
+SPEC = WorkloadSpec(
+    name="readrandomwriterandom", num_ops=1500, num_keys=1000,
+    preload_keys=1000, read_fraction=0.5, distribution="uniform", seed=3,
+)
+
+
+@pytest.fixture(scope="module")
+def report():
+    result = DbBench(SPEC, None, make_profile(2, 4), byte_scale=1 / 1024).run()
+    return render_report(result)
+
+
+class TestRenderReport:
+    def test_headline_line(self, report):
+        assert "readrandomwriterandom" in report
+        assert "micros/op" in report
+        assert "ops/sec" in report
+        assert "MB/s" in report
+
+    def test_both_latency_blocks(self, report):
+        assert "Microseconds per write:" in report
+        assert "Microseconds per read:" in report
+        assert report.count("Percentiles:") == 2
+
+    def test_stall_line(self, report):
+        assert "Cumulative stall:" in report
+        assert "percent" in report
+
+    def test_cache_and_bloom_lines(self, report):
+        assert "Block cache hit rate:" in report
+        assert "Bloom filter useful:" in report
+
+    def test_level_shape_included(self, report):
+        assert "Level  Files  Size(MB)" in report
+
+    def test_hardware_line(self, report):
+        assert "2 CPU cores" in report
+
+    def test_flush_compaction_counts(self, report):
+        assert "Flushes:" in report

@@ -1,0 +1,83 @@
+"""Tests for workload specs (the paper's four workloads)."""
+
+import pytest
+
+from repro.bench.spec import (
+    DEFAULT_SCALE,
+    FILLRANDOM,
+    MIXGRAPH,
+    PAPER_WORKLOADS,
+    READRANDOM,
+    READRANDOMWRITERANDOM,
+    WorkloadSpec,
+    paper_workload,
+)
+from repro.errors import WorkloadError
+
+
+class TestPaperWorkloads:
+    def test_four_workloads(self):
+        assert set(PAPER_WORKLOADS) == {
+            "fillrandom", "readrandom", "readrandomwriterandom", "mixgraph"
+        }
+
+    def test_fillrandom_is_write_only_50m(self):
+        assert FILLRANDOM.num_ops == 50_000_000
+        assert FILLRANDOM.read_fraction == 0.0
+        assert FILLRANDOM.preload_keys == 0
+
+    def test_readrandom_is_10m_reads_over_25m_preload(self):
+        assert READRANDOM.num_ops == 10_000_000
+        assert READRANDOM.preload_keys == 25_000_000
+        assert READRANDOM.read_fraction == 1.0
+
+    def test_rrwr_is_two_threads(self):
+        assert READRANDOMWRITERANDOM.threads == 2
+        assert READRANDOMWRITERANDOM.num_ops == 25_000_000
+
+    def test_mixgraph_is_half_reads(self):
+        assert MIXGRAPH.read_fraction == 0.5
+        assert MIXGRAPH.distribution == "mixgraph"
+        assert MIXGRAPH.pareto_values
+
+    def test_paper_workload_scaling(self):
+        spec = paper_workload("fillrandom", 0.001)
+        assert spec.num_ops == 50_000
+        assert spec.num_keys == 50_000
+
+    def test_unknown_workload(self):
+        with pytest.raises(WorkloadError):
+            paper_workload("ycsb-a")
+
+
+class TestSpecValidation:
+    def test_invalid_read_fraction(self):
+        with pytest.raises(WorkloadError):
+            WorkloadSpec("x", 10, 10, 0, read_fraction=1.5,
+                         distribution="uniform")
+
+    def test_invalid_threads(self):
+        with pytest.raises(WorkloadError):
+            WorkloadSpec("x", 10, 10, 0, 0.0, "uniform", threads=0)
+
+    def test_invalid_ops(self):
+        with pytest.raises(WorkloadError):
+            WorkloadSpec("x", 0, 10, 0, 0.0, "uniform")
+
+    def test_scaled_floors(self):
+        spec = FILLRANDOM.scaled(1e-9)
+        assert spec.num_ops >= 1000
+        assert spec.num_keys >= 1000
+
+    def test_scaled_invalid(self):
+        with pytest.raises(WorkloadError):
+            FILLRANDOM.scaled(0)
+
+    def test_with_seed(self):
+        assert FILLRANDOM.with_seed(9).seed == 9
+
+    def test_describe_classifies_workload(self):
+        assert "write-intensive" in FILLRANDOM.describe()
+        assert "read-intensive" in READRANDOM.describe()
+        assert "mixed" in MIXGRAPH.describe()
+        assert "2 thread" in READRANDOMWRITERANDOM.describe()

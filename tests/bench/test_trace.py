@@ -1,0 +1,131 @@
+"""Tests for trace record/replay."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bench.trace import (
+    ReplayResult,
+    TraceOp,
+    TraceWriter,
+    TracingDB,
+    parse_trace,
+    replay_trace,
+)
+from repro.errors import WorkloadError
+from repro.hardware import make_profile
+from repro.lsm import DB, Options
+
+
+class TestTraceOp:
+    def test_round_trip_all_kinds(self):
+        ops = [
+            TraceOp("put", b"key\x00", b"value\xff"),
+            TraceOp("get", b"key"),
+            TraceOp("delete", b"key"),
+            TraceOp("scan", b"key", limit=10),
+            TraceOp("put", b"key", b""),
+        ]
+        for op in ops:
+            assert TraceOp.from_line(op.to_line()) == op
+
+    def test_invalid_kind(self):
+        with pytest.raises(WorkloadError):
+            TraceOp("merge", b"k")
+
+    def test_empty_key(self):
+        with pytest.raises(WorkloadError):
+            TraceOp("get", b"")
+
+    def test_malformed_lines(self):
+        for line in ("", "X aa", "P zz vv", "G", "S aa"):
+            with pytest.raises(WorkloadError):
+                TraceOp.from_line(line)
+
+    @given(st.binary(min_size=1, max_size=32), st.binary(max_size=64))
+    @settings(max_examples=30)
+    def test_binary_safety(self, key, value):
+        op = TraceOp("put", key, value)
+        assert TraceOp.from_line(op.to_line()) == op
+
+
+class TestParseTrace:
+    def test_parse_with_comments_and_blanks(self):
+        text = "# trace header\n\nP 6b 76\nG 6b\n"
+        ops = parse_trace(text)
+        assert [op.kind for op in ops] == ["put", "get"]
+
+    def test_error_carries_line_number(self):
+        with pytest.raises(WorkloadError, match="line 2"):
+            parse_trace("P 6b 76\ngarbage\n")
+
+
+class TestTracingDB:
+    def test_records_and_forwards(self):
+        db = DB.open("/t1", Options({"write_buffer_size": 16 * 1024}),
+                     profile=make_profile(4, 8))
+        writer = TraceWriter()
+        traced = TracingDB(db, writer)
+        traced.put(b"k", b"v")
+        assert traced.get(b"k") == b"v"
+        traced.delete(b"k")
+        traced.scan(b"a", 10)
+        kinds = [op.kind for op in writer.ops]
+        assert kinds == ["put", "get", "delete", "scan"]
+        traced.close()  # attribute passthrough
+
+    def test_dump_parses_back(self):
+        writer = TraceWriter()
+        writer.put(b"a", b"1")
+        writer.get(b"a")
+        assert [op.kind for op in parse_trace(writer.dump())] == ["put", "get"]
+
+
+class TestReplay:
+    def _workload(self):
+        ops = []
+        for i in range(200):
+            ops.append(TraceOp("put", b"%04d" % i, b"x" * 50))
+        for i in range(100):
+            ops.append(TraceOp("get", b"%04d" % (i * 2)))
+        ops.append(TraceOp("scan", b"0000", limit=5))
+        return ops
+
+    def test_replay_counts(self):
+        result = replay_trace(self._workload(),
+                              Options({"write_buffer_size": 16 * 1024}))
+        assert result.ops_replayed == 301
+        assert result.per_kind == {"put": 200, "get": 100, "scan": 1}
+        assert result.duration_s > 0
+        assert result.ops_per_sec > 0
+
+    def test_replay_is_deterministic(self):
+        opts = Options({"write_buffer_size": 16 * 1024})
+        a = replay_trace(self._workload(), opts)
+        b = replay_trace(self._workload(), opts)
+        assert a.duration_s == b.duration_s
+
+    def test_replay_compares_configs_fairly(self):
+        ops = self._workload()
+        slow = replay_trace(ops, Options({"write_buffer_size": 4096}))
+        fast = replay_trace(ops, Options({
+            "write_buffer_size": 4096,
+            "bloom_filter_bits_per_key": 10.0,
+            "block_cache_size": 1 << 24,
+        }))
+        # Identical op stream, different configs, comparable output.
+        assert fast.ops_replayed == slow.ops_replayed
+        assert fast.duration_s != slow.duration_s
+
+    def test_record_then_replay_round_trip(self):
+        db = DB.open("/t2", Options({"write_buffer_size": 16 * 1024}),
+                     profile=make_profile(4, 8))
+        writer = TraceWriter()
+        traced = TracingDB(db, writer)
+        for i in range(50):
+            traced.put(b"%03d" % i, b"v%d" % i)
+        for i in range(50):
+            traced.get(b"%03d" % i)
+        traced.close()
+        result = replay_trace(parse_trace(writer.dump()))
+        assert result.ops_replayed == 100

@@ -1,0 +1,88 @@
+"""Tests for the YCSB workload suite."""
+
+import pytest
+
+from repro.bench.ycsb import YcsbRunner, YcsbSpec, run_ycsb
+from repro.errors import WorkloadError
+from repro.hardware import make_profile
+from repro.lsm.options import Options
+
+FAST = dict(record_count=800, operation_count=800, byte_scale=1 / 1024)
+
+
+class TestYcsbSpec:
+    def test_all_six_workloads(self):
+        for letter in "ABCDEF":
+            spec = YcsbSpec(letter)
+            assert abs(sum(spec.mix.values()) - 1.0) < 1e-9
+
+    def test_unknown_letter(self):
+        with pytest.raises(WorkloadError):
+            YcsbSpec("G")
+
+    def test_invalid_counts(self):
+        with pytest.raises(WorkloadError):
+            YcsbSpec("A", record_count=0)
+
+    def test_describe(self):
+        text = YcsbSpec("B").describe()
+        assert "95% read" in text
+        assert "zipfian" in text
+
+    def test_d_uses_latest(self):
+        assert YcsbSpec("D").uses_latest_distribution
+        assert not YcsbSpec("A").uses_latest_distribution
+
+
+class TestYcsbRuns:
+    @pytest.mark.parametrize("letter", list("ABCDEF"))
+    def test_every_workload_completes(self, letter):
+        result = run_ycsb(letter, **FAST)
+        assert sum(result.op_counts.values()) == 800
+        assert result.ops_per_sec > 0
+
+    def test_mix_ratio_approximated(self):
+        result = run_ycsb("B", **FAST)
+        reads = result.op_counts.get("read", 0)
+        assert reads / 800 > 0.9
+
+    def test_workload_c_is_read_only(self):
+        result = run_ycsb("C", **FAST)
+        assert set(result.op_counts) == {"read"}
+        assert result.found + result.missed == 800
+
+    def test_reads_mostly_hit(self):
+        result = run_ycsb("C", **FAST)
+        assert result.found > result.missed
+
+    def test_workload_e_scans(self):
+        result = run_ycsb("E", **FAST)
+        assert result.op_counts.get("scan", 0) > 0
+
+    def test_deterministic(self):
+        a = run_ycsb("A", **FAST)
+        b = run_ycsb("A", **FAST)
+        assert a.duration_s == b.duration_s
+        assert a.op_counts == b.op_counts
+
+    def test_options_move_results(self):
+        base = run_ycsb("C", **FAST)
+        tuned = run_ycsb(
+            "C",
+            Options({"bloom_filter_bits_per_key": 10.0,
+                     "block_cache_size": 1 << 30}),
+            **FAST,
+        )
+        assert tuned.duration_s < base.duration_s
+
+    def test_latency_accessors(self):
+        result = run_ycsb("A", **FAST)
+        assert result.p99_read_us() > 0
+        assert result.p99_update_us() > 0
+
+    def test_custom_profile(self):
+        from repro.hardware import SATA_HDD
+
+        hdd = run_ycsb("C", profile=make_profile(2, 4, SATA_HDD), **FAST)
+        nvme = run_ycsb("C", profile=make_profile(2, 4), **FAST)
+        assert hdd.ops_per_sec < nvme.ops_per_sec

@@ -1,0 +1,104 @@
+"""Tests for the benchmark report parser (round-trips the renderer)."""
+
+import pytest
+
+from repro.bench.report import render_report
+from repro.bench.runner import DbBench
+from repro.bench.spec import WorkloadSpec
+from repro.core.bench_parser import BenchMetrics, parse_report
+from repro.errors import BenchmarkParseError
+from repro.hardware import make_profile
+
+SAMPLE = """db_bench output
+fillrandom   :      3.180 micros/op 314465 ops/sec;  34.8 MB/s
+
+Microseconds per write:
+Count: 50000000 Average: 3.1800 StdDev: 1.20
+Min: 1.0000 Median: 2.2000 Max: 120000.0000
+Percentiles: P50: 2.20 P95: 4.10 P99: 5.82 P99.9: 20.00
+
+Cumulative stall: 00:00:12.500 H:M:S, 7.8 percent
+Write stall count: 42 (slowdowns: 99)
+Block cache hit rate: 45.2%
+Bloom filter useful: 81.0%
+"""
+
+
+class TestParseReport:
+    def test_headline(self):
+        m = parse_report(SAMPLE)
+        assert m.benchmark == "fillrandom"
+        assert m.ops_per_sec == 314465
+        assert m.micros_per_op == pytest.approx(3.18)
+        assert m.mb_per_sec == pytest.approx(34.8)
+        assert not m.aborted
+
+    def test_percentiles(self):
+        m = parse_report(SAMPLE)
+        assert m.p99_write_us == pytest.approx(5.82)
+        assert m.p99_read_us is None
+
+    def test_stall_and_rates(self):
+        m = parse_report(SAMPLE)
+        assert m.stall_percent == pytest.approx(7.8)
+        assert m.stall_count == 42
+        assert m.cache_hit_rate == pytest.approx(0.452)
+        assert m.bloom_useful_rate == pytest.approx(0.81)
+
+    def test_aborted_flag(self):
+        text = SAMPLE.replace("34.8 MB/s", "34.8 MB/s (ABORTED EARLY)")
+        assert parse_report(text).aborted
+
+    def test_missing_headline_raises(self):
+        with pytest.raises(BenchmarkParseError):
+            parse_report("no benchmark here")
+
+    def test_read_block_parsed(self):
+        text = SAMPLE + (
+            "\nMicroseconds per read:\nCount: 10 Average: 100 StdDev: 5\n"
+            "Min: 50 Median: 90 Max: 500\n"
+            "Percentiles: P50: 90.00 P95: 200.00 P99: 325.65 P99.9: 400.00\n"
+        )
+        assert parse_report(text).p99_read_us == pytest.approx(325.65)
+
+
+class TestRoundTrip:
+    def test_real_report_round_trips(self):
+        spec = WorkloadSpec(
+            name="mixgraph", num_ops=1500, num_keys=1000, preload_keys=1000,
+            read_fraction=0.5, distribution="mixgraph", pareto_values=True,
+            seed=2,
+        )
+        result = DbBench(spec, None, make_profile(4, 4),
+                         byte_scale=1 / 1024).run()
+        metrics = parse_report(render_report(result))
+        assert metrics.benchmark == "mixgraph"
+        assert metrics.ops_per_sec == pytest.approx(result.ops_per_sec, rel=0.01)
+        assert metrics.p99_write_us == pytest.approx(
+            result.write_summary.p99, rel=0.01)
+        assert metrics.p99_read_us == pytest.approx(
+            result.read_summary.p99, rel=0.01)
+        assert metrics.cache_hit_rate == pytest.approx(
+            result.cache_hit_rate, abs=0.01)
+
+
+class TestBetterThan:
+    def _metrics(self, ops):
+        return BenchMetrics(
+            benchmark="x", micros_per_op=1.0, ops_per_sec=ops, mb_per_sec=1.0,
+            p99_write_us=None, p99_read_us=None, stall_percent=0.0,
+            stall_count=0, cache_hit_rate=0.0, bloom_useful_rate=0.0,
+            aborted=False,
+        )
+
+    def test_strictly_better(self):
+        assert self._metrics(110).better_than(self._metrics(100))
+        assert not self._metrics(90).better_than(self._metrics(100))
+
+    def test_tolerance_band(self):
+        assert not self._metrics(104).better_than(
+            self._metrics(100), tolerance=0.05)
+
+    def test_describe(self):
+        text = self._metrics(100).describe()
+        assert "100 ops/sec" in text

@@ -1,0 +1,29 @@
+"""Tests for the elmo-tune CLI."""
+
+from repro.core.cli import build_parser, main
+
+
+class TestCli:
+    def test_defaults(self):
+        args = build_parser().parse_args([])
+        assert args.workload == "fillrandom"
+        assert args.iterations == 7
+
+    def test_tiny_session(self, capsys, tmp_path):
+        out_path = tmp_path / "OPTIONS.tuned"
+        rc = main([
+            "--workload", "fillrandom",
+            "--scale", "0.00005",
+            "--iterations", "2",
+            "--no-hallucinations",
+            "--save-options", str(out_path),
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Tuning session" in out
+        assert "Table 5 shape" in out
+        assert out_path.exists()
+        assert "[DBOptions]" in out_path.read_text()
+
+    def test_bad_device(self, capsys):
+        assert main(["--device", "zip-drive"]) == 2

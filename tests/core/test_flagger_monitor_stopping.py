@@ -1,0 +1,129 @@
+"""Tests for the Active Flagger, Benchmark Monitor, and stopping rules."""
+
+import pytest
+
+from repro.bench.runner import ProgressEvent
+from repro.core.bench_parser import BenchMetrics
+from repro.core.flagger import ActiveFlagger
+from repro.core.monitor import BenchmarkMonitor, MonitorConfig
+from repro.core.stopping import StoppingCriteria, StopTracker
+
+
+def metrics(ops, p99w=None, p99r=None, aborted=False):
+    return BenchMetrics(
+        benchmark="x", micros_per_op=1e6 / ops, ops_per_sec=ops,
+        mb_per_sec=1.0, p99_write_us=p99w, p99_read_us=p99r,
+        stall_percent=0.0, stall_count=0, cache_hit_rate=0.0,
+        bloom_useful_rate=0.0, aborted=aborted,
+    )
+
+
+class TestActiveFlagger:
+    def test_improvement_kept(self):
+        decision = ActiveFlagger().decide(metrics(100), metrics(120))
+        assert decision.keep and decision.improved
+        assert "improved" in decision.reason
+
+    def test_regression_reverted(self):
+        decision = ActiveFlagger().decide(metrics(100), metrics(80))
+        assert not decision.keep
+        assert "reverting" in decision.reason
+
+    def test_aborted_run_always_reverted(self):
+        decision = ActiveFlagger().decide(metrics(100),
+                                          metrics(500, aborted=True))
+        assert not decision.keep
+        assert "aborted" in decision.reason
+
+    def test_p99_tiebreak_within_band(self):
+        best = metrics(100, p99w=10.0)
+        candidate = metrics(99.5, p99w=7.0)  # flat throughput, better tail
+        decision = ActiveFlagger().decide(best, candidate)
+        assert decision.keep
+
+    def test_p99_regression_disqualifies_tiebreak(self):
+        best = metrics(100, p99w=10.0, p99r=50.0)
+        candidate = metrics(99.5, p99w=7.0, p99r=200.0)
+        assert not ActiveFlagger().decide(best, candidate).keep
+
+    def test_min_gain_threshold(self):
+        flagger = ActiveFlagger(min_gain=0.10)
+        assert not flagger.decide(metrics(100, p99w=5),
+                                  metrics(105, p99w=5)).improved
+
+    def test_invalid_min_gain(self):
+        with pytest.raises(ValueError):
+            ActiveFlagger(min_gain=-0.1)
+
+
+class TestBenchmarkMonitor:
+    def event(self, done, total=10_000, ops=1000.0):
+        return ProgressEvent(done, total, done / ops if ops else 0.0, ops)
+
+    def test_no_reference_never_aborts(self):
+        monitor = BenchmarkMonitor(MonitorConfig(), None)
+        assert monitor(self.event(9000, ops=1.0))
+        assert not monitor.fired
+
+    def test_warmup_grace_period(self):
+        monitor = BenchmarkMonitor(MonitorConfig(warmup_fraction=0.5), 1000.0)
+        assert monitor(self.event(1000, ops=10.0))  # terrible but warming up
+
+    def test_aborts_after_warmup_when_slow(self):
+        monitor = BenchmarkMonitor(MonitorConfig(), 1000.0)
+        assert not monitor(self.event(5000, ops=100.0))
+        assert monitor.fired
+
+    def test_continues_when_healthy(self):
+        monitor = BenchmarkMonitor(MonitorConfig(), 1000.0)
+        assert monitor(self.event(5000, ops=900.0))
+
+    def test_disabled(self):
+        config = MonitorConfig(enabled=False)
+        monitor = BenchmarkMonitor(config, 1000.0)
+        assert monitor(self.event(9000, ops=1.0))
+
+    def test_invalid_config(self):
+        with pytest.raises(ValueError):
+            MonitorConfig(warmup_fraction=0.0)
+        with pytest.raises(ValueError):
+            MonitorConfig(abort_ratio=1.0)
+
+
+class TestStopping:
+    def test_max_iterations(self):
+        tracker = StopTracker(StoppingCriteria(max_iterations=2))
+        best = metrics(100)
+        assert tracker.should_stop(best) is None
+        tracker.record(True, best)
+        assert tracker.should_stop(best) is None
+        tracker.record(True, best)
+        assert "max iterations" in tracker.should_stop(best)
+
+    def test_patience(self):
+        tracker = StopTracker(StoppingCriteria(max_iterations=99, patience=2))
+        best = metrics(100)
+        tracker.record(False, best)
+        assert tracker.should_stop(best) is None
+        tracker.record(False, best)
+        assert "no improvement" in tracker.should_stop(best)
+
+    def test_patience_resets_on_improvement(self):
+        tracker = StopTracker(StoppingCriteria(max_iterations=99, patience=2))
+        best = metrics(100)
+        tracker.record(False, best)
+        tracker.record(True, best)
+        tracker.record(False, best)
+        assert tracker.should_stop(best) is None
+
+    def test_target_throughput(self):
+        tracker = StopTracker(
+            StoppingCriteria(max_iterations=99, target_ops_per_sec=500.0))
+        tracker.record(True, metrics(600))
+        assert "target" in tracker.should_stop(metrics(600))
+
+    def test_invalid_criteria(self):
+        with pytest.raises(ValueError):
+            StoppingCriteria(max_iterations=0)
+        with pytest.raises(ValueError):
+            StoppingCriteria(patience=0)

@@ -1,0 +1,116 @@
+"""Tests for session history and experiment reporting helpers."""
+
+import pytest
+
+from repro.core.bench_parser import BenchMetrics
+from repro.core.reporting import (
+    format_grid_table,
+    format_iteration_series,
+    format_option_trajectory,
+    improvement_summary,
+)
+from repro.core.session import IterationRecord, TuningSession
+from repro.lsm.options import Options
+
+
+def metrics(ops, p99w=10.0, p99r=None):
+    return BenchMetrics(
+        benchmark="fillrandom", micros_per_op=1e6 / ops, ops_per_sec=ops,
+        mb_per_sec=1.0, p99_write_us=p99w, p99_read_us=p99r,
+        stall_percent=0.0, stall_count=0, cache_hit_rate=0.0,
+        bloom_useful_rate=0.0, aborted=False,
+    )
+
+
+def session_with_history():
+    session = TuningSession("fillrandom", "2c+4g")
+    base = Options()
+    session.add(IterationRecord(0, base, metrics(100), "r0", True))
+    it1 = Options({"write_buffer_size": 128 << 20})
+    session.add(IterationRecord(1, it1, metrics(120, p99w=8.0), "r1", True,
+                                accepted_changes=[("write_buffer_size",
+                                                   128 << 20)]))
+    session.add(IterationRecord(2, it1, metrics(90), "r2", False))
+    it3 = it1.copy()
+    it3.set("max_background_jobs", 4)
+    session.add(IterationRecord(3, it3, metrics(150, p99w=6.0), "r3", True))
+    session.stop_reason = "max iterations"
+    return session
+
+
+class TestTuningSession:
+    def test_baseline_and_best(self):
+        s = session_with_history()
+        assert s.baseline.iteration == 0
+        assert s.best.iteration == 3
+        assert s.improvement_factor() == pytest.approx(1.5)
+
+    def test_series(self):
+        s = session_with_history()
+        assert s.throughput_series() == [100, 120, 90, 150]
+        assert s.p99_write_series() == [10.0, 8.0, 10.0, 6.0]
+
+    def test_final_options_are_best(self):
+        s = session_with_history()
+        assert s.final_options.get("max_background_jobs") == 4
+
+    def test_option_trajectory_skips_reverted(self):
+        s = session_with_history()
+        trajectory = s.option_trajectory()
+        assert trajectory["write_buffer_size"] == [(1, 128 << 20)]
+        assert trajectory["max_background_jobs"] == [(3, 4)]
+        assert s.options_touched() == 2
+
+    def test_describe(self):
+        text = session_with_history().describe()
+        assert "baseline" in text
+        assert "reverted" in text
+        assert "1.50x" in text
+
+
+class TestReporting:
+    def test_grid_table(self):
+        text = format_grid_table(
+            "Table 1", ["2+4", "2+8"], [100.0, 110.0], [120.0, 130.0])
+        assert "Default" in text and "Tuned" in text
+        assert "120" in text
+
+    def test_grid_table_mismatch(self):
+        with pytest.raises(ValueError):
+            format_grid_table("t", ["a"], [1.0, 2.0], [1.0])
+
+    def test_iteration_series(self):
+        sessions = {"fillrandom": session_with_history()}
+        text = format_iteration_series("Figure 3a", sessions)
+        assert "Iter" in text
+        assert "150.0" in text
+
+    def test_iteration_series_p99(self):
+        sessions = {"fr": session_with_history()}
+        text = format_iteration_series("Fig", sessions, series="p99_write")
+        assert "6.0" in text
+
+    def test_iteration_series_handles_none(self):
+        sessions = {"fr": session_with_history()}
+        text = format_iteration_series("Fig", sessions, series="p99_read")
+        assert "-" in text
+
+    def test_unknown_series(self):
+        with pytest.raises(ValueError):
+            format_iteration_series("x", {}, series="p42")
+
+    def test_option_trajectory_table(self):
+        text = format_option_trajectory(session_with_history())
+        assert "write_buffer_size" in text
+        assert "It1" in text and "It3" in text
+        assert "128MiB" in text
+
+    def test_option_trajectory_empty(self):
+        s = TuningSession("x", "y")
+        s.add(IterationRecord(0, Options(), metrics(1), "", True))
+        assert "no options" in format_option_trajectory(s)
+
+    def test_improvement_summary(self):
+        text = improvement_summary({"fr": session_with_history()})
+        assert "1.50x" in text
+        assert "p99 write" in text

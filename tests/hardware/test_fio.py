@@ -1,0 +1,34 @@
+"""Tests for the fio-like storage probe."""
+
+from repro.hardware import FioProbe, NVME_SSD, SATA_HDD
+
+
+class TestFioProbe:
+    def test_four_jobs_present(self):
+        report = FioProbe(NVME_SSD).run()
+        assert report.seq_read.job == "seq-read"
+        assert report.seq_write.job == "seq-write"
+        assert report.rand_read.job == "rand-read"
+        assert report.rand_write.job == "rand-write"
+
+    def test_sequential_beats_random_on_hdd(self):
+        report = FioProbe(SATA_HDD).run()
+        assert report.seq_read.bandwidth_mb_s > 10 * report.rand_read.bandwidth_mb_s
+
+    def test_nvme_random_iops_far_above_hdd(self):
+        nvme = FioProbe(NVME_SSD).run()
+        hdd = FioProbe(SATA_HDD).run()
+        assert nvme.rand_read.iops > 50 * hdd.rand_read.iops
+
+    def test_iops_latency_consistency(self):
+        report = FioProbe(NVME_SSD).run()
+        job = report.rand_read
+        assert job.iops * job.avg_latency_us / 1e6 == 1.0 or abs(
+            job.iops * job.avg_latency_us / 1e6 - 1.0
+        ) < 1e-9
+
+    def test_describe_lists_all_jobs(self):
+        text = FioProbe(SATA_HDD).run().describe()
+        for name in ("seq-read", "seq-write", "rand-read", "rand-write"):
+            assert name in text
+        assert "sata-hdd" in text

@@ -1,0 +1,89 @@
+"""End-to-end integration: the full ELMo-Tune loop with the simulated
+expert against every paper workload (tiny scales for speed)."""
+
+import pytest
+
+from repro.bench.spec import WorkloadSpec
+from repro.core import ElmoTune, TunerConfig
+from repro.core.stopping import StoppingCriteria
+from repro.hardware import SATA_HDD, make_profile
+from repro.llm import HallucinationProfile, SimulatedExpert
+
+
+def tiny(name, read_fraction, distribution="uniform", preload=1200,
+         threads=1, pareto=False):
+    return WorkloadSpec(
+        name=name, num_ops=2500, num_keys=1500, preload_keys=preload,
+        read_fraction=read_fraction, distribution=distribution,
+        threads=threads, pareto_values=pareto, seed=13,
+    )
+
+
+def run_session(spec, profile=None, seed=13, iterations=3, **expert_kw):
+    cfg = TunerConfig(
+        workload=spec,
+        profile=profile if profile is not None else make_profile(4, 4),
+        byte_scale=1 / 1024,
+        stopping=StoppingCriteria(max_iterations=iterations),
+    )
+    expert = SimulatedExpert(seed=seed, **expert_kw)
+    return ElmoTune(cfg, expert).run()
+
+
+class TestFullLoop:
+    @pytest.mark.parametrize("spec", [
+        tiny("fillrandom", 0.0, preload=0),
+        tiny("readrandom", 1.0),
+        tiny("readrandomwriterandom", 0.9, threads=2),
+        tiny("mixgraph", 0.5, distribution="mixgraph", pareto=True),
+    ], ids=lambda s: s.name)
+    def test_every_workload_completes(self, spec):
+        session = run_session(spec)
+        assert len(session.iterations) == 4
+        assert session.best.metrics.ops_per_sec > 0
+        # Final configuration never loses a safeguarded option.
+        assert session.final_options.get("disable_wal") is False
+        assert session.final_options.get("paranoid_checks") is True
+
+    def test_tuning_never_ends_worse_than_baseline(self):
+        for seed in (1, 2, 3):
+            session = run_session(tiny("readrandom", 1.0), seed=seed)
+            assert session.best.metrics.ops_per_sec >= \
+                session.baseline.metrics.ops_per_sec
+
+    def test_read_heavy_improves(self):
+        session = run_session(tiny("readrandom", 1.0), iterations=4,
+                              hallucination=HallucinationProfile.none())
+        assert session.improvement_factor() > 1.1
+
+    def test_hdd_session_completes(self):
+        session = run_session(
+            tiny("fillrandom", 0.0, preload=0),
+            profile=make_profile(2, 4, SATA_HDD),
+        )
+        assert session.best.metrics.ops_per_sec > 0
+
+    def test_deterministic_sessions(self):
+        a = run_session(tiny("fillrandom", 0.0, preload=0), seed=7)
+        b = run_session(tiny("fillrandom", 0.0, preload=0), seed=7)
+        assert a.throughput_series() == b.throughput_series()
+        assert a.final_options == b.final_options
+
+    def test_severe_hallucinations_are_contained(self):
+        session = run_session(
+            tiny("fillrandom", 0.0, preload=0),
+            hallucination=HallucinationProfile.severe(),
+        )
+        # Safeguards vetoed things, yet the loop finished and the final
+        # configuration holds no unsafe values.
+        final = session.final_options
+        assert final.get("disable_wal") is False
+        assert final.get("no_block_cache") is False
+        assert final.get("allow_data_loss_on_crash") is False
+
+    def test_rejections_recorded_for_audit(self):
+        session = run_session(
+            tiny("fillrandom", 0.0, preload=0),
+            hallucination=HallucinationProfile.severe(), iterations=4,
+        )
+        assert session.total_rejections() >= 0  # audit path exercised

@@ -1,0 +1,113 @@
+"""Stateful property test: PyLSM vs a model dict under random op streams,
+including flushes, compactions, snapshots, and crash-reopen cycles."""
+
+import pytest
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    Bundle,
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    rule,
+)
+
+from repro.hardware import make_profile
+from repro.lsm import DB, Env, Options
+
+KEYS = st.binary(min_size=1, max_size=8)
+VALUES = st.binary(max_size=24)
+
+OPTS = {
+    "write_buffer_size": 4096,  # rotate constantly: stress flush paths
+    "max_bytes_for_level_base": 16 * 1024,
+    "target_file_size_base": 4096,
+    "bloom_filter_bits_per_key": 10.0,
+}
+
+
+class DBMachine(RuleBasedStateMachine):
+    snapshots = Bundle("snapshots")
+
+    @initialize()
+    def setup(self):
+        self.env = Env()
+        self.db = DB.open("/state-db", Options(OPTS), env=self.env,
+                          profile=make_profile(2, 8))
+        self.model: dict[bytes, bytes] = {}
+        self.snapshot_models: dict[int, dict[bytes, bytes]] = {}
+
+    def teardown(self):
+        if not self.db.closed:
+            self.db.close()
+
+    @rule(key=KEYS, value=VALUES)
+    def put(self, key, value):
+        self.db.put(key, value)
+        self.model[key] = value
+
+    @rule(key=KEYS)
+    def delete(self, key):
+        self.db.delete(key)
+        self.model.pop(key, None)
+
+    @rule(key=KEYS)
+    def get_matches_model(self, key):
+        assert self.db.get(key) == self.model.get(key)
+
+    @rule()
+    def flush(self):
+        self.db.flush()
+
+    @rule()
+    def compact(self):
+        self.db.compact_range()
+
+    @rule(key=KEYS)
+    def scan_window_matches_model(self, key):
+        rows = self.db.scan(start=key, limit=5)
+        expected = sorted(
+            (k, v) for k, v in self.model.items() if k >= key
+        )[:5]
+        assert rows == expected
+
+    @rule(target=snapshots)
+    def take_snapshot(self, ):
+        snap = self.db.snapshot()
+        self.snapshot_models[snap.sequence] = dict(self.model)
+        return snap
+
+    @rule(snap=snapshots, key=KEYS)
+    def snapshot_read_is_frozen(self, snap, key):
+        if snap.sequence not in self.snapshot_models:
+            return  # released earlier
+        frozen = self.snapshot_models[snap.sequence]
+        assert self.db.get(key, snapshot=snap) == frozen.get(key)
+
+    @rule(snap=snapshots)
+    def release_snapshot(self, snap):
+        if snap.sequence in self.snapshot_models:
+            snap.release()
+            del self.snapshot_models[snap.sequence]
+
+    @rule()
+    def crash_and_reopen(self):
+        # Only valid with no live snapshots (handles die with the DB).
+        for seq in list(self.snapshot_models):
+            del self.snapshot_models[seq]
+        self.db = DB.open("/state-db", Options(OPTS), env=self.env,
+                          profile=make_profile(2, 8))
+
+    @invariant()
+    def sizes_agree(self):
+        if self.db.closed:
+            return
+        live = int(self.db.get_property("pylsm.estimate-num-keys") or 0)
+        # Estimate counts stale versions too, so it upper-bounds the model.
+        assert live >= 0
+
+
+TestDBStateMachine = DBMachine.TestCase
+TestDBStateMachine.settings = settings(
+    max_examples=25, stateful_step_count=40, deadline=None
+)

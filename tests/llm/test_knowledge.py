@@ -1,0 +1,128 @@
+"""Tests for the tuning knowledge base."""
+
+import pytest
+
+from repro.llm.knowledge import (
+    PromptFacts,
+    RULES,
+    fit_to_memory,
+    matching_rules,
+    memory_budget_ok,
+)
+from repro.lsm.options import GiB, MiB, known_option
+
+
+def facts(**kw):
+    return PromptFacts(**kw)
+
+
+class TestFactsDerived:
+    def test_workload_classification(self):
+        assert facts(read_fraction=0.0).write_heavy
+        assert facts(read_fraction=1.0).read_heavy
+        assert facts(read_fraction=0.5).mixed
+        assert not facts(read_fraction=0.5).write_heavy
+
+    def test_memory_bytes(self):
+        assert facts(memory_gib=4.0).memory_bytes == 4 * GiB
+
+    def test_option_lookup(self):
+        f = facts(current={"write_buffer_size": 123})
+        assert f.option("write_buffer_size") == 123
+        assert f.option("missing", "dflt") == "dflt"
+
+
+class TestRules:
+    def test_every_rule_targets_real_options(self):
+        for rule in RULES:
+            for move in rule.moves:
+                assert known_option(move.option), (rule.name, move.option)
+
+    def test_every_rule_produces_valid_values(self):
+        from repro.lsm.options import spec_for
+
+        for kind in (facts(read_fraction=0.0, rotational=True),
+                     facts(read_fraction=1.0),
+                     facts(read_fraction=0.5, stall_percent=50.0)):
+            for iteration in range(8):
+                kind.iteration = iteration
+                for rule in RULES:
+                    if not rule.applies(kind):
+                        continue
+                    for move in rule.moves:
+                        value = move.value(kind)
+                        spec_for(move.option).validate(value)
+
+    def test_write_heavy_gets_buffer_rules(self):
+        names = {r.name for r in matching_rules(facts(read_fraction=0.0))}
+        assert "bigger-write-buffers" in names
+        assert "bloom-filters" not in names
+
+    def test_read_heavy_gets_bloom_and_cache(self):
+        names = {r.name for r in matching_rules(facts(read_fraction=1.0))}
+        assert "bloom-filters" in names
+        assert "block-cache-sizing" in names
+        assert "bigger-write-buffers" not in names
+
+    def test_hdd_gets_readahead_rule(self):
+        names = {r.name for r in matching_rules(
+            facts(read_fraction=0.0, rotational=True))}
+        assert "hdd-compaction-readahead" in names
+        nvme_names = {r.name for r in matching_rules(facts(read_fraction=0.0))}
+        assert "hdd-compaction-readahead" not in nvme_names
+
+    def test_stalls_trigger_relief_rule(self):
+        names = {r.name for r in matching_rules(
+            facts(read_fraction=1.0, stall_percent=20.0))}
+        assert "relieve-stalls" in names
+
+    def test_rules_sorted_by_priority(self):
+        rules = matching_rules(facts(read_fraction=0.5))
+        priorities = [r.priority for r in rules]
+        assert priorities == sorted(priorities, reverse=True)
+
+    def test_moves_mention_table5_options(self):
+        """The expert's vocabulary covers the paper's Table 5."""
+        vocabulary = {m.option for r in RULES for m in r.moves}
+        for name in ("max_background_flushes", "wal_bytes_per_sync",
+                     "bytes_per_sync", "strict_bytes_per_sync",
+                     "max_background_compactions", "dump_malloc_stats",
+                     "enable_pipelined_write",
+                     "max_bytes_for_level_multiplier",
+                     "max_write_buffer_number", "compaction_readahead_size",
+                     "max_background_jobs", "target_file_size_base",
+                     "write_buffer_size",
+                     "level0_file_num_compaction_trigger",
+                     "min_write_buffer_number_to_merge"):
+            assert name in vocabulary, name
+
+
+class TestMemoryBudget:
+    def test_ok_within_budget(self):
+        f = facts(memory_gib=8.0)
+        assert memory_budget_ok(f, {"block_cache_size": 1 * GiB})
+
+    def test_overcommit_detected(self):
+        f = facts(memory_gib=4.0)
+        assert not memory_budget_ok(f, {"block_cache_size": 8 * GiB})
+
+    def test_fit_shrinks_cache_first(self):
+        f = facts(memory_gib=4.0)
+        fitted = fit_to_memory(f, {"block_cache_size": 8 * GiB})
+        assert fitted["block_cache_size"] < 8 * GiB
+        assert memory_budget_ok(f, fitted)
+
+    def test_fit_shrinks_buffers_when_needed(self):
+        f = facts(memory_gib=4.0)
+        proposal = {
+            "write_buffer_size": 1 * GiB,
+            "max_write_buffer_number": 8,
+            "block_cache_size": 64 * MiB,
+        }
+        fitted = fit_to_memory(f, proposal)
+        assert memory_budget_ok(f, fitted)
+
+    def test_fit_is_noop_when_ok(self):
+        f = facts(memory_gib=8.0)
+        proposal = {"block_cache_size": 256 * MiB}
+        assert fit_to_memory(f, proposal) == proposal

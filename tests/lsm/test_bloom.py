@@ -1,0 +1,86 @@
+"""Tests for the bloom filter: no false negatives, bounded false positives."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lsm.bloom import BloomFilter
+
+
+class TestBasics:
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            BloomFilter(0, 100)
+        with pytest.raises(ValueError):
+            BloomFilter(10, 0)
+
+    def test_probe_count_follows_bits_per_key(self):
+        assert BloomFilter(10, 100).num_probes == 7
+        assert BloomFilter(1, 100).num_probes == 1
+
+    def test_no_false_negatives(self):
+        bloom = BloomFilter(10, 1000)
+        keys = [b"key-%d" % i for i in range(1000)]
+        for key in keys:
+            bloom.add(key)
+        assert all(bloom.may_contain(k) for k in keys)
+
+    def test_false_positive_rate_near_theory(self):
+        bloom = BloomFilter(10, 2000)
+        for i in range(2000):
+            bloom.add(b"present-%d" % i)
+        false_positives = sum(
+            bloom.may_contain(b"absent-%d" % i) for i in range(5000)
+        )
+        rate = false_positives / 5000
+        # ~1% expected at 10 bits/key; allow generous slack.
+        assert rate < 0.05
+
+    def test_theoretical_fp_rate(self):
+        bloom = BloomFilter(10, 1000)
+        assert bloom.theoretical_fp_rate() == 0.0
+        for i in range(1000):
+            bloom.add(b"%d" % i)
+        assert 0.0 < bloom.theoretical_fp_rate() < 0.05
+
+    def test_fewer_bits_means_more_false_positives(self):
+        low = BloomFilter(4, 1000)
+        high = BloomFilter(16, 1000)
+        for i in range(1000):
+            low.add(b"%d" % i)
+            high.add(b"%d" % i)
+        low_fp = sum(low.may_contain(b"x%d" % i) for i in range(3000))
+        high_fp = sum(high.may_contain(b"x%d" % i) for i in range(3000))
+        assert high_fp < low_fp
+
+
+class TestSerialization:
+    def test_round_trip_preserves_membership(self):
+        bloom = BloomFilter(10, 500)
+        keys = [b"k%d" % i for i in range(500)]
+        for key in keys:
+            bloom.add(key)
+        restored = BloomFilter.from_bytes(bloom.to_bytes(), 10)
+        assert all(restored.may_contain(k) for k in keys)
+
+    def test_round_trip_preserves_negatives(self):
+        bloom = BloomFilter(12, 300)
+        for i in range(300):
+            bloom.add(b"in-%d" % i)
+        restored = BloomFilter.from_bytes(bloom.to_bytes(), 12)
+        for i in range(2000):
+            probe = b"out-%d" % i
+            assert restored.may_contain(probe) == bloom.may_contain(probe)
+
+    def test_from_bytes_too_short(self):
+        with pytest.raises(ValueError):
+            BloomFilter.from_bytes(b"\x07", 10)
+
+    @given(st.sets(st.binary(min_size=1, max_size=24), min_size=1, max_size=200))
+    @settings(max_examples=30)
+    def test_no_false_negatives_after_round_trip(self, keys):
+        bloom = BloomFilter(10, len(keys))
+        for key in keys:
+            bloom.add(key)
+        restored = BloomFilter.from_bytes(bloom.to_bytes(), 10)
+        assert all(restored.may_contain(k) for k in keys)

@@ -1,0 +1,105 @@
+"""Tests for the db_bench-style latency histogram."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lsm.histogram import Histogram
+
+
+class TestHistogram:
+    def test_empty(self):
+        h = Histogram()
+        assert h.count == 0
+        assert h.average == 0.0
+        assert h.minimum == 0.0
+        assert h.percentile(99) == 0.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram().add(-1.0)
+
+    def test_single_value(self):
+        h = Histogram()
+        h.add(5.0)
+        assert h.count == 1
+        assert h.average == 5.0
+        assert h.minimum == 5.0
+        assert h.maximum == 5.0
+
+    def test_average_and_stddev(self):
+        h = Histogram()
+        for v in (2.0, 4.0, 6.0, 8.0):
+            h.add(v)
+        assert h.average == pytest.approx(5.0)
+        assert h.std_dev() == pytest.approx(2.2360679, rel=1e-3)
+
+    def test_percentile_bounds(self):
+        h = Histogram()
+        for v in range(1, 101):
+            h.add(float(v))
+        assert h.percentile(50) <= h.percentile(99) <= h.percentile(99.9)
+        assert h.minimum <= h.percentile(1)
+        assert h.percentile(100) <= h.maximum
+
+    def test_percentile_accuracy_within_bucket_resolution(self):
+        h = Histogram()
+        for v in range(1, 10001):
+            h.add(float(v))
+        # Geometric buckets give ~50% resolution; check broad accuracy.
+        assert 4000 < h.percentile(50) < 7600
+        assert 9000 < h.percentile(99) <= 10000
+
+    def test_p99_separates_tail(self):
+        h = Histogram()
+        for _ in range(990):
+            h.add(2.0)
+        for _ in range(10):
+            h.add(5000.0)
+        assert h.percentile(50) < 5.0
+        assert h.percentile(99.5) > 1000.0
+
+    def test_invalid_percentile(self):
+        h = Histogram()
+        h.add(1.0)
+        with pytest.raises(ValueError):
+            h.percentile(0)
+        with pytest.raises(ValueError):
+            h.percentile(101)
+
+    def test_merge(self):
+        a, b = Histogram(), Histogram()
+        a.add(1.0)
+        b.add(100.0)
+        a.merge(b)
+        assert a.count == 2
+        assert a.minimum == 1.0
+        assert a.maximum == 100.0
+
+    def test_reset(self):
+        h = Histogram()
+        h.add(5.0)
+        h.reset()
+        assert h.count == 0
+        assert h.maximum == 0.0
+
+    def test_summary(self):
+        h = Histogram()
+        for v in (1.0, 2.0, 3.0):
+            h.add(v)
+        s = h.summary()
+        assert s.count == 3
+        assert s.average == pytest.approx(2.0)
+        assert "Percentiles" in s.describe()
+
+    @given(st.lists(st.floats(min_value=0.1, max_value=1e6), min_size=1,
+                    max_size=300))
+    @settings(max_examples=40)
+    def test_percentiles_are_monotone_and_bounded(self, values):
+        h = Histogram()
+        for v in values:
+            h.add(v)
+        p50, p95, p99 = h.percentile(50), h.percentile(95), h.percentile(99)
+        assert p50 <= p95 <= p99
+        assert min(values) <= p50
+        assert p99 <= max(values)

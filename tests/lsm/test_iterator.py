@@ -1,0 +1,68 @@
+"""Tests for the merged-iterator building blocks."""
+
+from repro.lsm import ikey
+from repro.lsm.iterator import memtable_source, merge_sources, user_view
+from repro.lsm.memtable import MemTable, ValueKind
+
+
+def mem_with(entries):
+    mem = MemTable(1 << 20, seed=1)
+    for seq, kind, key, value in entries:
+        mem.add(seq, kind, key, value)
+    return mem
+
+
+class TestMemtableSource:
+    def test_yields_internal_keys_in_order(self):
+        mem = mem_with([(1, ValueKind.VALUE, b"b", b""),
+                        (2, ValueKind.VALUE, b"a", b"")])
+        keys = [ikey.decode(k)[0] for k, _, _ in memtable_source(mem)]
+        assert keys == [b"a", b"b"]
+
+    def test_start_filter(self):
+        mem = mem_with([(1, ValueKind.VALUE, b"a", b""),
+                        (2, ValueKind.VALUE, b"c", b"")])
+        keys = [ikey.decode(k)[0] for k, _, _ in memtable_source(mem, b"b")]
+        assert keys == [b"c"]
+
+
+class TestMergeSources:
+    def test_global_internal_order(self):
+        m1 = mem_with([(1, ValueKind.VALUE, b"a", b""),
+                       (3, ValueKind.VALUE, b"c", b"")])
+        m2 = mem_with([(2, ValueKind.VALUE, b"b", b"")])
+        merged = merge_sources([memtable_source(m1), memtable_source(m2)])
+        keys = [ikey.decode(k)[0] for k, _, _ in merged]
+        assert keys == [b"a", b"b", b"c"]
+
+    def test_same_user_key_newest_first(self):
+        m1 = mem_with([(1, ValueKind.VALUE, b"k", b"old")])
+        m2 = mem_with([(9, ValueKind.VALUE, b"k", b"new")])
+        merged = merge_sources([memtable_source(m1), memtable_source(m2)])
+        values = [v for _, _, v in merged]
+        assert values == [b"new", b"old"]
+
+    def test_empty_sources(self):
+        assert list(merge_sources([])) == []
+        assert list(merge_sources([iter([])])) == []
+
+
+class TestUserView:
+    def test_collapses_versions(self):
+        mem = mem_with([(1, ValueKind.VALUE, b"k", b"v1"),
+                        (2, ValueKind.VALUE, b"k", b"v2")])
+        rows = list(user_view(merge_sources([memtable_source(mem)])))
+        assert rows == [(b"k", b"v2")]
+
+    def test_hides_tombstones(self):
+        mem = mem_with([(1, ValueKind.VALUE, b"a", b"x"),
+                        (2, ValueKind.DELETE, b"a", b""),
+                        (3, ValueKind.VALUE, b"b", b"y")])
+        rows = list(user_view(merge_sources([memtable_source(mem)])))
+        assert rows == [(b"b", b"y")]
+
+    def test_tombstone_does_not_hide_newer_write(self):
+        mem = mem_with([(1, ValueKind.DELETE, b"k", b""),
+                        (2, ValueKind.VALUE, b"k", b"alive")])
+        rows = list(user_view(merge_sources([memtable_source(mem)])))
+        assert rows == [(b"k", b"alive")]

@@ -1,0 +1,79 @@
+"""Tests for MANIFEST append/replay."""
+
+import pytest
+
+from repro.errors import CorruptionError
+from repro.lsm.env import MemFileSystem
+from repro.lsm.manifest import Manifest, VersionEdit
+from repro.lsm.sstable import FileMetaData
+
+
+def meta(number, lo=b"a", hi=b"z", level=0):
+    return FileMetaData(number, 100, lo, hi, 10, level=level)
+
+
+class TestVersionEdit:
+    def test_json_round_trip(self):
+        edit = VersionEdit(
+            added=[meta(3, b"\x00k", b"\xffz", level=2)],
+            deleted=[(0, 1), (1, 2)],
+            last_sequence=42,
+            next_file_number=9,
+            comment="compaction",
+        )
+        restored = VersionEdit.from_json(edit.to_json())
+        assert restored.added[0].file_number == 3
+        assert restored.added[0].smallest_key == b"\x00k"
+        assert restored.added[0].level == 2
+        assert restored.deleted == [(0, 1), (1, 2)]
+        assert restored.last_sequence == 42
+        assert restored.next_file_number == 9
+
+
+class TestManifest:
+    def test_replay_rebuilds_version(self):
+        fs = MemFileSystem()
+        manifest = Manifest(fs, "/db/MANIFEST")
+        manifest.append(VersionEdit(added=[meta(1)], last_sequence=5,
+                                    next_file_number=2))
+        manifest.append(VersionEdit(added=[meta(2, level=1)],
+                                    last_sequence=10, next_file_number=3))
+        version, last_seq, next_file = Manifest.replay(fs, "/db/MANIFEST", 7)
+        assert version.num_files(0) == 1
+        assert version.num_files(1) == 1
+        assert last_seq == 10
+        assert next_file == 3
+
+    def test_replay_applies_deletes(self):
+        fs = MemFileSystem()
+        manifest = Manifest(fs, "/db/MANIFEST")
+        manifest.append(VersionEdit(added=[meta(1)]))
+        manifest.append(VersionEdit(deleted=[(0, 1)], added=[meta(2, level=1)]))
+        version, _, _ = Manifest.replay(fs, "/db/MANIFEST", 7)
+        assert version.num_files(0) == 0
+        assert version.num_files(1) == 1
+
+    def test_torn_tail_ignored(self):
+        fs = MemFileSystem()
+        manifest = Manifest(fs, "/db/MANIFEST")
+        manifest.append(VersionEdit(added=[meta(1)]))
+        size = manifest.size()
+        manifest.append(VersionEdit(added=[meta(2)]))
+        fs.truncate("/db/MANIFEST", size + 5)
+        version, _, _ = Manifest.replay(fs, "/db/MANIFEST", 7)
+        assert version.num_files(0) == 1
+
+    def test_corruption_detected(self):
+        fs = MemFileSystem()
+        manifest = Manifest(fs, "/db/MANIFEST")
+        manifest.append(VersionEdit(added=[meta(1)]))
+        fs.corrupt("/db/MANIFEST", 12, 0xFF)
+        with pytest.raises(CorruptionError):
+            Manifest.replay(fs, "/db/MANIFEST", 7)
+
+    def test_edit_counter(self):
+        fs = MemFileSystem()
+        manifest = Manifest(fs, "/db/MANIFEST")
+        manifest.append(VersionEdit())
+        manifest.append(VersionEdit())
+        assert manifest.edits_written == 2

@@ -1,0 +1,106 @@
+"""Tests for the memtable."""
+
+import pytest
+
+from repro.lsm.memtable import MemTable, ValueKind
+
+
+@pytest.fixture
+def mem():
+    return MemTable(capacity_bytes=1 << 20, seed=1)
+
+
+class TestBasics:
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            MemTable(0)
+
+    def test_empty(self, mem):
+        assert mem.empty()
+        assert mem.num_entries == 0
+        found, _, _ = mem.get(b"k")
+        assert not found
+
+    def test_add_and_get(self, mem):
+        mem.add(1, ValueKind.VALUE, b"k", b"v")
+        found, kind, value = mem.get(b"k")
+        assert found and kind is ValueKind.VALUE and value == b"v"
+
+    def test_newest_version_wins(self, mem):
+        mem.add(1, ValueKind.VALUE, b"k", b"old")
+        mem.add(2, ValueKind.VALUE, b"k", b"new")
+        _, _, value = mem.get(b"k")
+        assert value == b"new"
+
+    def test_tombstone_visible(self, mem):
+        mem.add(1, ValueKind.VALUE, b"k", b"v")
+        mem.add(2, ValueKind.DELETE, b"k", b"")
+        found, kind, _ = mem.get(b"k")
+        assert found and kind is ValueKind.DELETE
+        assert mem.num_deletes == 1
+
+    def test_snapshot_read_sees_old_version(self, mem):
+        mem.add(5, ValueKind.VALUE, b"k", b"old")
+        mem.add(9, ValueKind.VALUE, b"k", b"new")
+        found, _, value = mem.get(b"k", snapshot_seq=7)
+        assert found and value == b"old"
+
+    def test_snapshot_before_first_write_sees_nothing(self, mem):
+        mem.add(5, ValueKind.VALUE, b"k", b"v")
+        found, _, _ = mem.get(b"k", snapshot_seq=4)
+        assert not found
+
+
+class TestAccounting:
+    def test_memory_usage_grows(self, mem):
+        before = mem.approximate_memory_usage
+        mem.add(1, ValueKind.VALUE, b"key", b"x" * 100)
+        assert mem.approximate_memory_usage > before + 100
+
+    def test_should_flush_at_capacity(self):
+        mem = MemTable(capacity_bytes=1024, seed=1)
+        assert not mem.should_flush()
+        for i in range(20):
+            mem.add(i + 1, ValueKind.VALUE, b"%04d" % i, b"v" * 64)
+        assert mem.should_flush()
+
+    def test_sequence_tracking(self, mem):
+        mem.add(10, ValueKind.VALUE, b"a", b"")
+        mem.add(12, ValueKind.VALUE, b"b", b"")
+        assert mem.first_seq == 10
+        assert mem.last_seq == 12
+
+
+class TestIteration:
+    def test_entries_sorted_by_user_key(self, mem):
+        for i, key in enumerate([b"c", b"a", b"b"]):
+            mem.add(i + 1, ValueKind.VALUE, key, key)
+        keys = [k for k, _, _, _ in mem.entries()]
+        assert keys == [b"a", b"b", b"c"]
+
+    def test_versions_newest_first(self, mem):
+        mem.add(1, ValueKind.VALUE, b"k", b"v1")
+        mem.add(2, ValueKind.VALUE, b"k", b"v2")
+        entries = list(mem.entries())
+        assert [(seq, val) for _, seq, _, val in entries] == [
+            (2, b"v2"), (1, b"v1")
+        ]
+
+
+class TestMemtableBloom:
+    def test_bloom_negative_short_circuits(self):
+        mem = MemTable(1 << 20, bloom_bits=10, whole_key_filtering=True, seed=1)
+        mem.add(1, ValueKind.VALUE, b"present", b"v")
+        assert not mem.bloom_negative(b"present")
+        # An absent key is *usually* filtered; check over many keys.
+        negatives = sum(mem.bloom_negative(b"absent-%d" % i) for i in range(100))
+        assert negatives > 90
+
+    def test_no_bloom_never_negative(self, mem):
+        assert not mem.bloom_negative(b"anything")
+
+    def test_get_honors_bloom(self):
+        mem = MemTable(1 << 20, bloom_bits=10, whole_key_filtering=True, seed=1)
+        mem.add(1, ValueKind.VALUE, b"k", b"v")
+        found, _, value = mem.get(b"k")
+        assert found and value == b"v"

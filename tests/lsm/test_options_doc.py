@@ -1,0 +1,50 @@
+"""Tests for the options-reference generator."""
+
+from repro.lsm.options import CATALOG
+from repro.lsm.options_doc import main, render_markdown
+
+
+class TestRenderMarkdown:
+    def test_every_option_appears(self):
+        text = render_markdown()
+        for spec in CATALOG:
+            assert f"`{spec.name}`" in text, spec.name
+
+    def test_sections_present(self):
+        text = render_markdown()
+        assert "## Database options" in text
+        assert "## Column-family options" in text
+        assert "## Block-based table options" in text
+
+    def test_flags_rendered(self):
+        text = render_markdown()
+        assert "**deprecated**" in text
+        assert "**blacklisted**" in text
+
+    def test_sizes_humanized(self):
+        text = render_markdown()
+        assert "(64MiB)" in text  # write_buffer_size default
+
+    def test_enum_choices_listed(self):
+        text = render_markdown()
+        assert "`snappy`" in text and "`zstd`" in text
+
+    def test_main_writes_file(self, tmp_path, capsys):
+        path = tmp_path / "ref.md"
+        assert main([str(path)]) == 0
+        assert path.read_text().startswith("# PyLSM Options Reference")
+
+    def test_main_prints_without_arg(self, capsys):
+        assert main([]) == 0
+        assert "# PyLSM Options Reference" in capsys.readouterr().out
+
+    def test_doc_in_repo_is_current(self):
+        """docs/options-reference.md must match the catalog (regenerate
+        with `python -m repro.lsm.options_doc docs/options-reference.md`)."""
+        import os
+
+        repo_root = os.path.join(os.path.dirname(__file__), "..", "..")
+        path = os.path.join(repo_root, "docs", "options-reference.md")
+        with open(path, encoding="utf-8") as f:
+            on_disk = f.read()
+        assert on_disk.strip() == render_markdown().strip()

@@ -1,0 +1,194 @@
+"""Tests for the virtual-time cost model: every tuning lever must move
+costs in the direction its RocksDB counterpart does."""
+
+import pytest
+
+from repro.hardware import NVME_SSD, SATA_HDD, make_profile
+from repro.lsm.options import MiB, Options
+from repro.lsm.perf_model import CpuCosts, PerfModel, WriteSmoother
+from repro.lsm.sstable import ReadStats
+
+
+def model(opts=None, profile=None, **kw):
+    return PerfModel(
+        profile if profile is not None else make_profile(4, 4),
+        opts if opts is not None else Options(),
+        **kw,
+    )
+
+
+class TestPutCost:
+    def test_wal_adds_cost(self):
+        m = model()
+        with_wal = m.put_cost_us(16, 100, wal_enabled=True)
+        without = m.put_cost_us(16, 100, wal_enabled=False)
+        assert with_wal > without
+
+    def test_cpu_contention_beyond_cores(self):
+        m = model(profile=make_profile(2, 4))
+        idle = m.put_cost_us(16, 100)
+        busy = m.put_cost_us(16, 100, busy_bg_jobs=3)
+        assert busy > idle
+
+    def test_contention_soft_below_core_count(self):
+        m = model(profile=make_profile(8, 8))
+        assert m.put_cost_us(16, 100) == m.put_cost_us(16, 100, busy_bg_jobs=1)
+
+    def test_pipelined_write_helps_only_concurrent(self):
+        pipelined = Options({"enable_pipelined_write": True})
+        plain = Options({"enable_pipelined_write": False})
+        single_p, single_n = model(pipelined), model(plain)
+        assert single_p.put_cost_us(16, 100) > single_n.put_cost_us(16, 100)
+        multi_p, multi_n = model(pipelined), model(plain)
+        multi_p.foreground_threads = 4
+        multi_n.foreground_threads = 4
+        assert multi_p.put_cost_us(16, 100) < multi_n.put_cost_us(16, 100)
+
+    def test_rotational_interference(self):
+        m = model(profile=make_profile(2, 4, SATA_HDD), byte_scale=1.0)
+        idle = m.put_cost_us(16, 100)
+        busy = m.put_cost_us(16, 100, busy_bg_jobs=1)
+        assert busy > idle + 1000  # full-scale seeks are milliseconds
+
+    def test_readahead_relieves_rotational_interference(self):
+        small = model(Options({"compaction_readahead_size": 0}),
+                      make_profile(2, 4, SATA_HDD))
+        large = model(Options({"compaction_readahead_size": 16 * MiB}),
+                      make_profile(2, 4, SATA_HDD))
+        assert large.put_cost_us(16, 100, busy_bg_jobs=1) < \
+            small.put_cost_us(16, 100, busy_bg_jobs=1)
+
+
+class TestReadCost:
+    def _stats(self, source):
+        stats = ReadStats()
+        stats.index_read = True
+        stats.block_reads.append((4096, source))
+        return stats
+
+    def test_cache_hit_is_cpu_only(self):
+        m = model()
+        cached = m.table_read_cost_us(self._stats("cache"))
+        device = m.table_read_cost_us(self._stats("device"))
+        assert device > 10 * cached
+
+    def test_page_hit_between_cache_and_device(self):
+        m = model()
+        cache = m.table_read_cost_us(self._stats("cache"))
+        page = m.table_read_cost_us(self._stats("page"))
+        device = m.table_read_cost_us(self._stats("device"))
+        assert cache < page < device
+
+    def test_bloom_negative_is_cheapest(self):
+        m = model()
+        stats = ReadStats(bloom_checked=True, bloom_negative=True)
+        assert m.table_read_cost_us(stats) < 1.0
+
+    def test_hdd_reads_cost_more_than_nvme(self):
+        nvme = model(profile=make_profile(4, 4, NVME_SSD))
+        hdd = model(profile=make_profile(4, 4, SATA_HDD))
+        assert hdd.table_read_cost_us(self._stats("device")) > \
+            20 * nvme.table_read_cost_us(self._stats("device"))
+
+    def test_background_jobs_inflate_read_latency(self):
+        m = model(profile=make_profile(4, 4, SATA_HDD))
+        idle = m.table_read_cost_us(self._stats("device"))
+        busy = m.table_read_cost_us(self._stats("device"), busy_bg_jobs=2)
+        assert busy > idle
+
+    def test_compression_adds_decompress_cost(self):
+        plain = model(Options({"compression": "none"}))
+        zstd = model(Options({"compression": "zstd"}))
+        assert zstd.table_read_cost_us(self._stats("device")) > \
+            plain.table_read_cost_us(self._stats("device"))
+
+
+class TestBackgroundJobs:
+    def test_flush_scales_with_bytes(self):
+        m = model()
+        assert m.flush_duration_us(2 * MiB, 1 * MiB, 10_000) > \
+            m.flush_duration_us(128 * 1024, 64 * 1024, 1_000)
+
+    def test_compaction_readahead_cuts_hdd_seeks(self):
+        small = model(Options({"compaction_readahead_size": 64 * 1024}),
+                      make_profile(2, 4, SATA_HDD))
+        large = model(Options({"compaction_readahead_size": 8 * MiB}),
+                      make_profile(2, 4, SATA_HDD))
+        assert large.compaction_duration_us(32 * MiB, 32 * MiB, 10_000) < \
+            small.compaction_duration_us(32 * MiB, 32 * MiB, 10_000)
+
+    def test_readahead_matters_little_on_nvme(self):
+        small = model(Options({"compaction_readahead_size": 64 * 1024}))
+        large = model(Options({"compaction_readahead_size": 8 * MiB}))
+        nvme_ratio = small.compaction_duration_us(32 * MiB, 32 * MiB, 10_000) / \
+            large.compaction_duration_us(32 * MiB, 32 * MiB, 10_000)
+        hdd_small = model(Options({"compaction_readahead_size": 64 * 1024}),
+                          make_profile(2, 4, SATA_HDD))
+        hdd_large = model(Options({"compaction_readahead_size": 8 * MiB}),
+                          make_profile(2, 4, SATA_HDD))
+        hdd_ratio = hdd_small.compaction_duration_us(32 * MiB, 32 * MiB, 10_000) / \
+            hdd_large.compaction_duration_us(32 * MiB, 32 * MiB, 10_000)
+        assert nvme_ratio < hdd_ratio / 3  # readahead is an HDD lever
+
+    def test_fixed_costs_shrink_with_byte_scale(self):
+        full = model(byte_scale=1.0)
+        scaled = model(byte_scale=1 / 1024)
+        assert scaled.flush_duration_us(64 * 1024, 32 * 1024, 500) < \
+            full.flush_duration_us(64 * 1024, 32 * 1024, 500)
+
+    def test_compression_slows_background_jobs(self):
+        plain = model(Options({"compression": "none"}))
+        zstd = model(Options({"compression": "zstd"}))
+        assert zstd.flush_duration_us(MiB, MiB, 10_000) > \
+            plain.flush_duration_us(MiB, MiB, 10_000)
+
+
+class TestWriteSmoother:
+    def test_no_stall_below_window(self):
+        smoother = WriteSmoother(Options({"bytes_per_sync": 1024}),
+                                 make_profile(4, 4))
+        assert smoother.on_bytes_written(512) == 0.0
+
+    def test_stall_at_window(self):
+        smoother = WriteSmoother(Options({"bytes_per_sync": 1024}),
+                                 make_profile(4, 4))
+        smoother.on_bytes_written(512)
+        assert smoother.on_bytes_written(600) > 0.0
+
+    def test_incremental_sync_bounds_spikes(self):
+        opts_sync = Options({"bytes_per_sync": 1 * MiB,
+                             "wal_bytes_per_sync": 1 * MiB})
+        hdd = make_profile(2, 4, SATA_HDD)
+        inc = WriteSmoother(opts_sync, hdd)
+        burst = WriteSmoother(Options(), hdd)
+        inc_spike = 0.0
+        for _ in range(2 * MiB // 4096):
+            inc_spike = max(inc_spike, inc.on_bytes_written(4096))
+        burst_spike = 0.0
+        for _ in range(80 * MiB // 4096):
+            burst_spike = max(burst_spike, burst.on_bytes_written(4096))
+        assert inc_spike < burst_spike
+
+    def test_strict_costs_more_than_async(self):
+        opts = {"bytes_per_sync": 64 * 1024}
+        hdd = make_profile(2, 4, SATA_HDD)
+        lax = WriteSmoother(Options(opts), hdd)
+        strict = WriteSmoother(Options({**opts, "strict_bytes_per_sync": True}), hdd)
+        lax_cost = sum(lax.on_bytes_written(4096) for _ in range(64))
+        strict_cost = sum(strict.on_bytes_written(4096) for _ in range(64))
+        assert strict_cost > lax_cost
+
+
+class TestMisc:
+    def test_stats_dump_malloc_toggle(self):
+        on = model(Options({"dump_malloc_stats": True}))
+        off = model(Options({"dump_malloc_stats": False}))
+        assert on.stats_dump_cost_us() > off.stats_dump_cost_us()
+        assert on.rotation_overhead_us() > off.rotation_overhead_us()
+
+    def test_table_open_cost_positive(self):
+        assert model().table_open_cost_us(1024, 512) > 0
+
+    def test_cpu_costs_customizable(self):
+        m = model(cpu=CpuCosts(memtable_insert=100.0))
+        assert m.put_cost_us(16, 100) > 100.0

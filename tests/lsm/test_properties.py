@@ -1,0 +1,57 @@
+"""Tests for the pylsm.* property API."""
+
+import pytest
+
+from repro.hardware import make_profile
+from repro.lsm import DB, Options
+from repro.lsm.properties import known_properties
+
+
+@pytest.fixture
+def db():
+    handle = DB.open("/prop", Options({"write_buffer_size": 16 * 1024}),
+                     profile=make_profile(4, 8))
+    for i in range(500):
+        handle.put(b"%05d" % i, b"x" * 50)
+    handle.flush()
+    yield handle
+    handle.close()
+
+
+class TestProperties:
+    def test_all_known_properties_resolve(self, db):
+        for name in known_properties():
+            assert db.get_property(name) is not None, name
+
+    def test_estimate_num_keys(self, db):
+        assert int(db.get_property("pylsm.estimate-num-keys")) == 500
+
+    def test_num_files_at_level(self, db):
+        total = 0
+        for level in range(db.version.num_levels):
+            count = db.get_property(f"pylsm.num-files-at-level{level}")
+            total += int(count)
+        assert total == db.version.num_files()
+
+    def test_level_out_of_range(self, db):
+        assert db.get_property("pylsm.num-files-at-level99") is None
+        assert db.get_property("pylsm.num-files-at-levelx") is None
+
+    def test_unknown_property_is_none(self, db):
+        assert db.get_property("rocksdb.stats") is None
+
+    def test_levelstats_text(self, db):
+        assert "L0" in db.get_property("pylsm.levelstats")
+
+    def test_memtable_sizes(self, db):
+        db.put(b"fresh", b"v")
+        assert int(db.get_property("pylsm.cur-size-all-mem-tables")) > 0
+
+    def test_snapshot_count(self, db):
+        assert db.get_property("pylsm.num-snapshots") == "0"
+        with db.snapshot():
+            assert db.get_property("pylsm.num-snapshots") == "1"
+
+    def test_sst_size_matches(self, db):
+        assert int(db.get_property("pylsm.total-sst-files-size")) == \
+            db.approximate_size()

@@ -1,0 +1,54 @@
+"""Tests for the background-IO token bucket."""
+
+import pytest
+
+from repro.lsm.rate_limiter import RateLimiter
+
+
+class TestRateLimiter:
+    def test_disabled_by_default(self):
+        limiter = RateLimiter(0)
+        assert not limiter.enabled
+        assert limiter.request(0.0, 1 << 20) == 0.0
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ValueError):
+            RateLimiter(-1)
+
+    def test_first_request_unthrottled(self):
+        limiter = RateLimiter(1_000_000)
+        assert limiter.request(0.0, 1000) == 0.0
+
+    def test_back_to_back_requests_wait(self):
+        limiter = RateLimiter(1_000_000)  # 1 MB/s == 1 byte/us
+        limiter.request(0.0, 1000)
+        wait = limiter.request(0.0, 1000)
+        assert wait == pytest.approx(1000.0)
+
+    def test_wait_shrinks_with_elapsed_time(self):
+        limiter = RateLimiter(1_000_000)
+        limiter.request(0.0, 1000)
+        assert limiter.request(600.0, 1000) == pytest.approx(400.0)
+        assert limiter.request(1e9, 1000) == 0.0
+
+    def test_zero_bytes_free(self):
+        limiter = RateLimiter(1_000_000)
+        assert limiter.request(0.0, 0) == 0.0
+
+    def test_negative_bytes_rejected(self):
+        with pytest.raises(ValueError):
+            RateLimiter(100).request(0.0, -5)
+
+    def test_counters(self):
+        limiter = RateLimiter(1_000_000)
+        limiter.request(0.0, 500)
+        limiter.request(0.0, 500)
+        assert limiter.total_bytes_through == 1000
+        assert limiter.total_wait_us > 0
+
+    def test_rate_change(self):
+        limiter = RateLimiter(1_000_000)
+        limiter.set_bytes_per_second(2_000_000)
+        assert limiter.bytes_per_second == 2_000_000
+        with pytest.raises(ValueError):
+            limiter.set_bytes_per_second(-1)

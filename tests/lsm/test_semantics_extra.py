@@ -1,0 +1,165 @@
+"""Additional end-to-end semantic tests across engine features."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hardware import make_profile
+from repro.lsm import DB, Env, Options, WriteBatch
+from repro.lsm.block_cache import LRUCache
+from repro.lsm.options import CATALOG, OptKind, Options as Opts, spec_for
+from repro.lsm.options_file import serialize_options, parse_options_text
+
+SMALL = {"write_buffer_size": 8 * 1024}
+
+
+def open_db(extra=None, env=None, path="/sx-db"):
+    overrides = dict(SMALL)
+    if extra:
+        overrides.update(extra)
+    return DB.open(path, Options(overrides), env=env,
+                   profile=make_profile(4, 8))
+
+
+class TestScanSnapshotCompactionInterplay:
+    def test_snapshot_scan_stable_across_full_compaction(self):
+        with open_db() as db:
+            for i in range(400):
+                db.put(b"%04d" % i, b"v1")
+            with db.snapshot() as snap:
+                for i in range(400):
+                    db.put(b"%04d" % i, b"v2")
+                for i in range(0, 400, 2):
+                    db.delete(b"%04d" % i)
+                db.flush()
+                db.compact_range()
+                rows = db.scan(snapshot=snap)
+                assert len(rows) == 400
+                assert all(v == b"v1" for _, v in rows)
+            live = db.scan()
+            assert len(live) == 200
+            assert all(v == b"v2" for _, v in live)
+
+    def test_batch_then_snapshot_then_batch(self):
+        with open_db() as db:
+            db.write(WriteBatch().put(b"a", b"1").put(b"b", b"1"))
+            snap = db.snapshot()
+            db.write(WriteBatch().delete(b"a").put(b"b", b"2"))
+            assert db.scan(snapshot=snap) == [(b"a", b"1"), (b"b", b"1")]
+            assert db.scan() == [(b"b", b"2")]
+            snap.release()
+
+
+class TestCompactionStyleSemantics:
+    def test_universal_reads_correct_under_churn(self):
+        rng = random.Random(4)
+        expected = {}
+        with open_db({"compaction_style": "universal"}) as db:
+            for _ in range(4000):
+                key = b"%05d" % rng.randrange(600)
+                value = b"v%06d" % rng.randrange(10**6)
+                db.put(key, value)
+                expected[key] = value
+            for key, value in expected.items():
+                assert db.get(key) == value
+
+    def test_fifo_serves_recent_keys(self):
+        opts = {"compaction_style": "fifo",
+                "max_bytes_for_level_base": 48 * 1024}
+        with open_db(opts) as db:
+            for i in range(3000):
+                db.put(b"%06d" % i, b"x" * 50)
+            db.flush()
+            # The most recently written keys must still be present.
+            for i in range(2950, 3000):
+                assert db.get(b"%06d" % i) is not None
+
+
+class TestOptionsThroughTheFullStack:
+    def test_options_file_round_trip_through_db(self):
+        original = Options({
+            "write_buffer_size": 32 * 1024,
+            "bloom_filter_bits_per_key": 12.0,
+            "compression": "zstd",
+            "max_background_jobs": 4,
+        })
+        text = serialize_options(original)
+        parsed, _ = parse_options_text(text)
+        with DB.open("/sx-rt", parsed, profile=make_profile(4, 8)) as db:
+            for i in range(300):
+                db.put(b"%04d" % i, b"val-%d" % i)
+            db.flush()
+            for i in range(300):
+                assert db.get(b"%04d" % i) == b"val-%d" % i
+            assert db.options.get("compression") == "zstd"
+
+    @given(st.sampled_from([s for s in CATALOG
+                            if s.kind in (OptKind.INT, OptKind.FLOAT)
+                            and s.min is not None and s.max is not None]))
+    @settings(max_examples=40)
+    def test_every_numeric_option_accepts_its_bounds(self, spec):
+        opts = Opts()
+        opts.set(spec.name, spec.min)
+        assert opts.get(spec.name) == spec.validate(spec.min)
+        opts.set(spec.name, spec.max)
+        assert opts.get(spec.name) == spec.validate(spec.max)
+
+    def test_every_enum_option_accepts_all_choices(self):
+        for spec in CATALOG:
+            if spec.kind is not OptKind.ENUM:
+                continue
+            for choice in spec.choices:
+                opts = Opts()
+                opts.set(spec.name, choice)
+                assert opts.get(spec.name) == choice
+
+
+class TestCachePropertyInvariants:
+    @given(st.lists(st.tuples(st.integers(0, 20), st.integers(1, 60)),
+                    min_size=1, max_size=200))
+    @settings(max_examples=40)
+    def test_lru_never_exceeds_capacity(self, ops):
+        cache = LRUCache(256, 0)
+        for key, charge in ops:
+            cache.put(key, b"x", charge)
+            assert cache.used_bytes <= 256
+
+    @given(st.lists(st.integers(0, 30), min_size=1, max_size=200))
+    @settings(max_examples=40)
+    def test_lru_get_after_put_consistent(self, keys):
+        cache = LRUCache(1 << 20, 0)
+        seen = set()
+        for key in keys:
+            cache.put(key, b"v%d" % key, 8)
+            seen.add(key)
+        for key in seen:
+            assert cache.get(key) == b"v%d" % key
+
+
+class TestLatencyAccounting:
+    def test_virtual_duration_equals_sum_of_latencies_over_parallelism(self):
+        env = Env()
+        db = open_db(env=env)
+        start = env.clock.now_us
+        total_latency = sum(db.put(b"%04d" % i, b"x" * 50)
+                            for i in range(500))
+        elapsed = env.clock.now_us - start
+        # Stall waits advance the clock globally; latencies can exceed
+        # the elapsed span but never undershoot it at parallelism 1.
+        assert elapsed <= total_latency * 1.001
+        db.close()
+
+    def test_parallelism_compresses_wall_time(self):
+        results = {}
+        for par in (1, 4):
+            env = Env()
+            db = open_db(env=env, path=f"/sx-par{par}")
+            db.foreground_parallelism = par
+            start = env.clock.now_us
+            for i in range(1000):
+                db.put(b"%05d" % i, b"x" * 40)
+            results[par] = env.clock.now_us - start
+            db.close()
+        assert results[4] < results[1]

@@ -1,0 +1,93 @@
+"""Tests for the skiplist, including property-based ordering checks."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lsm.skiplist import SkipList
+
+
+class TestBasics:
+    def test_empty(self):
+        sl = SkipList(seed=1)
+        assert len(sl) == 0
+        assert sl.get(b"a") is None
+        assert not sl.contains(b"a")
+        assert sl.first_key() is None
+        assert sl.last_key() is None
+
+    def test_insert_and_get(self):
+        sl = SkipList(seed=1)
+        assert sl.insert(b"k", 1)
+        assert sl.get(b"k") == 1
+        assert sl.contains(b"k")
+
+    def test_overwrite_returns_false(self):
+        sl = SkipList(seed=1)
+        assert sl.insert(b"k", 1)
+        assert not sl.insert(b"k", 2)
+        assert sl.get(b"k") == 2
+        assert len(sl) == 1
+
+    def test_get_default(self):
+        sl = SkipList(seed=1)
+        assert sl.get(b"missing", "fallback") == "fallback"
+
+    def test_iteration_in_order(self):
+        sl = SkipList(seed=1)
+        for key in [b"c", b"a", b"b"]:
+            sl.insert(key, key)
+        assert [k for k, _ in sl] == [b"a", b"b", b"c"]
+
+    def test_seek_starts_at_or_after(self):
+        sl = SkipList(seed=1)
+        for key in [b"a", b"c", b"e"]:
+            sl.insert(key, None)
+        assert [k for k, _ in sl.seek(b"b")] == [b"c", b"e"]
+        assert [k for k, _ in sl.seek(b"c")] == [b"c", b"e"]
+        assert list(sl.seek(b"f")) == []
+
+    def test_first_and_last(self):
+        sl = SkipList(seed=1)
+        for key in [b"m", b"a", b"z"]:
+            sl.insert(key, None)
+        assert sl.first_key() == b"a"
+        assert sl.last_key() == b"z"
+
+
+class TestProperties:
+    @given(st.lists(st.binary(min_size=1, max_size=16)))
+    @settings(max_examples=50)
+    def test_matches_dict_semantics(self, keys):
+        sl = SkipList(seed=7)
+        reference = {}
+        for i, key in enumerate(keys):
+            sl.insert(key, i)
+            reference[key] = i
+        assert len(sl) == len(reference)
+        assert [k for k, _ in sl] == sorted(reference)
+        for key, value in reference.items():
+            assert sl.get(key) == value
+
+    @given(st.sets(st.integers(0, 10_000), min_size=1, max_size=200),
+           st.integers(0, 10_000))
+    @settings(max_examples=50)
+    def test_seek_is_lower_bound(self, key_ints, probe):
+        sl = SkipList(seed=3)
+        keys = sorted(b"%05d" % k for k in key_ints)
+        for key in keys:
+            sl.insert(key, None)
+        probe_key = b"%05d" % probe
+        expected = [k for k in keys if k >= probe_key]
+        assert [k for k, _ in sl.seek(probe_key)] == expected
+
+    def test_large_insert_stays_ordered(self):
+        import random
+
+        rng = random.Random(99)
+        sl = SkipList(seed=5)
+        keys = [b"%08d" % rng.randrange(10**8) for _ in range(5000)]
+        for key in keys:
+            sl.insert(key, None)
+        out = [k for k, _ in sl]
+        assert out == sorted(set(keys))

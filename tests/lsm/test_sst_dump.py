@@ -1,0 +1,87 @@
+"""Tests for the sst_dump inspection tool."""
+
+import pytest
+
+from repro.hardware import make_profile
+from repro.lsm import DB, Env, Options, ikey
+from repro.lsm.memtable import ValueKind
+from repro.lsm.sst_dump import dump_database, dump_entries, inspect_table
+from repro.lsm.sstable import SSTableBuilder
+
+
+@pytest.fixture
+def table_env():
+    env = Env()
+    builder = SSTableBuilder(env.fs, "/t/000007.sst", block_size=256,
+                             bloom_bits_per_key=10.0)
+    for i in range(100):
+        builder.add(ikey.encode(b"key-%04d" % i, i + 1), ValueKind.VALUE,
+                    b"value-%d" % i)
+    builder.add(ikey.encode(b"zz-dead", 200), ValueKind.DELETE, b"")
+    builder.finish()
+    return env
+
+
+class TestInspectTable:
+    def test_counts(self, table_env):
+        info = inspect_table(table_env.fs, "/t/000007.sst")
+        assert info.num_entries == 101
+        assert info.num_deletes == 1
+        assert info.file_number == 7
+        assert info.num_blocks > 1
+        assert info.file_bytes == table_env.fs.file_size("/t/000007.sst")
+
+    def test_key_and_seq_ranges(self, table_env):
+        info = inspect_table(table_env.fs, "/t/000007.sst")
+        assert info.smallest_key == b"key-0000"
+        assert info.largest_key == b"zz-dead"
+        assert info.min_seq == 1
+        assert info.max_seq == 200
+
+    def test_bloom_reported(self, table_env):
+        info = inspect_table(table_env.fs, "/t/000007.sst")
+        assert info.has_bloom
+        assert info.bloom_bytes > 0
+
+    def test_block_inventory_covers_all_entries(self, table_env):
+        info = inspect_table(table_env.fs, "/t/000007.sst")
+        assert sum(b.num_entries for b in info.blocks) == info.num_entries
+        offsets = [b.offset for b in info.blocks]
+        assert offsets == sorted(offsets)
+
+    def test_describe(self, table_env):
+        info = inspect_table(table_env.fs, "/t/000007.sst")
+        text = info.describe(include_blocks=True)
+        assert "101" in text
+        assert "bloom filter" in text
+        assert "#0 @0" in text
+
+    def test_avg_sizes(self, table_env):
+        info = inspect_table(table_env.fs, "/t/000007.sst")
+        assert 7 <= info.avg_key_bytes <= 9
+        assert info.avg_value_bytes > 5
+
+
+class TestDumpEntries:
+    def test_in_order_with_kinds(self, table_env):
+        rows = dump_entries(table_env.fs, "/t/000007.sst")
+        assert rows[0][0] == b"key-0000"
+        assert rows[-1] == (b"zz-dead", 200, "delete", b"")
+
+    def test_limit(self, table_env):
+        assert len(dump_entries(table_env.fs, "/t/000007.sst", limit=5)) == 5
+
+
+class TestDumpDatabase:
+    def test_lists_every_live_table(self):
+        env = Env()
+        db = DB.open("/dump-db", Options({"write_buffer_size": 8 * 1024}),
+                     env=env, profile=make_profile(4, 8))
+        for i in range(1000):
+            db.put(b"%05d" % i, b"x" * 64)
+        db.close()
+        text = dump_database(env.fs, "/dump-db")
+        assert text.count("SSTable") == len(
+            [p for p in env.fs.list_dir("/dump-db") if p.endswith(".sst")]
+        )
+        assert "key range" in text

@@ -1,0 +1,265 @@
+"""Tests for SSTable build/read, bloom integration, and caches hooks."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import CorruptionError
+from repro.lsm import ikey
+from repro.lsm.env import MemFileSystem
+from repro.lsm.memtable import ValueKind
+from repro.lsm.sstable import FileMetaData, SSTableBuilder, SSTableReader
+
+
+def build_table(fs, path="/db/000001.sst", keys=100, *, bloom=-1.0,
+                compression="none", block_size=512):
+    builder = SSTableBuilder(
+        fs, path, block_size=block_size, compression=compression,
+        bloom_bits_per_key=bloom,
+    )
+    for i in range(keys):
+        builder.add(
+            ikey.encode(b"key-%06d" % i, i + 1), ValueKind.VALUE, b"val-%d" % i
+        )
+    return builder.finish()
+
+
+def open_reader(fs, path="/db/000001.sst", number=1):
+    return SSTableReader(fs.open_random(path), number)
+
+
+class TestBuilder:
+    def test_metadata(self):
+        fs = MemFileSystem()
+        meta = build_table(fs, keys=50)
+        assert meta.file_number == 1
+        assert meta.num_entries == 50
+        assert meta.smallest_key == b"key-000000"
+        assert meta.largest_key == b"key-000049"
+        assert meta.file_size == fs.file_size("/db/000001.sst")
+
+    def test_rejects_out_of_order(self):
+        fs = MemFileSystem()
+        builder = SSTableBuilder(fs, "/db/000002.sst")
+        builder.add(ikey.encode(b"b", 1), ValueKind.VALUE, b"")
+        with pytest.raises(CorruptionError):
+            builder.add(ikey.encode(b"a", 2), ValueKind.VALUE, b"")
+
+    def test_finish_twice_rejected(self):
+        fs = MemFileSystem()
+        builder = SSTableBuilder(fs, "/db/000003.sst")
+        builder.add(ikey.encode(b"a", 1), ValueKind.VALUE, b"")
+        builder.finish()
+        with pytest.raises(CorruptionError):
+            builder.finish()
+
+    def test_multiple_versions_of_one_key(self):
+        fs = MemFileSystem()
+        builder = SSTableBuilder(fs, "/db/000004.sst")
+        builder.add(ikey.encode(b"k", 9), ValueKind.VALUE, b"new")
+        builder.add(ikey.encode(b"k", 3), ValueKind.VALUE, b"old")
+        builder.finish()
+        reader = SSTableReader(fs.open_random("/db/000004.sst"), 4)
+        found, _, value, _ = reader.get(b"k")
+        assert found and value == b"new"
+
+
+class TestReader:
+    def test_point_lookups(self):
+        fs = MemFileSystem()
+        build_table(fs, keys=200)
+        reader = open_reader(fs)
+        for i in (0, 57, 199):
+            found, kind, value, _ = reader.get(b"key-%06d" % i)
+            assert found and kind is ValueKind.VALUE
+            assert value == b"val-%d" % i
+
+    def test_missing_key(self):
+        fs = MemFileSystem()
+        build_table(fs, keys=10)
+        reader = open_reader(fs)
+        found, _, _, _ = reader.get(b"key-999999")
+        assert not found
+        found, _, _, _ = reader.get(b"aaa")
+        assert not found
+
+    def test_missing_key_between_existing(self):
+        fs = MemFileSystem()
+        build_table(fs, keys=10)
+        found, _, _, _ = open_reader(fs).get(b"key-000003x")
+        assert not found
+
+    def test_snapshot_lookup(self):
+        fs = MemFileSystem()
+        builder = SSTableBuilder(fs, "/db/000005.sst")
+        builder.add(ikey.encode(b"k", 8), ValueKind.VALUE, b"new")
+        builder.add(ikey.encode(b"k", 2), ValueKind.VALUE, b"old")
+        builder.finish()
+        reader = SSTableReader(fs.open_random("/db/000005.sst"), 5)
+        found, _, value, _ = reader.get(b"k", snapshot_seq=5)
+        assert found and value == b"old"
+
+    def test_tombstone_returned(self):
+        fs = MemFileSystem()
+        builder = SSTableBuilder(fs, "/db/000006.sst")
+        builder.add(ikey.encode(b"k", 4), ValueKind.DELETE, b"")
+        builder.finish()
+        reader = SSTableReader(fs.open_random("/db/000006.sst"), 6)
+        found, kind, _, _ = reader.get(b"k")
+        assert found and kind is ValueKind.DELETE
+
+    def test_iter_entries_in_order(self):
+        fs = MemFileSystem()
+        build_table(fs, keys=100, block_size=256)
+        reader = open_reader(fs)
+        keys = [ikey.decode(k)[0] for k, _, _ in reader.iter_entries()]
+        assert keys == sorted(keys)
+        assert len(keys) == 100
+
+    def test_iter_from(self):
+        fs = MemFileSystem()
+        build_table(fs, keys=100, block_size=256)
+        reader = open_reader(fs)
+        out = [ikey.decode(k)[0] for k, _, _ in reader.iter_from(b"key-000090")]
+        assert out == [b"key-%06d" % i for i in range(90, 100)]
+
+    def test_iter_from_past_end(self):
+        fs = MemFileSystem()
+        build_table(fs, keys=10)
+        assert list(open_reader(fs).iter_from(b"zzz")) == []
+
+    def test_bad_magic(self):
+        fs = MemFileSystem()
+        build_table(fs)
+        size = fs.file_size("/db/000001.sst")
+        fs.corrupt("/db/000001.sst", size - 1, 0x00)
+        with pytest.raises(CorruptionError):
+            open_reader(fs)
+
+    def test_corrupt_block_detected(self):
+        fs = MemFileSystem()
+        build_table(fs, keys=100, block_size=256)
+        fs.corrupt("/db/000001.sst", 10, 0xFF)
+        reader = open_reader(fs)
+        with pytest.raises(CorruptionError):
+            list(reader.iter_entries())
+
+    def test_checksum_off_skips_verification(self):
+        fs = MemFileSystem()
+        build_table(fs, keys=3, block_size=4096)
+        reader = SSTableReader(
+            fs.open_random("/db/000001.sst"), 1, verify_checksums=False
+        )
+        found, _, _, _ = reader.get(b"key-000001")
+        assert found
+
+
+class TestBloomIntegration:
+    def test_bloom_negative_skips_block_read(self):
+        fs = MemFileSystem()
+        build_table(fs, keys=500, bloom=10.0)
+        reader = open_reader(fs)
+        assert reader.has_bloom
+        negatives = 0
+        for i in range(200):
+            found, _, _, stats = reader.get(b"nope-%d" % i)
+            assert not found
+            assert stats.bloom_checked
+            if stats.bloom_negative:
+                negatives += 1
+                assert stats.block_reads == []
+        assert negatives >= 190
+
+    def test_bloom_never_blocks_present_keys(self):
+        fs = MemFileSystem()
+        build_table(fs, keys=500, bloom=10.0)
+        reader = open_reader(fs)
+        for i in range(500):
+            found, _, _, _ = reader.get(b"key-%06d" % i)
+            assert found
+
+    def test_no_bloom_no_check(self):
+        fs = MemFileSystem()
+        build_table(fs, keys=10, bloom=-1.0)
+        reader = open_reader(fs)
+        assert not reader.has_bloom
+        _, _, _, stats = reader.get(b"key-000001")
+        assert not stats.bloom_checked
+
+
+class TestCacheHooks:
+    def test_cache_put_and_get_called(self):
+        fs = MemFileSystem()
+        build_table(fs, keys=100, block_size=256)
+        reader = open_reader(fs)
+        store = {}
+        def cget(key):
+            return store.get(key)
+        def cput(key, value, charge):
+            store[key] = value
+        _, _, _, stats1 = reader.get(b"key-000050", cache_get=cget, cache_put=cput)
+        assert stats1.block_reads[0][1] == "device"
+        assert store
+        _, _, _, stats2 = reader.get(b"key-000050", cache_get=cget, cache_put=cput)
+        assert stats2.block_reads[0][1] == "cache"
+
+    def test_page_cache_layer(self):
+        fs = MemFileSystem()
+        build_table(fs, keys=100, block_size=256)
+        reader = open_reader(fs)
+        pages = {}
+        def pget(key):
+            return pages.get(key)
+        def pput(key, value, charge):
+            pages[key] = value
+        _, _, _, s1 = reader.get(b"key-000050", page_get=pget, page_put=pput)
+        assert s1.block_reads[0][1] == "device"
+        _, _, _, s2 = reader.get(b"key-000050", page_get=pget, page_put=pput)
+        assert s2.block_reads[0][1] == "page"
+
+    def test_device_block_bytes(self):
+        fs = MemFileSystem()
+        build_table(fs, keys=100, block_size=256)
+        reader = open_reader(fs)
+        _, _, _, stats = reader.get(b"key-000050")
+        assert stats.device_block_bytes() > 0
+
+
+class TestCompressionInTables:
+    @pytest.mark.parametrize("codec", ["snappy", "zstd"])
+    def test_round_trip(self, codec):
+        fs = MemFileSystem()
+        build_table(fs, keys=300, compression=codec, block_size=1024)
+        reader = open_reader(fs)
+        for i in (0, 150, 299):
+            found, _, value, _ = reader.get(b"key-%06d" % i)
+            assert found and value == b"val-%d" % i
+
+    def test_compressed_table_is_smaller(self):
+        fs1, fs2 = MemFileSystem(), MemFileSystem()
+        build_table(fs1, keys=500, compression="none")
+        build_table(fs2, keys=500, compression="zstd")
+        assert fs2.file_size("/db/000001.sst") < fs1.file_size("/db/000001.sst")
+
+
+class TestFileMetaData:
+    def test_overlaps(self):
+        meta = FileMetaData(1, 100, b"c", b"f", 10)
+        assert meta.overlaps(b"a", b"d")
+        assert meta.overlaps(b"d", b"e")
+        assert meta.overlaps(None, None)
+        assert not meta.overlaps(b"g", b"z")
+        assert not meta.overlaps(b"a", b"b")
+
+    @given(st.lists(st.integers(0, 999), min_size=1, max_size=60, unique=True))
+    @settings(max_examples=25, deadline=None)
+    def test_reader_property_round_trip(self, key_ints):
+        fs = MemFileSystem()
+        builder = SSTableBuilder(fs, "/db/000009.sst", block_size=128)
+        for n, k in enumerate(sorted(key_ints)):
+            builder.add(ikey.encode(b"%03d" % k, n + 1), ValueKind.VALUE, b"v%d" % k)
+        builder.finish()
+        reader = SSTableReader(fs.open_random("/db/000009.sst"), 9)
+        for k in key_ints:
+            found, _, value, _ = reader.get(b"%03d" % k)
+            assert found and value == b"v%d" % k

@@ -1,0 +1,66 @@
+"""Tests for tickers and per-op statistics."""
+
+import pytest
+
+from repro.lsm.statistics import OpClass, Statistics, Ticker
+
+
+class TestStatistics:
+    def test_tickers_start_zero(self):
+        stats = Statistics()
+        assert all(stats.ticker(t) == 0 for t in Ticker)
+
+    def test_bump(self):
+        stats = Statistics()
+        stats.bump(Ticker.FLUSH_COUNT)
+        stats.bump(Ticker.BYTES_WRITTEN, 1024)
+        assert stats.ticker(Ticker.FLUSH_COUNT) == 1
+        assert stats.ticker(Ticker.BYTES_WRITTEN) == 1024
+
+    def test_monotonic(self):
+        with pytest.raises(ValueError):
+            Statistics().bump(Ticker.FLUSH_COUNT, -1)
+
+    def test_observe_histograms(self):
+        stats = Statistics()
+        stats.observe(OpClass.PUT, 3.0)
+        stats.observe(OpClass.GET, 100.0)
+        assert stats.histogram(OpClass.PUT).count == 1
+        assert stats.histogram(OpClass.GET).average == 100.0
+
+    def test_cache_hit_rate(self):
+        stats = Statistics()
+        assert stats.cache_hit_rate() == 0.0
+        stats.bump(Ticker.BLOCK_CACHE_HIT, 3)
+        stats.bump(Ticker.BLOCK_CACHE_MISS, 1)
+        assert stats.cache_hit_rate() == pytest.approx(0.75)
+
+    def test_bloom_useful_rate(self):
+        stats = Statistics()
+        stats.bump(Ticker.BLOOM_CHECKED, 10)
+        stats.bump(Ticker.BLOOM_USEFUL, 7)
+        assert stats.bloom_useful_rate() == pytest.approx(0.7)
+
+    def test_as_dict_keys_are_strings(self):
+        d = Statistics().as_dict()
+        assert "flush.count" in d
+
+    def test_describe_skips_zeros(self):
+        stats = Statistics()
+        stats.bump(Ticker.FLUSH_COUNT, 2)
+        text = stats.describe()
+        assert "flush.count: 2" in text
+        assert "compaction.count" not in text
+
+    def test_describe_includes_histograms(self):
+        stats = Statistics()
+        stats.observe(OpClass.GET, 42.0)
+        assert "get.latency_us" in stats.describe()
+
+    def test_reset(self):
+        stats = Statistics()
+        stats.bump(Ticker.FLUSH_COUNT)
+        stats.observe(OpClass.PUT, 1.0)
+        stats.reset()
+        assert stats.ticker(Ticker.FLUSH_COUNT) == 0
+        assert stats.histogram(OpClass.PUT).count == 0

@@ -1,0 +1,118 @@
+"""Tests for the Version (level structure)."""
+
+import pytest
+
+from repro.errors import DBError
+from repro.lsm.sstable import FileMetaData
+from repro.lsm.version import Version
+
+
+def meta(number, lo, hi, size=100, entries=10):
+    return FileMetaData(number, size, lo, hi, entries)
+
+
+class TestAddRemove:
+    def test_l0_keeps_insertion_order(self):
+        v = Version(num_levels=3)
+        v.add_file(0, meta(1, b"a", b"z"))
+        v.add_file(0, meta(2, b"a", b"z"))
+        assert [f.file_number for f in v.files_at(0)] == [1, 2]
+
+    def test_l0_front_insert(self):
+        v = Version(num_levels=3)
+        v.add_file(0, meta(1, b"a", b"z"))
+        v.add_file_l0_front(meta(2, b"a", b"z"))
+        assert [f.file_number for f in v.files_at(0)] == [2, 1]
+
+    def test_l1_sorted_by_key(self):
+        v = Version(num_levels=3)
+        v.add_file(1, meta(2, b"m", b"p"))
+        v.add_file(1, meta(1, b"a", b"c"))
+        assert [f.file_number for f in v.files_at(1)] == [1, 2]
+
+    def test_l1_overlap_rejected(self):
+        v = Version(num_levels=3)
+        v.add_file(1, meta(1, b"a", b"m"))
+        with pytest.raises(DBError, match="overlap"):
+            v.add_file(1, meta(2, b"k", b"z"))
+        with pytest.raises(DBError, match="overlap"):
+            v.add_file(1, meta(3, b"a", b"b"))
+
+    def test_l1_adjacent_ok(self):
+        v = Version(num_levels=3)
+        v.add_file(1, meta(1, b"a", b"c"))
+        v.add_file(1, meta(2, b"d", b"f"))  # touching but disjoint
+
+    def test_remove(self):
+        v = Version(num_levels=3)
+        v.add_file(0, meta(1, b"a", b"z"))
+        removed = v.remove_file(0, 1)
+        assert removed.file_number == 1
+        assert v.num_files(0) == 0
+
+    def test_remove_missing(self):
+        with pytest.raises(DBError):
+            Version(num_levels=3).remove_file(0, 99)
+
+    def test_level_bounds(self):
+        v = Version(num_levels=3)
+        with pytest.raises(DBError):
+            v.add_file(3, meta(1, b"a", b"b"))
+        with pytest.raises(DBError):
+            v.files_at(-1)
+
+    def test_min_levels(self):
+        with pytest.raises(DBError):
+            Version(num_levels=1)
+
+    def test_level_recorded_in_meta(self):
+        v = Version(num_levels=3)
+        v.add_file(2, meta(1, b"a", b"b"))
+        assert v.files_at(2)[0].level == 2
+
+
+class TestQueries:
+    def _populated(self):
+        v = Version(num_levels=4)
+        v.add_file(0, meta(1, b"c", b"p", size=10))
+        v.add_file(0, meta(2, b"a", b"f", size=20))
+        v.add_file(1, meta(3, b"a", b"h", size=30))
+        v.add_file(1, meta(4, b"k", b"s", size=40))
+        return v
+
+    def test_counts_and_bytes(self):
+        v = self._populated()
+        assert v.num_files() == 4
+        assert v.num_files(0) == 2
+        assert v.level_bytes(0) == 30
+        assert v.total_bytes() == 100
+        assert v.max_populated_level() == 1
+
+    def test_files_for_key_l0_newest_first(self):
+        v = self._populated()
+        hits = v.files_for_key(0, b"d")
+        assert [f.file_number for f in hits] == [2, 1]
+
+    def test_files_for_key_l0_range_filter(self):
+        v = self._populated()
+        assert [f.file_number for f in v.files_for_key(0, b"n")] == [1]
+
+    def test_files_for_key_l1_binary_search(self):
+        v = self._populated()
+        assert [f.file_number for f in v.files_for_key(1, b"g")] == [3]
+        assert [f.file_number for f in v.files_for_key(1, b"m")] == [4]
+        assert v.files_for_key(1, b"i") == []  # gap between files
+        assert v.files_for_key(1, b"z") == []
+
+    def test_overlapping_files(self):
+        v = self._populated()
+        hits = v.overlapping_files(1, b"g", b"l")
+        assert [f.file_number for f in hits] == [3, 4]
+        assert v.overlapping_files(1, None, None) == v.files_at(1)
+
+    def test_describe(self):
+        text = self._populated().describe()
+        assert "L0" in text and "L1" in text
+
+    def test_all_files(self):
+        assert len(self._populated().all_files()) == 4

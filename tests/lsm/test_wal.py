@@ -1,0 +1,94 @@
+"""Tests for WAL write/replay and crash behaviour."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import CorruptionError
+from repro.lsm.env import MemFileSystem
+from repro.lsm.memtable import ValueKind
+from repro.lsm.wal import WalWriter, replay_wal
+
+
+class TestWal:
+    def test_round_trip(self):
+        fs = MemFileSystem()
+        writer = WalWriter(fs, "/db/000001.log")
+        writer.add_record(1, ValueKind.VALUE, b"k1", b"v1")
+        writer.add_record(2, ValueKind.DELETE, b"k2", b"")
+        writer.sync()
+        records = list(replay_wal(fs, "/db/000001.log"))
+        assert records == [
+            (1, ValueKind.VALUE, b"k1", b"v1"),
+            (2, ValueKind.DELETE, b"k2", b""),
+        ]
+
+    def test_empty_values_and_binary_keys(self):
+        fs = MemFileSystem()
+        writer = WalWriter(fs, "/w.log")
+        writer.add_record(1, ValueKind.VALUE, b"\x00\xff\x00", b"")
+        assert list(replay_wal(fs, "/w.log")) == [
+            (1, ValueKind.VALUE, b"\x00\xff\x00", b"")
+        ]
+
+    def test_unsynced_bytes_tracking(self):
+        fs = MemFileSystem()
+        writer = WalWriter(fs, "/w.log")
+        written = writer.add_record(1, ValueKind.VALUE, b"k", b"v")
+        assert writer.unsynced_bytes() == written
+        assert writer.sync() == written
+        assert writer.unsynced_bytes() == 0
+        assert writer.sync() == 0
+
+    def test_torn_tail_stops_replay_silently(self):
+        fs = MemFileSystem()
+        writer = WalWriter(fs, "/w.log")
+        writer.add_record(1, ValueKind.VALUE, b"k1", b"v1")
+        size_after_first = writer.size()
+        writer.add_record(2, ValueKind.VALUE, b"k2", b"v2")
+        fs.truncate("/w.log", size_after_first + 3)  # tear second record
+        records = list(replay_wal(fs, "/w.log"))
+        assert records == [(1, ValueKind.VALUE, b"k1", b"v1")]
+
+    def test_torn_tail_raises_in_strict_mode(self):
+        fs = MemFileSystem()
+        writer = WalWriter(fs, "/w.log")
+        writer.add_record(1, ValueKind.VALUE, b"k", b"v")
+        fs.truncate("/w.log", writer.size() - 1)
+        with pytest.raises(CorruptionError):
+            list(replay_wal(fs, "/w.log", strict=True))
+
+    def test_corrupt_payload_stops_replay(self):
+        fs = MemFileSystem()
+        writer = WalWriter(fs, "/w.log")
+        writer.add_record(1, ValueKind.VALUE, b"k1", b"v1")
+        writer.add_record(2, ValueKind.VALUE, b"k2", b"v2")
+        first_len = 8 + 13 + 2 + 4 + 2  # header + fixed + key + len + val
+        fs.corrupt("/w.log", first_len + 12, 0xAA)
+        records = list(replay_wal(fs, "/w.log"))
+        assert records == [(1, ValueKind.VALUE, b"k1", b"v1")]
+
+    def test_corrupt_payload_strict(self):
+        fs = MemFileSystem()
+        writer = WalWriter(fs, "/w.log")
+        writer.add_record(1, ValueKind.VALUE, b"key", b"value")
+        fs.corrupt("/w.log", 12, 0xAA)
+        with pytest.raises(CorruptionError):
+            list(replay_wal(fs, "/w.log", strict=True))
+
+    def test_empty_wal(self):
+        fs = MemFileSystem()
+        WalWriter(fs, "/w.log")
+        assert list(replay_wal(fs, "/w.log")) == []
+
+    @given(st.lists(st.tuples(
+        st.binary(min_size=1, max_size=32), st.binary(max_size=64)),
+        min_size=1, max_size=50))
+    @settings(max_examples=30)
+    def test_replay_round_trip_property(self, pairs):
+        fs = MemFileSystem()
+        writer = WalWriter(fs, "/w.log")
+        for seq, (key, value) in enumerate(pairs, start=1):
+            writer.add_record(seq, ValueKind.VALUE, key, value)
+        replayed = [(k, v) for _, _, k, v in replay_wal(fs, "/w.log")]
+        assert replayed == pairs

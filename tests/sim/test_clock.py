@@ -1,0 +1,51 @@
+"""Tests for the virtual clock."""
+
+import pytest
+
+from repro.sim import SimClock
+
+
+class TestSimClock:
+    def test_starts_at_zero(self):
+        assert SimClock().now_us == 0.0
+
+    def test_custom_start(self):
+        assert SimClock(125.0).now_us == 125.0
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(ValueError):
+            SimClock(-1.0)
+
+    def test_advance_accumulates(self):
+        clock = SimClock()
+        clock.advance(10.0)
+        clock.advance(2.5)
+        assert clock.now_us == 12.5
+
+    def test_advance_returns_new_time(self):
+        clock = SimClock(5.0)
+        assert clock.advance(5.0) == 10.0
+
+    def test_negative_advance_rejected(self):
+        clock = SimClock()
+        with pytest.raises(ValueError):
+            clock.advance(-0.1)
+
+    def test_zero_advance_allowed(self):
+        clock = SimClock(3.0)
+        clock.advance(0.0)
+        assert clock.now_us == 3.0
+
+    def test_advance_to_future(self):
+        clock = SimClock()
+        clock.advance_to(100.0)
+        assert clock.now_us == 100.0
+
+    def test_advance_to_past_is_noop(self):
+        clock = SimClock(50.0)
+        clock.advance_to(10.0)
+        assert clock.now_us == 50.0
+
+    def test_now_seconds(self):
+        clock = SimClock(2_500_000.0)
+        assert clock.now_seconds == pytest.approx(2.5)

@@ -1,0 +1,123 @@
+"""Tests for slot pools and the completion queue."""
+
+import pytest
+
+from repro.sim import CompletionQueue, SlotPool
+
+
+class TestSlotPool:
+    def test_capacity(self):
+        assert SlotPool(3).capacity == 3
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            SlotPool(0)
+
+    def test_single_slot_serializes(self):
+        pool = SlotPool(1)
+        first = pool.acquire(0.0, 100.0)
+        second = pool.acquire(0.0, 100.0)
+        assert first == 100.0
+        assert second == 200.0
+
+    def test_two_slots_run_in_parallel(self):
+        pool = SlotPool(2)
+        assert pool.acquire(0.0, 100.0) == 100.0
+        assert pool.acquire(0.0, 100.0) == 100.0
+
+    def test_job_starts_no_earlier_than_now(self):
+        pool = SlotPool(1)
+        assert pool.acquire(50.0, 10.0) == 60.0
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ValueError):
+            SlotPool(1).acquire(0.0, -1.0)
+
+    def test_busy_count(self):
+        pool = SlotPool(2)
+        pool.acquire(0.0, 100.0)
+        assert pool.busy_count(50.0) == 1
+        assert pool.busy_count(150.0) == 0
+
+    def test_earliest_free(self):
+        pool = SlotPool(2)
+        pool.acquire(0.0, 100.0)
+        assert pool.earliest_free_us() == 0.0
+        pool.acquire(0.0, 30.0)
+        assert pool.earliest_free_us() == 30.0
+
+    def test_resize_grow(self):
+        pool = SlotPool(1)
+        pool.acquire(0.0, 100.0)
+        pool.resize(3)
+        assert pool.capacity == 3
+        # A new job lands on a fresh slot immediately.
+        assert pool.acquire(0.0, 10.0) == 10.0
+
+    def test_resize_shrink_keeps_busy_slots(self):
+        pool = SlotPool(3)
+        pool.acquire(0.0, 500.0)
+        pool.resize(1)
+        assert pool.capacity == 1
+        # The surviving slot is the busy one (conservative shrink).
+        assert pool.acquire(0.0, 10.0) == 510.0
+
+    def test_resize_to_zero_rejected(self):
+        with pytest.raises(ValueError):
+            SlotPool(2).resize(0)
+
+
+class TestCompletionQueue:
+    def test_empty(self):
+        queue = CompletionQueue()
+        assert len(queue) == 0
+        assert queue.peek() is None
+        assert queue.pop_next() is None
+        assert queue.pop_due(1e9) == []
+
+    def test_orders_by_time(self):
+        queue = CompletionQueue()
+        queue.push(30.0, "b")
+        queue.push(10.0, "a")
+        queue.push(20.0, "c")
+        kinds = [queue.pop_next().kind for _ in range(3)]
+        assert kinds == ["a", "c", "b"]
+
+    def test_fifo_among_equal_times(self):
+        queue = CompletionQueue()
+        queue.push(10.0, "first")
+        queue.push(10.0, "second")
+        assert queue.pop_next().kind == "first"
+        assert queue.pop_next().kind == "second"
+
+    def test_pop_due_only_returns_due(self):
+        queue = CompletionQueue()
+        queue.push(10.0, "early")
+        queue.push(100.0, "late")
+        due = queue.pop_due(50.0)
+        assert [c.kind for c in due] == ["early"]
+        assert len(queue) == 1
+
+    def test_pop_due_boundary_inclusive(self):
+        queue = CompletionQueue()
+        queue.push(10.0, "exact")
+        assert [c.kind for c in queue.pop_due(10.0)] == ["exact"]
+
+    def test_payload_carried(self):
+        queue = CompletionQueue()
+        queue.push(5.0, "job", payload={"x": 1})
+        assert queue.pop_next().payload == {"x": 1}
+
+    def test_has_kind(self):
+        queue = CompletionQueue()
+        queue.push(5.0, "flush")
+        assert queue.has_kind("flush")
+        assert not queue.has_kind("compaction")
+
+    def test_drain(self):
+        queue = CompletionQueue()
+        for t in (5.0, 1.0, 3.0):
+            queue.push(t, "job")
+        drained = queue.drain()
+        assert [c.at_us for c in drained] == [1.0, 3.0, 5.0]
+        assert len(queue) == 0

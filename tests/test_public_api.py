@@ -1,0 +1,53 @@
+"""Public-API sanity: exports exist, errors form one hierarchy."""
+
+import pytest
+
+import repro
+from repro import errors
+
+
+class TestTopLevel:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_headline_exports(self):
+        from repro import DB, ElmoTune, Options, TunerConfig  # noqa: F401
+
+    def test_all_resolves(self):
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None
+
+
+class TestPackageAlls:
+    @pytest.mark.parametrize("module_name", [
+        "repro.lsm", "repro.bench", "repro.llm", "repro.core",
+        "repro.hardware", "repro.sim",
+    ])
+    def test_every_all_entry_exists(self, module_name):
+        import importlib
+
+        module = importlib.import_module(module_name)
+        for name in module.__all__:
+            assert getattr(module, name) is not None, (module_name, name)
+
+
+class TestErrorHierarchy:
+    def test_all_errors_derive_from_repro_error(self):
+        for name in dir(errors):
+            obj = getattr(errors, name)
+            if isinstance(obj, type) and issubclass(obj, Exception) \
+                    and obj is not errors.ReproError:
+                assert issubclass(obj, errors.ReproError), name
+
+    def test_error_messages_carry_context(self):
+        err = errors.UnknownOptionError("bogus_option")
+        assert "bogus_option" in str(err)
+        assert err.name == "bogus_option"
+        val = errors.InvalidOptionValueError("x", 5, "too small")
+        assert val.reason == "too small"
+        sg = errors.SafeguardViolation("disable_wal", "blacklisted")
+        assert sg.name == "disable_wal"
+
+    def test_catching_base_catches_all(self):
+        with pytest.raises(errors.ReproError):
+            raise errors.BenchmarkParseError("nope")
