@@ -5,6 +5,13 @@ and several tables/figures draw on the same cell (e.g. Table 5 is the
 Figure 3 fillrandom/HDD session), so sessions are memoized per
 (workload, hardware cell, seed) for the lifetime of the pytest process.
 
+Sessions are executed through :mod:`repro.parallel`: experiments that
+need several cells call :func:`tuning_sessions` once, which fans the
+independent sessions over worker processes (one per core; serial on a
+single-core host) with bit-identical results either way. Setting
+``PYLSM_RESULT_CACHE=<dir>`` additionally persists finished sessions on
+disk across pytest invocations.
+
 Every benchmark writes its rendered table/series to
 ``benchmarks/results/<name>.txt`` so EXPERIMENTS.md can reference real
 output.
@@ -12,16 +19,16 @@ output.
 
 from __future__ import annotations
 
-import functools
 import os
 
-from repro.bench.spec import DEFAULT_BYTE_SCALE, DEFAULT_SCALE, paper_workload
-from repro.core.stopping import StoppingCriteria
-from repro.core.tuner import ElmoTune, TunerConfig
+from repro.bench.spec import DEFAULT_SCALE
 from repro.core.session import TuningSession
-from repro.hardware.device import device_by_name
-from repro.hardware.profile import make_profile
-from repro.llm.simulated import SimulatedExpert
+from repro.parallel import (
+    ResultCache,
+    SessionTask,
+    profile_for_cell,
+    run_session_tasks,
+)
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 
@@ -31,27 +38,49 @@ SEED = 42
 #: The paper runs 7 tuning iterations.
 ITERATIONS = 7
 
+#: In-process session memo: (workload, cell, seed, scale) -> session.
+_SESSIONS: dict[tuple[str, str, int, float], TuningSession] = {}
+
 
 def profile_for(cell: str):
     """``cell``: '<cpus>c<mem>g-<device>' e.g. '2c4g-sata-hdd'."""
-    hw, _, device_name = cell.partition("-")
-    cpus, _, mem = hw.partition("c")
-    return make_profile(int(cpus), float(mem.rstrip("g")),
-                        device_by_name(device_name))
+    return profile_for_cell(cell)
 
 
-@functools.lru_cache(maxsize=None)
+def _disk_cache() -> ResultCache | None:
+    root = os.environ.get("PYLSM_RESULT_CACHE")
+    return ResultCache(root) if root else None
+
+
+def tuning_sessions(
+    pairs, seed: int = SEED, scale: float = DEFAULT_SCALE
+) -> list[TuningSession]:
+    """Run (or fetch) the sessions for many (workload, cell) pairs.
+
+    Uncached sessions run through the parallel executor; results come
+    back in input order and match a serial execution exactly.
+    """
+    pairs = list(pairs)
+    missing = []
+    for workload, cell in pairs:
+        key = (workload, cell, seed, scale)
+        if key not in _SESSIONS and key not in missing:
+            missing.append(key)
+    if missing:
+        tasks = [
+            SessionTask(workload=w, cell=c, seed=s, scale=sc,
+                        iterations=ITERATIONS)
+            for w, c, s, sc in missing
+        ]
+        sessions = run_session_tasks(tasks, cache=_disk_cache())
+        _SESSIONS.update(zip(missing, sessions))
+    return [_SESSIONS[(w, c, seed, scale)] for w, c in pairs]
+
+
 def tuning_session(workload: str, cell: str, seed: int = SEED,
                    scale: float = DEFAULT_SCALE) -> TuningSession:
     """Run (or fetch the cached) tuning session for one experiment cell."""
-    config = TunerConfig(
-        workload=paper_workload(workload, scale).with_seed(seed),
-        profile=profile_for(cell),
-        byte_scale=DEFAULT_BYTE_SCALE,
-        stopping=StoppingCriteria(max_iterations=ITERATIONS),
-    )
-    expert = SimulatedExpert(seed=seed)
-    return ElmoTune(config, expert).run()
+    return tuning_sessions([(workload, cell)], seed=seed, scale=scale)[0]
 
 
 def write_result(name: str, text: str) -> None:

@@ -9,6 +9,10 @@ import random
 
 import pytest
 
+# The `benchmark` fixture comes from the pytest-benchmark plugin; on
+# environments without it, skip this module instead of erroring.
+pytest.importorskip("pytest_benchmark")
+
 from repro.hardware import make_profile
 from repro.lsm import DB, Options
 from repro.lsm.bloom import BloomFilter

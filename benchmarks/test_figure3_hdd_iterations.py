@@ -6,7 +6,7 @@ readrandom on HDD because it is catastrophically slow; we verify that
 exclusion holds here too.
 """
 
-from benchmarks.common import once, tuning_session, write_result
+from benchmarks.common import once, tuning_sessions, write_result
 from repro.bench.runner import run_benchmark
 from repro.bench.spec import DEFAULT_BYTE_SCALE, paper_workload
 from repro.core.reporting import format_iteration_series, improvement_summary
@@ -18,7 +18,7 @@ WORKLOADS = ["fillrandom", "mixgraph", "readrandomwriterandom"]
 
 
 def run_sessions():
-    return {w: tuning_session(w, CELL) for w in WORKLOADS}
+    return dict(zip(WORKLOADS, tuning_sessions([(w, CELL) for w in WORKLOADS])))
 
 
 def test_figure3_hdd_iterations(benchmark):

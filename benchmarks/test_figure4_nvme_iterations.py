@@ -4,7 +4,7 @@ Same three workloads as Figure 3, on flash: throughput, p99 write, and
 p99 read per iteration 0..7.
 """
 
-from benchmarks.common import once, tuning_session, write_result
+from benchmarks.common import once, tuning_sessions, write_result
 from repro.core.reporting import format_iteration_series, improvement_summary
 
 CELL = "4c4g-nvme-ssd"
@@ -12,7 +12,7 @@ WORKLOADS = ["fillrandom", "mixgraph", "readrandomwriterandom"]
 
 
 def run_sessions():
-    return {w: tuning_session(w, CELL) for w in WORKLOADS}
+    return dict(zip(WORKLOADS, tuning_sessions([(w, CELL) for w in WORKLOADS])))
 
 
 def test_figure4_nvme_iterations(benchmark):

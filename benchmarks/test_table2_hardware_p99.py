@@ -4,7 +4,7 @@ Paper shape: tuned p99 is lower than default p99 in every cell
 (5.73->5.01 us etc., a 4-14% reduction).
 """
 
-from benchmarks.common import once, tuning_session, write_result
+from benchmarks.common import once, tuning_sessions, write_result
 from repro.core.reporting import format_grid_table
 
 CELLS = ["2c4g-nvme-ssd", "2c8g-nvme-ssd", "4c4g-nvme-ssd", "4c8g-nvme-ssd"]
@@ -20,7 +20,7 @@ def best_p99(session):
 
 
 def run_grid():
-    sessions = [tuning_session("fillrandom", cell) for cell in CELLS]
+    sessions = tuning_sessions([("fillrandom", cell) for cell in CELLS])
     default_row = [s.baseline.metrics.p99_write_us for s in sessions]
     tuned_row = [best_p99(s) for s in sessions]
     return default_row, tuned_row

@@ -5,7 +5,7 @@ Paper shape: every workload improves; the read-dominated workloads
 fillrandom (~1.16x).
 """
 
-from benchmarks.common import once, tuning_session, write_result
+from benchmarks.common import once, tuning_sessions, write_result
 
 CELL = "4c4g-nvme-ssd"
 WORKLOADS = ["fillrandom", "readrandom", "readrandomwriterandom", "mixgraph"]
@@ -19,9 +19,9 @@ PAPER = {
 
 
 def run_all():
+    sessions = tuning_sessions([(w, CELL) for w in WORKLOADS])
     out = {}
-    for workload in WORKLOADS:
-        session = tuning_session(workload, CELL)
+    for workload, session in zip(WORKLOADS, sessions):
         out[workload] = (
             session.baseline.metrics.ops_per_sec,
             session.best.metrics.ops_per_sec,

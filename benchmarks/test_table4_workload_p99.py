@@ -5,7 +5,7 @@ by ~9x (1463.61 -> 169.10 us), readrandom by ~1.7x, fillrandom and the
 mixgraph write tail by modest amounts.
 """
 
-from benchmarks.common import once, tuning_session, write_result
+from benchmarks.common import once, tuning_sessions, write_result
 
 CELL = "4c4g-nvme-ssd"
 
@@ -19,11 +19,13 @@ PAPER_ROWS = [
 ]
 
 
+WORKLOADS = ("fillrandom", "readrandom", "readrandomwriterandom", "mixgraph")
+
+
 def collect():
+    sessions = tuning_sessions([(w, CELL) for w in WORKLOADS])
     out = {}
-    for workload in ("fillrandom", "readrandom", "readrandomwriterandom",
-                     "mixgraph"):
-        session = tuning_session(workload, CELL)
+    for workload, session in zip(WORKLOADS, sessions):
         base, best = session.baseline.metrics, session.best.metrics
         out[(workload, "write")] = (base.p99_write_us, best.p99_write_us)
         out[(workload, "read")] = (base.p99_read_us, best.p99_read_us)

@@ -1,0 +1,112 @@
+#!/usr/bin/env python
+"""Measure engine hot-path wall-clock throughput -> BENCH_engine.json.
+
+Unlike the paper experiments (virtual time, deterministic), these
+numbers are *host* throughput of the Python engine itself — the thing
+the fast-lane optimizations target. Run before and after an engine
+change and compare:
+
+    PYTHONPATH=src python scripts/bench_baseline.py          # writes BENCH_engine.json
+    PYTHONPATH=src python scripts/bench_baseline.py out.json # custom path
+
+The JSON maps benchmark name -> ops/sec, plus host metadata.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import sys
+import time
+
+from repro.bench.keygen import format_key
+from repro.hardware.profile import make_profile
+from repro.lsm.db import DB
+from repro.lsm.options import Options
+from repro.lsm.skiplist import SkipList
+
+VALUE = b"v" * 100
+
+
+def _open_db(path: str) -> DB:
+    return DB.open(
+        path,
+        Options({"write_buffer_size": 64 * 1024,
+                 "bloom_filter_bits_per_key": 10.0}),
+        profile=make_profile(4, 8),
+    )
+
+
+def bench_put(n: int = 8000) -> float:
+    db = DB.open("/bench-baseline-put",
+                 Options({"write_buffer_size": 256 * 1024}),
+                 profile=make_profile(4, 8))
+    start = time.perf_counter()
+    for i in range(n):
+        db.put(format_key(i * 7919 % 100_000), VALUE)
+    elapsed = time.perf_counter() - start
+    db.close()
+    return n / elapsed
+
+
+def bench_gets(n: int = 6000) -> tuple[float, float]:
+    db = _open_db("/bench-baseline-get")
+    for i in range(5000):
+        db.put(format_key(i), VALUE)
+    db.flush()
+    start = time.perf_counter()
+    for i in range(n):
+        db.get(format_key(i % 5000))
+    hit = n / (time.perf_counter() - start)
+    start = time.perf_counter()
+    for i in range(n):
+        db.get(format_key(10_000_000 + i))
+    miss = n / (time.perf_counter() - start)
+    db.close()
+    return hit, miss
+
+
+def bench_skiplist(n: int = 50_000) -> float:
+    sl = SkipList(seed=1)
+    keys = [format_key(i * 2654435761 % 1_000_000) for i in range(n)]
+    start = time.perf_counter()
+    for key in keys:
+        sl.insert(key, None)
+    return n / (time.perf_counter() - start)
+
+
+def bench_scan(n: int = 300) -> float:
+    db = _open_db("/bench-baseline-scan")
+    for i in range(5000):
+        db.put(format_key(i), VALUE)
+    db.flush()
+    start = time.perf_counter()
+    for i in range(n):
+        db.scan(start=format_key((i * 37) % 4900), limit=100)
+    elapsed = time.perf_counter() - start
+    db.close()
+    return n / elapsed
+
+
+def main() -> None:
+    out_path = sys.argv[1] if len(sys.argv) > 1 else "BENCH_engine.json"
+    get_hit, get_miss = bench_gets()
+    report = {
+        "put_ops_per_sec": round(bench_put(), 1),
+        "get_hit_ops_per_sec": round(get_hit, 1),
+        "get_miss_ops_per_sec": round(get_miss, 1),
+        "skiplist_insert_ops_per_sec": round(bench_skiplist(), 1),
+        "scan100_ops_per_sec": round(bench_scan(), 1),
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+    }
+    with open(out_path, "w", encoding="utf-8") as f:
+        json.dump(report, f, indent=2, sort_keys=True)
+        f.write("\n")
+    print(json.dumps(report, indent=2, sort_keys=True))
+    print(f"\nwrote {out_path}")
+
+
+if __name__ == "__main__":
+    main()

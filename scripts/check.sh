@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Tier-1 gate + engine microbench smoke, in one command.
+#
+#   scripts/check.sh          # from the repo root
+#
+# 1. Runs the tier-1 test suite (tests/), exactly as ROADMAP.md defines.
+# 2. Smoke-runs the engine microbenchmarks (benchmarks/test_engine_
+#    microbench.py) with timing disabled, so hot-path regressions that
+#    *break* (rather than slow) the engine are caught here too.
+#
+# For actual wall-clock numbers, use scripts/bench_baseline.py.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+echo "== tier-1: tests/ =="
+python -m pytest -x -q
+
+echo
+echo "== microbench smoke (timing disabled) =="
+python -m pytest -x -q --benchmark-disable benchmarks/test_engine_microbench.py
+
+echo
+echo "check.sh: all green"

@@ -10,17 +10,28 @@ from __future__ import annotations
 
 import math
 import random
+from functools import lru_cache
 
 from repro.errors import WorkloadError
 
 KEY_WIDTH = 16
 
 
+@lru_cache(maxsize=1 << 16)
+def _format_key_cached(index: int) -> bytes:
+    return b"%0*d" % (KEY_WIDTH, index)
+
+
 def format_key(index: int) -> bytes:
-    """db_bench-style fixed-width key."""
+    """db_bench-style fixed-width key.
+
+    Memoized: workloads re-visit the same indices constantly (zipfian hot
+    keys, readrandom over a loaded space), so encoding is cached with a
+    bound large enough to cover the scaled-down experiment key spaces.
+    """
     if index < 0:
         raise WorkloadError("key index cannot be negative")
-    return b"%0*d" % (KEY_WIDTH, index)
+    return _format_key_cached(index)
 
 
 class UniformKeys:

@@ -81,4 +81,7 @@ def render_report(result: BenchResult) -> str:
     )
     lines.append(f"DB size: {result.db_size_bytes / 2**20:.2f} MB")
     lines.append(result.level_shape)
+    if result.wall_clock_s > 0:
+        # Host-side diagnostic; every metric above is virtual-time.
+        lines.append(f"Wall clock (host): {result.wall_clock_s:.2f} s")
     return "\n".join(lines) + "\n"

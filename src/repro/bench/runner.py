@@ -9,6 +9,7 @@ progress callback supports ELMo-Tune's 30-second early-stop monitor.
 from __future__ import annotations
 
 import random
+import time
 from dataclasses import dataclass, field
 from typing import Callable
 
@@ -63,6 +64,9 @@ class BenchResult:
     db_size_bytes: int
     tickers: dict[str, int] = field(default_factory=dict)
     snapshot: object | None = None  # SystemSnapshot (psutil-like)
+    #: Real (host) seconds the run took. Diagnostic only: every headline
+    #: metric is virtual-time and deterministic; this one is not.
+    wall_clock_s: float = 0.0
 
     @property
     def ops_per_sec(self) -> float:
@@ -88,6 +92,40 @@ class BenchResult:
 
     def p99_read_us(self) -> float | None:
         return self.read_summary.p99 if self.read_summary else None
+
+    def fingerprint(self) -> dict:
+        """Deterministic view of the result for equality checks.
+
+        Everything virtual-time-derived, excluding ``wall_clock_s`` and
+        the monitor ``snapshot`` (both reflect the host, not the model).
+        Serial and parallel executions of the same task must produce
+        identical fingerprints.
+        """
+        from dataclasses import asdict
+
+        return {
+            "spec": asdict(self.spec),
+            "options": self.options.overrides(),
+            "ops_done": self.ops_done,
+            "reads_done": self.reads_done,
+            "writes_done": self.writes_done,
+            "duration_s": self.duration_s,
+            "aborted": self.aborted,
+            "write_summary": asdict(self.write_summary) if self.write_summary else None,
+            "read_summary": asdict(self.read_summary) if self.read_summary else None,
+            "stall_micros": self.stall_micros,
+            "stall_count": self.stall_count,
+            "slowdown_count": self.slowdown_count,
+            "cache_hit_rate": self.cache_hit_rate,
+            "bloom_useful_rate": self.bloom_useful_rate,
+            "flush_count": self.flush_count,
+            "compaction_count": self.compaction_count,
+            "bytes_written": self.bytes_written,
+            "bytes_read": self.bytes_read,
+            "level_shape": self.level_shape,
+            "db_size_bytes": self.db_size_bytes,
+            "tickers": dict(sorted(self.tickers.items())),
+        }
 
 
 class DbBench:
@@ -141,6 +179,7 @@ class DbBench:
         statistics: Statistics | None = None,
     ) -> BenchResult:
         """Execute preload + measured phase; returns the result."""
+        wall_start = time.perf_counter()
         stats = statistics if statistics is not None else Statistics()
         db = DB.open(
             self.db_path,
@@ -189,7 +228,9 @@ class DbBench:
                         aborted = True
                         break
             duration_s = (self.env.clock.now_us - start_us) / 1e6
-            return self._collect(db, stats, reads, writes, duration_s, aborted)
+            result = self._collect(db, stats, reads, writes, duration_s, aborted)
+            result.wall_clock_s = time.perf_counter() - wall_start
+            return result
         finally:
             db.close()
 

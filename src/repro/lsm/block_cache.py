@@ -31,9 +31,11 @@ class _Shard:
         self.hits += 1
         return entry[0]
 
-    def put(self, key: Hashable, value: object, charge: int) -> None:
+    def put(self, key: Hashable, value: object, charge: int) -> int:
+        """Insert; returns the net change to this shard's used bytes."""
         if charge > self.capacity:
-            return  # too big to cache at all
+            return 0  # too big to cache at all
+        before = self.used
         old = self.entries.pop(key, None)
         if old is not None:
             self.used -= old[1]
@@ -43,11 +45,15 @@ class _Shard:
             _k, (_v, c) = self.entries.popitem(last=False)
             self.used -= c
             self.evictions += 1
+        return self.used - before
 
-    def erase(self, key: Hashable) -> None:
+    def erase(self, key: Hashable) -> int:
+        """Remove; returns the net change to this shard's used bytes."""
         old = self.entries.pop(key, None)
         if old is not None:
             self.used -= old[1]
+            return -old[1]
+        return 0
 
 
 class LRUCache:
@@ -68,6 +74,9 @@ class LRUCache:
         self._shards = [_Shard(per_shard) for _ in range(self._num_shards)]
         self.capacity_bytes = capacity_bytes
         self._disabled = capacity_bytes == 0
+        #: Running total across shards; kept incrementally so the
+        #: per-operation memory gauge never has to sum the shard list.
+        self._used_total = 0
 
     def _shard(self, key: Hashable) -> _Shard:
         return self._shards[hash(key) & (self._num_shards - 1)]
@@ -80,23 +89,23 @@ class LRUCache:
     def put(self, key: Hashable, value: object, charge: int) -> None:
         if self._disabled:
             return
-        self._shard(key).put(key, value, charge)
+        self._used_total += self._shard(key).put(key, value, charge)
 
     def erase(self, key: Hashable) -> None:
         if self._disabled:
             return
-        self._shard(key).erase(key)
+        self._used_total += self._shard(key).erase(key)
 
     def erase_file(self, file_number: int) -> None:
         """Drop every cached block of one file (called on file deletion)."""
         for shard in self._shards:
             doomed = [k for k in shard.entries if isinstance(k, tuple) and k and k[0] == file_number]
             for key in doomed:
-                shard.erase(key)
+                self._used_total += shard.erase(key)
 
     @property
     def used_bytes(self) -> int:
-        return sum(s.used for s in self._shards)
+        return self._used_total
 
     @property
     def hits(self) -> int:

@@ -25,6 +25,7 @@ from repro.lsm.compaction.picker import Compaction, CompactionPicker
 from repro.lsm.compaction.universal import UniversalPicker
 from repro.lsm.env import Env
 from repro.lsm.flush import run_flush
+from repro.lsm.ikey import MAX_SEQUENCE as _MAX_SEQUENCE
 from repro.lsm.iterator import memtable_source, merge_sources, user_view
 from repro.lsm.manifest import Manifest, VersionEdit
 from repro.lsm.memtable import MemTable, ValueKind
@@ -46,6 +47,30 @@ _DEFAULT_PROFILE = make_profile(4, 8)
 #: Penalty charged when the engine is wedged (e.g. stalls with
 #: auto-compaction disabled): one full virtual second per write.
 _WEDGED_PENALTY_US = 1_000_000.0
+
+# Ticker slots for the per-operation fast lane: `get`/`put` bump these on
+# every call, so they go through Statistics.raw_tickers() plus a constant
+# index instead of the enum-keyed bump() API. Amounts on this path are
+# non-negative by construction (counts and byte lengths), which is the
+# only invariant bump() would otherwise check.
+_T_NUMBER_KEYS_READ = Ticker.NUMBER_KEYS_READ.slot
+_T_NUMBER_KEYS_FOUND = Ticker.NUMBER_KEYS_FOUND.slot
+_T_MEMTABLE_HIT = Ticker.MEMTABLE_HIT.slot
+_T_MEMTABLE_MISS = Ticker.MEMTABLE_MISS.slot
+_T_GET_HIT_L0 = Ticker.GET_HIT_L0.slot
+_T_GET_HIT_L1 = Ticker.GET_HIT_L1.slot
+_T_GET_HIT_L2_PLUS = Ticker.GET_HIT_L2_PLUS.slot
+_T_NUMBER_KEYS_WRITTEN = Ticker.NUMBER_KEYS_WRITTEN.slot
+_T_WRITE_DONE_BY_SELF = Ticker.WRITE_DONE_BY_SELF.slot
+_T_WAL_BYTES = Ticker.WAL_BYTES.slot
+_T_WRITE_WITH_WAL = Ticker.WRITE_WITH_WAL.slot
+_T_WAL_SYNCS = Ticker.WAL_SYNCS.slot
+_T_BLOCK_CACHE_HIT = Ticker.BLOCK_CACHE_HIT.slot
+_T_BLOCK_CACHE_MISS = Ticker.BLOCK_CACHE_MISS.slot
+_T_BLOOM_CHECKED = Ticker.BLOOM_CHECKED.slot
+_T_BLOOM_USEFUL = Ticker.BLOOM_USEFUL.slot
+_T_BYTES_READ = Ticker.BYTES_READ.slot
+_T_TABLE_OPENS = Ticker.TABLE_OPENS.slot
 
 
 @dataclass
@@ -130,6 +155,17 @@ class DB:
         self._page_cache = LRUCache(self._page_cache_bytes(), 2)
         self._swap_factor = self._compute_swap_factor()
         self._last_stats_dump_us = 0.0
+        # Per-operation fast lane: resolve configuration that cannot
+        # change while the DB is open, and bind the ticker array once
+        # (raw_tickers() stays valid across Statistics.reset()).
+        self._tickers = statistics.raw_tickers()
+        self._disable_wal = options.get("disable_wal")
+        self._use_fsync = options.get("use_fsync")
+        self._stats_dump_period_us = options.get("stats_dump_period_sec") * 1e6
+        self._db_write_buffer_size = options.get("db_write_buffer_size")
+        self._max_total_wal_size = options.get("max_total_wal_size")
+        #: (version stamp, value) memo for pending compaction debt.
+        self._pending_bytes_cache: tuple[int, int] = (-1, 0)
         self._style = options.get("compaction_style")
         if self._style == "level":
             self._picker = CompactionPicker(options)
@@ -280,9 +316,9 @@ class DB:
     def _cache_get(self, key):
         payload = self._block_cache.get(key)
         if payload is None:
-            self._stats.bump(Ticker.BLOCK_CACHE_MISS)
+            self._tickers[_T_BLOCK_CACHE_MISS] += 1
         else:
-            self._stats.bump(Ticker.BLOCK_CACHE_HIT)
+            self._tickers[_T_BLOCK_CACHE_HIT] += 1
         return payload
 
     def _cache_put(self, key, payload, charge) -> None:
@@ -302,7 +338,7 @@ class DB:
         self._env.clock.advance(latency_us / max(1, self.foreground_parallelism))
 
     def _maybe_stats_dump(self) -> float:
-        period_us = self._options.get("stats_dump_period_sec") * 1e6
+        period_us = self._stats_dump_period_us
         if period_us <= 0:
             return 0.0
         now = self._env.clock.now_us
@@ -315,6 +351,8 @@ class DB:
 
     def _process_completions(self) -> None:
         now = self._env.clock.now_us
+        if self._completions.next_due_us > now:
+            return
         for completion in self._completions.pop_due(now):
             self._apply_completion(completion)
 
@@ -536,7 +574,13 @@ class DB:
     # ------------------------------------------------------------ write
 
     def _pending_compaction_bytes(self) -> int:
-        return self._picker.pending_compaction_bytes(self._version)
+        stamp = self._version.stamp
+        cached = self._pending_bytes_cache
+        if cached[0] == stamp:
+            return cached[1]
+        value = self._picker.pending_compaction_bytes(self._version)
+        self._pending_bytes_cache = (stamp, value)
+        return value
 
     def _make_room_for_write(self, entry_bytes: int) -> float:
         """Apply the stall state machine; return extra latency in us."""
@@ -598,34 +642,38 @@ class DB:
         self._process_completions()
         stall_us = self._make_room_for_write(batch.approximate_bytes)
         busy = self._busy_bg_jobs()
+        perf = self._perf
+        tickers = self._tickers
+        mem_add = self._mem.add
+        swap = self._swap_factor
         latency = 0.0
         wal_bytes = 0
-        wal_enabled = not self._options.get("disable_wal")
+        wal_enabled = not self._disable_wal
+        wal_add = self._wal.add_record if wal_enabled and self._wal else None
+        seq = self._seq
         for op in batch.ops:
-            self._seq += 1
-            latency += self._perf.put_cost_us(
+            seq += 1
+            latency += perf.put_cost_us(
                 len(op.key), len(op.value),
                 busy_bg_jobs=busy, wal_enabled=wal_enabled,
-            ) * self._swap_factor
-            if wal_enabled:
-                assert self._wal is not None
-                wal_bytes += self._wal.add_record(
-                    self._seq, op.kind, op.key, op.value
-                )
-            self._mem.add(self._seq, op.kind, op.key, op.value)
-            self._stats.bump(Ticker.NUMBER_KEYS_WRITTEN)
+            ) * swap
+            if wal_add is not None:
+                wal_bytes += wal_add(seq, op.kind, op.key, op.value)
+            mem_add(seq, op.kind, op.key, op.value)
+            tickers[_T_NUMBER_KEYS_WRITTEN] += 1
+        self._seq = seq
         if wal_enabled:
-            self._stats.bump(Ticker.WAL_BYTES, wal_bytes)
-            self._stats.bump(Ticker.WRITE_WITH_WAL)
-            if self._options.get("use_fsync"):
+            tickers[_T_WAL_BYTES] += wal_bytes
+            tickers[_T_WRITE_WITH_WAL] += 1
+            if self._use_fsync:
                 self._wal.sync()
-                latency += self._perf.wal_sync_cost_us()
-                self._stats.bump(Ticker.WAL_SYNCS)
+                latency += perf.wal_sync_cost_us()
+                tickers[_T_WAL_SYNCS] += 1
                 self._monitor.record_sync()
-        latency += self._perf.writeback_stall_us(
+        latency += perf.writeback_stall_us(
             wal_bytes + batch.approximate_bytes
         )
-        self._stats.bump(Ticker.WRITE_DONE_BY_SELF)
+        tickers[_T_WRITE_DONE_BY_SELF] += 1
         self._monitor.record_cpu(latency)
         self._monitor.record_write(wal_bytes)
         self._update_memory_gauge()
@@ -648,29 +696,34 @@ class DB:
         stall_us = self._make_room_for_write(entry_bytes)
         self._seq += 1
         busy = self._busy_bg_jobs()
-        latency = self._perf.put_cost_us(
+        perf = self._perf
+        tickers = self._tickers
+        monitor = self._monitor
+        wal_enabled = not self._disable_wal
+        latency = perf.put_cost_us(
             len(key), len(value),
             busy_bg_jobs=busy,
-            wal_enabled=not self._options.get("disable_wal"),
+            wal_enabled=wal_enabled,
         ) * self._swap_factor
         wal_bytes = 0
-        if not self._options.get("disable_wal"):
-            assert self._wal is not None
-            wal_bytes = self._wal.add_record(self._seq, kind, key, value)
-            self._stats.bump(Ticker.WAL_BYTES, wal_bytes)
-            self._stats.bump(Ticker.WRITE_WITH_WAL)
-            if self._options.get("use_fsync"):
-                self._wal.sync()
-                latency += self._perf.wal_sync_cost_us()
-                self._stats.bump(Ticker.WAL_SYNCS)
-                self._monitor.record_sync()
+        if wal_enabled:
+            wal = self._wal
+            assert wal is not None
+            wal_bytes = wal.add_record(self._seq, kind, key, value)
+            tickers[_T_WAL_BYTES] += wal_bytes
+            tickers[_T_WRITE_WITH_WAL] += 1
+            if self._use_fsync:
+                wal.sync()
+                latency += perf.wal_sync_cost_us()
+                tickers[_T_WAL_SYNCS] += 1
+                monitor.record_sync()
         self._mem.add(self._seq, kind, key, value)
-        latency += self._perf.writeback_stall_us(wal_bytes + entry_bytes)
+        latency += perf.writeback_stall_us(wal_bytes + entry_bytes)
         latency += self._maybe_stats_dump()
-        self._stats.bump(Ticker.NUMBER_KEYS_WRITTEN)
-        self._stats.bump(Ticker.WRITE_DONE_BY_SELF)
-        self._monitor.record_cpu(latency)
-        self._monitor.record_write(wal_bytes)
+        tickers[_T_NUMBER_KEYS_WRITTEN] += 1
+        tickers[_T_WRITE_DONE_BY_SELF] += 1
+        monitor.record_cpu(latency)
+        monitor.record_write(wal_bytes)
         self._update_memory_gauge()
         self._advance(latency)
         total = latency + stall_us
@@ -684,14 +737,14 @@ class DB:
         return total
 
     def _over_global_write_budget(self) -> bool:
-        cap = self._options.get("db_write_buffer_size")
+        cap = self._db_write_buffer_size
         if cap:
             total = self._mem.approximate_memory_usage + sum(
                 mt.approximate_memory_usage for mt in self._imm
             )
             if total >= cap:
                 return True
-        wal_cap = self._options.get("max_total_wal_size")
+        wal_cap = self._max_total_wal_size
         if wal_cap and self._wal is not None:
             live = self._wal.size() + sum(
                 self._env.fs.file_size(p)
@@ -725,39 +778,41 @@ class DB:
         self._check_open()
         self._process_completions()
         busy = self._busy_bg_jobs()
-        latency = 0.0
-        self._stats.bump(Ticker.NUMBER_KEYS_READ)
+        tickers = self._tickers
+        tickers[_T_NUMBER_KEYS_READ] += 1
         found_value: bytes | None = None
-        found = False
-        probes = 0
         snap_seq = snapshot.sequence if snapshot is not None else None
-        for mt in [self._mem, *reversed(self._imm)]:
-            probes += 1
-            hit, kind, value = mt.get(key, snapshot_seq=snap_seq)
-            if hit:
-                found = True
-                if kind is ValueKind.VALUE:
-                    found_value = value
-                break
-        latency += self._perf.memtable_get_cost_us(probes, busy)
+        # Probe the active memtable first, then immutables newest-first;
+        # written flat (no probe list) because this runs on every read.
+        probes = 1
+        found, kind, value = self._mem.get(key, snapshot_seq=snap_seq)
+        if not found:
+            for mt in reversed(self._imm):
+                probes += 1
+                found, kind, value = mt.get(key, snapshot_seq=snap_seq)
+                if found:
+                    break
+        if found and kind is ValueKind.VALUE:
+            found_value = value
+        latency = self._perf.memtable_get_cost_us(probes, busy)
         if found:
-            self._stats.bump(Ticker.MEMTABLE_HIT)
+            tickers[_T_MEMTABLE_HIT] += 1
         else:
-            self._stats.bump(Ticker.MEMTABLE_MISS)
+            tickers[_T_MEMTABLE_MISS] += 1
             found, found_value, level_hit, read_cost = self._search_levels(
                 key, busy, snap_seq
             )
             latency += read_cost
             if found and level_hit == 0:
-                self._stats.bump(Ticker.GET_HIT_L0)
+                tickers[_T_GET_HIT_L0] += 1
             elif found and level_hit == 1:
-                self._stats.bump(Ticker.GET_HIT_L1)
+                tickers[_T_GET_HIT_L1] += 1
             elif found:
-                self._stats.bump(Ticker.GET_HIT_L2_PLUS)
+                tickers[_T_GET_HIT_L2_PLUS] += 1
         latency *= self._swap_factor
         latency += self._maybe_stats_dump()
         if found_value is not None:
-            self._stats.bump(Ticker.NUMBER_KEYS_FOUND)
+            tickers[_T_NUMBER_KEYS_FOUND] += 1
         self._monitor.record_cpu(latency)
         self._update_memory_gauge()
         self._advance(latency)
@@ -767,36 +822,42 @@ class DB:
     def _search_levels(
         self, key: bytes, busy: int, snapshot_seq: int | None = None
     ) -> tuple[bool, bytes | None, int, float]:
-        from repro.lsm import ikey as _ikey
-
         max_seq = (
-            snapshot_seq if snapshot_seq is not None else _ikey.MAX_SEQUENCE
+            snapshot_seq if snapshot_seq is not None else _MAX_SEQUENCE
         )
         cost = 0.0
-        for level in range(self._version.num_levels):
-            for meta in self._version.files_for_key(level, key):
-                reader, cached = self._table_cache.get(meta.file_number)
+        tickers = self._tickers
+        perf = self._perf
+        version = self._version
+        table_cache_get = self._table_cache.get
+        cache_get = self._cache_get
+        cache_put = self._cache_put
+        page_get = self._page_get
+        page_put = self._page_put
+        for level in range(version.num_levels):
+            for meta in version.files_for_key(level, key):
+                reader, cached = table_cache_get(meta.file_number)
                 if not cached:
-                    self._stats.bump(Ticker.TABLE_OPENS)
-                    cost += self._perf.table_open_cost_us(
+                    tickers[_T_TABLE_OPENS] += 1
+                    cost += perf.table_open_cost_us(
                         reader.index_size_bytes, reader.filter_size_bytes
                     )
                 hit, kind, value, rstats = reader.get(
                     key,
                     max_seq,
-                    cache_get=self._cache_get,
-                    cache_put=self._cache_put,
-                    page_get=self._page_get,
-                    page_put=self._page_put,
+                    cache_get=cache_get,
+                    cache_put=cache_put,
+                    page_get=page_get,
+                    page_put=page_put,
                 )
-                cost += self._perf.table_read_cost_us(rstats, busy_bg_jobs=busy)
+                cost += perf.table_read_cost_us(rstats, busy_bg_jobs=busy)
                 if rstats.bloom_checked:
-                    self._stats.bump(Ticker.BLOOM_CHECKED)
+                    tickers[_T_BLOOM_CHECKED] += 1
                     if rstats.bloom_negative:
-                        self._stats.bump(Ticker.BLOOM_USEFUL)
+                        tickers[_T_BLOOM_USEFUL] += 1
                 device_bytes = rstats.device_block_bytes()
                 if device_bytes:
-                    self._stats.bump(Ticker.BYTES_READ, device_bytes)
+                    tickers[_T_BYTES_READ] += device_bytes
                     self._monitor.record_read(device_bytes)
                 if hit:
                     if kind is ValueKind.DELETE:

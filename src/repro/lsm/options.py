@@ -618,6 +618,14 @@ class Options:
     def __setattr__(self, name: str, value: Any) -> None:
         self.set(name, value)
 
+    def __getstate__(self) -> dict[str, Any]:
+        # Slots + the catalog-routing __setattr__ break default pickling
+        # (slot restore would go through set()); pickle the overrides.
+        return dict(self._values)
+
+    def __setstate__(self, state: dict[str, Any]) -> None:
+        object.__setattr__(self, "_values", dict(state))
+
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, Options):
             return NotImplemented

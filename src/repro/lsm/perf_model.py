@@ -135,6 +135,12 @@ class PerfModel:
         #: Concurrent foreground writer threads (set by the DB); the
         #: pipelined write path pays off only with real concurrency.
         self.foreground_threads = 1
+        # Options are fixed for the lifetime of a model instance (the
+        # tuner reopens the DB per configuration), so the hot-path
+        # lookups are resolved once here instead of per operation.
+        self._memtable_bloom = options.get("memtable_prefix_bloom_size_ratio") > 0
+        self._pipelined = bool(options.get("enable_pipelined_write"))
+        self._readahead_relief_cached = self._compute_readahead_relief()
 
     # -- helpers -----------------------------------------------------------
 
@@ -162,12 +168,12 @@ class PerfModel:
         """Cost of one write hitting WAL + memtable (no stalls)."""
         c = self.cpu
         cost = c.memtable_insert
-        if self.options.get("memtable_prefix_bloom_size_ratio") > 0:
+        if self._memtable_bloom:
             cost += c.memtable_bloom_probe
         if wal_enabled:
             cost += (key_len + value_len + 24) * c.wal_encode_per_byte
         concurrent = self.foreground_threads > 1
-        if self.options.get("enable_pipelined_write"):
+        if self._pipelined:
             # Pipelining overlaps WAL and memtable stages: a win with
             # concurrent writers, pure coordination overhead without.
             cost += c.pipelined_write_overhead if concurrent else c.write_group_coordination
@@ -191,6 +197,9 @@ class PerfModel:
 
     def _readahead_relief(self) -> float:
         """<1 when compaction readahead exceeds the 4 KiB floor."""
+        return self._readahead_relief_cached
+
+    def _compute_readahead_relief(self) -> float:
         import math
 
         floor = max(4096, self.options.get("block_size"))

@@ -48,18 +48,20 @@ class SkipList:
     def _find_greater_or_equal(
         self, key: bytes, prev: list[_Node] | None = None
     ) -> _Node | None:
+        # Hot path: advance along each lane with a tight inner loop so
+        # the level bookkeeping runs once per lane, not once per step.
         node = self._head
         level = self._height - 1
         while True:
             nxt = node.next[level]
-            if nxt is not None and nxt.key < key:  # type: ignore[operator]
+            while nxt is not None and nxt.key < key:  # type: ignore[operator]
                 node = nxt
-            else:
-                if prev is not None:
-                    prev[level] = node
-                if level == 0:
-                    return nxt
-                level -= 1
+                nxt = node.next[level]
+            if prev is not None:
+                prev[level] = node
+            if level == 0:
+                return nxt
+            level -= 1
 
     def insert(self, key: bytes, value: Any) -> bool:
         """Insert or overwrite; returns True if the key was new."""

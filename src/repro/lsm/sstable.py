@@ -197,6 +197,11 @@ def _file_number_from_path(path: str) -> int:
 CacheGet = Callable[[tuple[int, int]], bytes | None]
 CachePut = Callable[[tuple[int, int], bytes, int], None]
 
+#: Decoded-entry memo size per open reader (blocks). SSTables are
+#: immutable, so decoded entries never go stale; the bound only caps
+#: memory.
+_DECODED_CACHE_BLOCKS = 128
+
 
 class SSTableReader:
     """Reads one table; index and filter are loaded once at open."""
@@ -235,6 +240,12 @@ class SSTableReader:
                 file.read(filter_off, filter_sz), verify_checksum=verify_checksums
             )
             self._bloom = BloomFilter.from_bytes(bloom_payload, bloom_bits)
+        # offset -> (payload, decoded entries). Serving a repeat lookup
+        # from here skips decode_block's per-entry varint parsing; the
+        # stored payload is compared against the bytes the modeled path
+        # produced so cache/page bookkeeping and corruption detection
+        # behave exactly as without the memo.
+        self._decoded: dict[int, tuple[bytes, list[tuple[bytes, bytes]]]] = {}
 
     @property
     def num_blocks(self) -> int:
@@ -266,11 +277,16 @@ class SSTableReader:
     ) -> list[tuple[bytes, bytes]]:
         _last, off, sz = self._index[idx]
         cache_key = (self.file_number, off)
+        memo = self._decoded.get(off)
         if cache_get is not None:
             cached = cache_get(cache_key)
             if cached is not None:
                 stats.block_reads.append((sz, "cache"))
-                return decode_block(cached)
+                if memo is not None and (cached is memo[0] or cached == memo[0]):
+                    return memo[1]
+                entries = decode_block(cached)
+                self._remember(off, cached, entries)
+                return entries
         source = "device"
         envelope: bytes | None = None
         if page_get is not None:
@@ -283,10 +299,25 @@ class SSTableReader:
             if page_put is not None:
                 page_put(cache_key, envelope, len(envelope))
         payload = decompress_block(envelope, verify_checksum=self._verify)
+        if memo is not None and payload == memo[0]:
+            entries = memo[1]
+        else:
+            entries = decode_block(payload)
+            self._remember(off, payload, entries)
         stats.block_reads.append((sz, source))
         if cache_put is not None:
             cache_put(cache_key, payload, len(payload))
-        return decode_block(payload)
+        return entries
+
+    def _remember(
+        self, off: int, payload: bytes, entries: list[tuple[bytes, bytes]]
+    ) -> None:
+        decoded = self._decoded
+        if len(decoded) >= _DECODED_CACHE_BLOCKS:
+            # Cheap bounded eviction (FIFO-ish); correctness never
+            # depends on what gets dropped.
+            decoded.pop(next(iter(decoded)))
+        decoded[off] = (payload, entries)
 
     def get(
         self,

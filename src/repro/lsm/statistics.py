@@ -3,6 +3,13 @@
 A small, typed version of RocksDB's ``Statistics``: named monotonically
 increasing tickers plus latency histograms per operation class. The
 tuner's prompt generator and the db_bench report both read from here.
+
+Hot-path design: tickers live in a flat integer array indexed by a
+``slot`` precomputed on each enum member, not in an enum-keyed dict, so
+a bump is one list index instead of a string-hash dict lookup. The DB
+facade may bind :meth:`raw_tickers` once and bump slots directly; the
+array object stays stable across :meth:`reset` to keep such bindings
+valid.
 """
 
 from __future__ import annotations
@@ -58,51 +65,81 @@ class OpClass(str, enum.Enum):
     WAL_SYNC = "wal.sync"
 
 
+# Assign each member its position in the backing arrays. A plain
+# instance attribute is much cheaper to read than the DynamicClassAttribute
+# behind ``.value``.
+for _slot, _member in enumerate(Ticker):
+    _member.slot = _slot  # type: ignore[attr-defined]
+for _slot, _member in enumerate(OpClass):
+    _member.slot = _slot  # type: ignore[attr-defined]
+
+_TICKERS = tuple(Ticker)
+_OP_CLASSES = tuple(OpClass)
+_NUM_TICKERS = len(_TICKERS)
+
+
 class Statistics:
     """Ticker + histogram registry for one DB instance."""
 
+    __slots__ = ("_tickers", "_histograms")
+
     def __init__(self) -> None:
-        self._tickers: dict[Ticker, int] = {t: 0 for t in Ticker}
-        self._histograms: dict[OpClass, Histogram] = {c: Histogram() for c in OpClass}
+        self._tickers: list[int] = [0] * _NUM_TICKERS
+        self._histograms: list[Histogram] = [Histogram() for _ in _OP_CLASSES]
 
     # -- tickers -----------------------------------------------------------
 
     def bump(self, ticker: Ticker, amount: int = 1) -> None:
         if amount < 0:
             raise ValueError("tickers are monotonic")
-        self._tickers[ticker] += amount
+        self._tickers[ticker.slot] += amount
 
     def ticker(self, ticker: Ticker) -> int:
-        return self._tickers[ticker]
+        return self._tickers[ticker.slot]
+
+    def raw_tickers(self) -> list[int]:
+        """The backing counter array, indexed by ``Ticker.<X>.slot``.
+
+        Engine-internal fast lane: the list object is stable for the
+        lifetime of the Statistics (``reset`` zeroes it in place), so the
+        DB facade can bind it once and bump slots without method calls.
+        Callers must never shrink it or make counters go backwards.
+        """
+        return self._tickers
 
     # -- histograms ----------------------------------------------------------
 
     def observe(self, op: OpClass, latency_us: float) -> None:
-        self._histograms[op].add(latency_us)
+        self._histograms[op.slot].add(latency_us)
+
+    def observe_many(self, op: OpClass, latencies_us) -> None:
+        """Batch path: record many latencies with one validation pass."""
+        self._histograms[op.slot].observe_many(latencies_us)
 
     def histogram(self, op: OpClass) -> Histogram:
-        return self._histograms[op]
+        return self._histograms[op.slot]
 
     # -- views -----------------------------------------------------------
 
     def cache_hit_rate(self) -> float:
-        hits = self._tickers[Ticker.BLOCK_CACHE_HIT]
-        total = hits + self._tickers[Ticker.BLOCK_CACHE_MISS]
+        hits = self._tickers[Ticker.BLOCK_CACHE_HIT.slot]
+        total = hits + self._tickers[Ticker.BLOCK_CACHE_MISS.slot]
         return hits / total if total else 0.0
 
     def bloom_useful_rate(self) -> float:
-        useful = self._tickers[Ticker.BLOOM_USEFUL]
-        checked = self._tickers[Ticker.BLOOM_CHECKED]
+        useful = self._tickers[Ticker.BLOOM_USEFUL.slot]
+        checked = self._tickers[Ticker.BLOOM_CHECKED.slot]
         return useful / checked if checked else 0.0
 
     def as_dict(self) -> dict[str, int]:
-        return {t.value: v for t, v in self._tickers.items()}
+        return {t.value: self._tickers[t.slot] for t in _TICKERS}
 
     def describe(self) -> str:
         """Multi-line stats dump (embedded in prompts)."""
-        lines = [f"{t.value}: {v}" for t, v in sorted(
-            self._tickers.items(), key=lambda kv: kv[0].value) if v]
-        for op, hist in self._histograms.items():
+        pairs = [(t.value, self._tickers[t.slot]) for t in _TICKERS]
+        lines = [f"{name}: {v}" for name, v in sorted(pairs) if v]
+        for op in _OP_CLASSES:
+            hist = self._histograms[op.slot]
             if hist.count:
                 s = hist.summary()
                 lines.append(
@@ -112,7 +149,9 @@ class Statistics:
         return "\n".join(lines)
 
     def reset(self) -> None:
-        for t in self._tickers:
-            self._tickers[t] = 0
-        for h in self._histograms.values():
+        # Zero in place: raw_tickers() bindings must stay valid.
+        tickers = self._tickers
+        for i in range(_NUM_TICKERS):
+            tickers[i] = 0
+        for h in self._histograms:
             h.reset()

@@ -20,6 +20,9 @@ class Version:
 
     num_levels: int
     levels: list[list[FileMetaData]] = field(default_factory=list)
+    #: Monotonic mutation counter; bumps whenever the file set changes so
+    #: derived quantities (pending compaction debt) can be memoized.
+    stamp: int = 0
 
     def __post_init__(self) -> None:
         if self.num_levels < 2:
@@ -33,6 +36,7 @@ class Version:
 
     def add_file(self, level: int, meta: FileMetaData) -> None:
         self._check_level(level)
+        self.stamp += 1
         meta = FileMetaData(
             file_number=meta.file_number,
             file_size=meta.file_size,
@@ -60,6 +64,7 @@ class Version:
     def add_file_l0_front(self, meta: FileMetaData) -> None:
         """Install at the *oldest* L0 position (universal merge outputs
         replace the oldest runs, so they must sort as oldest)."""
+        self.stamp += 1
         meta = FileMetaData(
             file_number=meta.file_number,
             file_size=meta.file_size,
@@ -75,6 +80,7 @@ class Version:
         files = self.levels[level]
         for idx, meta in enumerate(files):
             if meta.file_number == file_number:
+                self.stamp += 1
                 return files.pop(idx)
         raise DBError(f"file {file_number} not found at L{level}")
 

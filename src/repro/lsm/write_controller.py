@@ -34,11 +34,25 @@ class StallDecision:
         return self.state is WriteState.NORMAL
 
 
+_NORMAL = StallDecision(WriteState.NORMAL)
+
+
 class WriteController:
-    """Stateless policy object: inputs in, decision out."""
+    """Stateless policy object: inputs in, decision out.
+
+    The stall thresholds are resolved from the options once at
+    construction — this runs before every single write, and the
+    configuration cannot change without a DB reopen.
+    """
 
     def __init__(self, options: Options) -> None:
         self._options = options
+        self._max_bufs = options.get("max_write_buffer_number")
+        self._l0_stop = options.get("level0_stop_writes_trigger")
+        self._l0_slowdown = options.get("level0_slowdown_writes_trigger")
+        self._hard_pending = options.get("hard_pending_compaction_bytes_limit")
+        self._soft_pending = options.get("soft_pending_compaction_bytes_limit")
+        self._delayed_rate = options.get("delayed_write_rate")
 
     def decide(
         self,
@@ -47,22 +61,21 @@ class WriteController:
         immutable_memtables: int,
         pending_compaction_bytes: int,
     ) -> StallDecision:
-        opts = self._options
-        max_bufs = opts.get("max_write_buffer_number")
+        max_bufs = self._max_bufs
         if immutable_memtables >= max_bufs:
             # Every buffer is immutable: writers must wait for a flush.
             return StallDecision(WriteState.STOPPED, "memtable limit")
-        if l0_files >= opts.get("level0_stop_writes_trigger"):
+        if l0_files >= self._l0_stop:
             return StallDecision(WriteState.STOPPED, "level0 stop trigger")
-        hard = opts.get("hard_pending_compaction_bytes_limit")
+        hard = self._hard_pending
         if hard and pending_compaction_bytes >= hard:
             return StallDecision(WriteState.STOPPED, "pending compaction bytes (hard)")
-        rate = opts.get("delayed_write_rate")
-        if l0_files >= opts.get("level0_slowdown_writes_trigger"):
+        rate = self._delayed_rate
+        if l0_files >= self._l0_slowdown:
             return StallDecision(
                 WriteState.DELAYED, "level0 slowdown trigger", delayed_rate=rate
             )
-        soft = opts.get("soft_pending_compaction_bytes_limit")
+        soft = self._soft_pending
         if soft and pending_compaction_bytes >= soft:
             return StallDecision(
                 WriteState.DELAYED, "pending compaction bytes (soft)",
@@ -76,7 +89,7 @@ class WriteController:
                 WriteState.DELAYED, "too many immutable memtables",
                 delayed_rate=rate,
             )
-        return StallDecision(WriteState.NORMAL)
+        return _NORMAL
 
     def delay_us_for(self, decision: StallDecision, write_bytes: int) -> float:
         """Pacing delay charged to one write while DELAYED."""

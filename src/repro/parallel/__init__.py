@@ -1,0 +1,31 @@
+"""Process-parallel experiment execution.
+
+The paper's grids (Tables 1-5, Figures 3-4) are embarrassingly
+parallel: every cell is one fully seeded, virtual-time benchmark or
+tuning session with no shared state. This package fans those runs out
+over a :class:`~concurrent.futures.ProcessPoolExecutor` and memoizes
+results on disk, while guaranteeing bit-identical results to a serial
+execution.
+"""
+
+from repro.parallel.cache import ResultCache, bench_cache_key, cache_key
+from repro.parallel.executor import (
+    BenchTask,
+    SessionTask,
+    default_workers,
+    profile_for_cell,
+    run_bench_tasks,
+    run_session_tasks,
+)
+
+__all__ = [
+    "BenchTask",
+    "ResultCache",
+    "SessionTask",
+    "bench_cache_key",
+    "cache_key",
+    "default_workers",
+    "profile_for_cell",
+    "run_bench_tasks",
+    "run_session_tasks",
+]

@@ -1,0 +1,113 @@
+"""On-disk result cache for experiment runs.
+
+Keys are SHA-256 hashes over a *canonical JSON* rendering of everything
+that determines a run's outcome — the workload spec, the full effective
+option set, the hardware profile, and the byte scale. Because PyLSM is
+virtual-time-deterministic, two runs with equal keys produce equal
+results, so a cache hit is exact, not approximate.
+
+Values are pickled to ``<root>/<key>.pkl`` with an atomic rename, and
+any unreadable/corrupt entry degrades to a miss.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+from dataclasses import asdict, is_dataclass
+from typing import Any
+
+from repro.hardware.profile import HardwareProfile
+from repro.lsm.options import Options
+
+#: Bump when the result layout changes incompatibly; old entries then
+#: miss instead of unpickling into stale shapes.
+CACHE_FORMAT = 1
+
+
+def _jsonable(value: Any) -> Any:
+    if is_dataclass(value) and not isinstance(value, type):
+        return asdict(value)
+    if isinstance(value, Options):
+        return value.as_dict()
+    return value
+
+
+def canonical_json(payload: Any) -> str:
+    """Stable text form: sorted keys, no whitespace, dataclasses inlined."""
+    return json.dumps(
+        payload, sort_keys=True, separators=(",", ":"), default=_jsonable
+    )
+
+
+def cache_key(payload: Any) -> str:
+    """SHA-256 over the canonical JSON of ``payload``."""
+    return hashlib.sha256(canonical_json(payload).encode("utf-8")).hexdigest()
+
+
+def bench_cache_key(
+    spec: Any,
+    options: Options,
+    profile: HardwareProfile,
+    byte_scale: float = 1.0,
+) -> str:
+    """Key for one :class:`~repro.bench.runner.DbBench` run.
+
+    Uses the *effective* option values (``as_dict``), so an override that
+    merely restates a default hashes the same as leaving it unset, while
+    any value change — even of an option the workload never exercises —
+    invalidates the entry.
+    """
+    return cache_key(
+        {
+            "format": CACHE_FORMAT,
+            "kind": "bench",
+            "spec": asdict(spec),
+            "options": options.as_dict(),
+            "profile": asdict(profile),
+            "byte_scale": byte_scale,
+        }
+    )
+
+
+class ResultCache:
+    """A directory of pickled results addressed by hash key."""
+
+    def __init__(self, root: str) -> None:
+        self.root = root
+        os.makedirs(root, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+
+    def _path(self, key: str) -> str:
+        return os.path.join(self.root, f"{key}.pkl")
+
+    def get(self, key: str) -> Any | None:
+        """Fetch a cached result; any read/unpickle failure is a miss."""
+        try:
+            with open(self._path(key), "rb") as f:
+                value = pickle.load(f)
+        except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
+                ImportError, IndexError, ValueError, TypeError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return value
+
+    def put(self, key: str, value: Any) -> None:
+        """Store a result atomically (write temp file, then rename)."""
+        path = self._path(key)
+        tmp = f"{path}.tmp.{os.getpid()}"
+        with open(tmp, "wb") as f:
+            pickle.dump(value, f, protocol=pickle.HIGHEST_PROTOCOL)
+        os.replace(tmp, path)
+
+    def __len__(self) -> int:
+        return sum(1 for name in os.listdir(self.root) if name.endswith(".pkl"))
+
+    def clear(self) -> None:
+        for name in os.listdir(self.root):
+            if name.endswith(".pkl"):
+                os.unlink(os.path.join(self.root, name))

@@ -1,0 +1,159 @@
+"""Fan independent benchmark/tuning runs over worker processes.
+
+Every task is a frozen dataclass carrying its own seed, so a run's
+outcome depends only on the task — never on which process executed it
+or in what order the pool scheduled it. Results always come back in
+input order, and with ``max_workers=1`` (or on a single-core host) the
+executor degrades to a plain serial loop with identical results.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.bench.runner import BenchResult, DbBench
+from repro.bench.spec import (
+    DEFAULT_BYTE_SCALE,
+    DEFAULT_SCALE,
+    WorkloadSpec,
+    paper_workload,
+)
+from repro.core.stopping import StoppingCriteria
+from repro.core.session import TuningSession
+from repro.core.tuner import ElmoTune, TunerConfig
+from repro.hardware.device import device_by_name
+from repro.hardware.profile import HardwareProfile, make_profile
+from repro.llm.simulated import SimulatedExpert
+from repro.lsm.options import Options
+from repro.parallel.cache import ResultCache, bench_cache_key, cache_key
+
+
+def default_workers() -> int:
+    """Worker count when the caller does not choose: one per core."""
+    return os.cpu_count() or 1
+
+
+def profile_for_cell(cell: str) -> HardwareProfile:
+    """Parse an experiment cell label like ``'2c4g-nvme-ssd'``."""
+    hw, _, device_name = cell.partition("-")
+    cpus, _, mem = hw.partition("c")
+    return make_profile(
+        int(cpus), float(mem.rstrip("g")), device_by_name(device_name)
+    )
+
+
+@dataclass(frozen=True)
+class BenchTask:
+    """One independent :class:`DbBench` run."""
+
+    spec: WorkloadSpec
+    options: Options
+    profile: HardwareProfile
+    byte_scale: float = 1.0
+    label: str = ""
+
+    def key(self) -> str:
+        return bench_cache_key(
+            self.spec, self.options, self.profile, self.byte_scale
+        )
+
+
+@dataclass(frozen=True)
+class SessionTask:
+    """One independent ELMo-Tune session over an experiment cell."""
+
+    workload: str
+    cell: str
+    seed: int = 42
+    scale: float = DEFAULT_SCALE
+    iterations: int = 7
+    byte_scale: float = DEFAULT_BYTE_SCALE
+
+    def key(self) -> str:
+        return cache_key(
+            {
+                "kind": "session",
+                "workload": self.workload,
+                "cell": self.cell,
+                "seed": self.seed,
+                "scale": self.scale,
+                "iterations": self.iterations,
+                "byte_scale": self.byte_scale,
+            }
+        )
+
+
+# Workers must be module-level functions: ProcessPoolExecutor pickles
+# the callable and the task into the child.
+
+def _run_bench_task(task: BenchTask) -> BenchResult:
+    bench = DbBench(
+        task.spec, task.options, task.profile, byte_scale=task.byte_scale
+    )
+    return bench.run()
+
+
+def _run_session_task(task: SessionTask) -> TuningSession:
+    config = TunerConfig(
+        workload=paper_workload(task.workload, task.scale).with_seed(task.seed),
+        profile=profile_for_cell(task.cell),
+        byte_scale=task.byte_scale,
+        stopping=StoppingCriteria(max_iterations=task.iterations),
+    )
+    return ElmoTune(config, SimulatedExpert(seed=task.seed)).run()
+
+
+def _execute(tasks: Sequence, worker, max_workers: int | None,
+             cache: ResultCache | None) -> list:
+    """Shared fan-out: cache-hit short circuit, pool or serial run,
+    cache fill, results in input order."""
+    results: list = [None] * len(tasks)
+    keys: list[str | None] = [None] * len(tasks)
+    misses: list[int] = []
+    if cache is not None:
+        for i, task in enumerate(tasks):
+            keys[i] = task.key()
+            hit = cache.get(keys[i])
+            if hit is None:
+                misses.append(i)
+            else:
+                results[i] = hit
+    else:
+        misses = list(range(len(tasks)))
+    workers = default_workers() if max_workers is None else max_workers
+    workers = max(1, min(workers, len(misses))) if misses else 1
+    if workers <= 1:
+        for i in misses:
+            results[i] = worker(tasks[i])
+    else:
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            pending = [tasks[i] for i in misses]
+            for i, result in zip(misses, pool.map(worker, pending)):
+                results[i] = result
+    if cache is not None:
+        for i in misses:
+            cache.put(keys[i], results[i])
+    return results
+
+
+def run_bench_tasks(
+    tasks: Iterable[BenchTask],
+    *,
+    max_workers: int | None = None,
+    cache: ResultCache | None = None,
+) -> list[BenchResult]:
+    """Run benchmark tasks, parallel when cores allow; input order."""
+    return _execute(list(tasks), _run_bench_task, max_workers, cache)
+
+
+def run_session_tasks(
+    tasks: Iterable[SessionTask],
+    *,
+    max_workers: int | None = None,
+    cache: ResultCache | None = None,
+) -> list[TuningSession]:
+    """Run tuning sessions, parallel when cores allow; input order."""
+    return _execute(list(tasks), _run_session_task, max_workers, cache)

@@ -14,7 +14,10 @@ real threads are involved.
 from __future__ import annotations
 
 import heapq
+import math
 from dataclasses import dataclass, field
+
+_INF = math.inf
 
 
 class SlotPool:
@@ -90,6 +93,16 @@ class CompletionQueue:
 
     def __len__(self) -> int:
         return len(self._heap)
+
+    @property
+    def next_due_us(self) -> float:
+        """Virtual time of the earliest pending completion (inf if none).
+
+        Lets the engine's per-operation poll skip the pop/list machinery
+        with one comparison when nothing is due yet.
+        """
+        heap = self._heap
+        return heap[0].at_us if heap else _INF
 
     def push(self, at_us: float, kind: str, payload: object = None) -> Completion:
         self._seq += 1

@@ -35,6 +35,11 @@ class DBMachine(RuleBasedStateMachine):
         self.db = DB.open("/state-db", Options(OPTS), env=self.env,
                           profile=make_profile(2, 8))
         self.model: dict[bytes, bytes] = {}
+        # Live snapshot handles keyed by object identity: sequence
+        # numbers restart after crash_and_reopen, so a stale pre-crash
+        # handle could otherwise collide with a live post-crash one and
+        # be released against the dead DB. The bundle keeps every handle
+        # alive, so ids cannot be reused among them.
         self.snapshot_models: dict[int, dict[bytes, bytes]] = {}
 
     def teardown(self):
@@ -74,27 +79,26 @@ class DBMachine(RuleBasedStateMachine):
     @rule(target=snapshots)
     def take_snapshot(self, ):
         snap = self.db.snapshot()
-        self.snapshot_models[snap.sequence] = dict(self.model)
+        self.snapshot_models[id(snap)] = dict(self.model)
         return snap
 
     @rule(snap=snapshots, key=KEYS)
     def snapshot_read_is_frozen(self, snap, key):
-        if snap.sequence not in self.snapshot_models:
-            return  # released earlier
-        frozen = self.snapshot_models[snap.sequence]
+        if id(snap) not in self.snapshot_models:
+            return  # released earlier, or invalidated by a crash
+        frozen = self.snapshot_models[id(snap)]
         assert self.db.get(key, snapshot=snap) == frozen.get(key)
 
     @rule(snap=snapshots)
     def release_snapshot(self, snap):
-        if snap.sequence in self.snapshot_models:
+        if id(snap) in self.snapshot_models:
             snap.release()
-            del self.snapshot_models[snap.sequence]
+            del self.snapshot_models[id(snap)]
 
     @rule()
     def crash_and_reopen(self):
-        # Only valid with no live snapshots (handles die with the DB).
-        for seq in list(self.snapshot_models):
-            del self.snapshot_models[seq]
+        # Handles die with the DB: every live snapshot is invalidated.
+        self.snapshot_models.clear()
         self.db = DB.open("/state-db", Options(OPTS), env=self.env,
                           profile=make_profile(2, 8))
 

@@ -103,3 +103,89 @@ class TestHistogram:
         assert p50 <= p95 <= p99
         assert min(values) <= p50
         assert p99 <= max(values)
+
+
+class TestDeferredAggregation:
+    def test_observe_many_matches_sequential_adds(self):
+        values = [1.0, 3.5, 10.0, 250.0, 1e6, 0.0, 7.0] * 200
+        a, b = Histogram(), Histogram()
+        for v in values:
+            a.add(v)
+        b.observe_many(values)
+        assert a.count == b.count
+        assert a.average == b.average
+        assert a.std_dev() == b.std_dev()
+        assert a.minimum == b.minimum
+        assert a.maximum == b.maximum
+        assert a.percentile(99) == b.percentile(99)
+
+    def test_observe_many_rejects_negative_without_partial_state(self):
+        h = Histogram()
+        h.add(5.0)
+        with pytest.raises(ValueError):
+            h.observe_many([1.0, -2.0, 3.0])
+        assert h.count == 1  # the bad batch left nothing behind
+
+    def test_observe_many_empty_is_noop(self):
+        h = Histogram()
+        h.observe_many([])
+        assert h.count == 0
+
+    def test_accessors_drain_pending(self):
+        # Fewer than the drain threshold: accessors must still see them.
+        h = Histogram()
+        h.add(2.0)
+        h.add(4.0)
+        assert h.count == 2
+        assert h.average == 3.0
+        assert h.minimum == 2.0
+        assert h.maximum == 4.0
+
+    def test_merge_drains_both_sides(self):
+        a, b = Histogram(), Histogram()
+        a.add(1.0)
+        b.add(100.0)
+        a.merge(b)
+        assert a.count == 2
+        assert a.minimum == 1.0
+        assert a.maximum == 100.0
+
+    def test_reset_clears_pending(self):
+        h = Histogram()
+        h.add(9.0)
+        h.reset()
+        assert h.count == 0
+        assert h.maximum == 0.0
+
+
+class TestPercentilesBatch:
+    def test_percentiles_matches_individual_calls(self):
+        h = Histogram()
+        for i in range(1, 2001):
+            h.add(float(i))
+        ps = [50.0, 95.0, 99.0, 99.9]
+        batch = h.percentiles(ps)
+        assert batch == [h.percentile(p) for p in ps]
+
+    def test_percentiles_are_monotone(self):
+        h = Histogram()
+        for i in range(1, 500):
+            h.add(float(i * 7 % 1000) + 1.0)
+        out = h.percentiles([10, 50, 90, 99, 99.9])
+        assert out == sorted(out)
+
+    def test_percentiles_validates_range(self):
+        h = Histogram()
+        h.add(1.0)
+        with pytest.raises(ValueError):
+            h.percentiles([0.0])
+        with pytest.raises(ValueError):
+            h.percentiles([101.0])
+
+    def test_summary_uses_shared_interpolation(self):
+        h = Histogram()
+        for i in range(1, 1001):
+            h.add(float(i))
+        s = h.summary()
+        median, p95, p99, p999 = h.percentiles([50, 95, 99, 99.9])
+        assert (s.median, s.p95, s.p99, s.p999) == (median, p95, p99, p999)

@@ -280,3 +280,31 @@ class TestByteScaling:
         scaled = scale_bytes(opts, 1 / 4096)
         spec = spec_for(name)
         assert spec.validate(scaled.get(name)) == scaled.get(name)
+
+
+class TestOptionsPickle:
+    """The parallel executor ships Options across process boundaries."""
+
+    def test_round_trip_preserves_overrides(self):
+        import pickle
+
+        opts = Options({"write_buffer_size": 256 * 1024,
+                        "bloom_filter_bits_per_key": 10.0})
+        clone = pickle.loads(pickle.dumps(opts))
+        assert clone == opts
+        assert clone.overrides() == opts.overrides()
+
+    def test_round_trip_of_defaults(self):
+        import pickle
+
+        clone = pickle.loads(pickle.dumps(Options()))
+        assert clone.overrides() == {}
+        assert clone.get("write_buffer_size") == \
+            Options().get("write_buffer_size")
+
+    def test_unpickled_options_still_validate(self):
+        import pickle
+
+        clone = pickle.loads(pickle.dumps(Options()))
+        with pytest.raises(Exception):
+            clone.set("write_buffer_size", -1)

@@ -64,3 +64,41 @@ class TestStatistics:
         stats.reset()
         assert stats.ticker(Ticker.FLUSH_COUNT) == 0
         assert stats.histogram(OpClass.PUT).count == 0
+
+
+class TestFastLane:
+    def test_raw_tickers_is_live_view(self):
+        stats = Statistics()
+        raw = stats.raw_tickers()
+        raw[Ticker.FLUSH_COUNT.slot] += 3
+        assert stats.ticker(Ticker.FLUSH_COUNT) == 3
+        stats.bump(Ticker.FLUSH_COUNT)
+        assert raw[Ticker.FLUSH_COUNT.slot] == 4
+
+    def test_raw_tickers_survives_reset(self):
+        stats = Statistics()
+        raw = stats.raw_tickers()
+        raw[Ticker.BYTES_READ.slot] = 100
+        stats.reset()
+        # Same backing list, zeroed in place.
+        assert raw is stats.raw_tickers()
+        assert raw[Ticker.BYTES_READ.slot] == 0
+        raw[Ticker.BYTES_READ.slot] += 7
+        assert stats.ticker(Ticker.BYTES_READ) == 7
+
+    def test_slots_are_unique_and_dense(self):
+        slots = [t.slot for t in Ticker]
+        assert sorted(slots) == list(range(len(list(Ticker))))
+        op_slots = [o.slot for o in OpClass]
+        assert sorted(op_slots) == list(range(len(list(OpClass))))
+
+    def test_observe_many_matches_observe(self):
+        a, b = Statistics(), Statistics()
+        values = [1.0, 5.0, 42.0, 1000.0]
+        for v in values:
+            a.observe(OpClass.GET, v)
+        b.observe_many(OpClass.GET, values)
+        ha, hb = a.histogram(OpClass.GET), b.histogram(OpClass.GET)
+        assert ha.count == hb.count
+        assert ha.average == hb.average
+        assert ha.percentile(99) == hb.percentile(99)

@@ -116,3 +116,39 @@ class TestQueries:
 
     def test_all_files(self):
         assert len(self._populated().all_files()) == 4
+
+
+class TestStamp:
+    """The mutation counter backing the DB's pending-bytes memo."""
+
+    def _meta(self, number, lo=b"a", hi=b"m"):
+        from repro.lsm.sstable import FileMetaData
+
+        return FileMetaData(file_number=number, file_size=100,
+                            smallest_key=lo, largest_key=hi,
+                            num_entries=10, level=0)
+
+    def test_stamp_bumps_on_every_mutation(self):
+        from repro.lsm.version import Version
+
+        v = Version(num_levels=3)
+        assert v.stamp == 0
+        v.add_file(0, self._meta(1))
+        assert v.stamp == 1
+        v.add_file_l0_front(self._meta(2))
+        assert v.stamp == 2
+        v.remove_file(0, 1)
+        assert v.stamp == 3
+
+    def test_stamp_unchanged_on_failed_remove(self):
+        import pytest as _pytest
+
+        from repro.errors import DBError
+        from repro.lsm.version import Version
+
+        v = Version(num_levels=3)
+        v.add_file(0, self._meta(1))
+        before = v.stamp
+        with _pytest.raises(DBError):
+            v.remove_file(0, 999)
+        assert v.stamp == before

@@ -1,0 +1,73 @@
+"""Result cache: key stability, hits/misses, invalidation, corruption."""
+
+import os
+
+from repro.bench.spec import paper_workload
+from repro.hardware.profile import make_profile
+from repro.lsm.options import Options
+from repro.parallel import ResultCache, bench_cache_key, cache_key
+
+SPEC = paper_workload("fillrandom", 0.0001).with_seed(7)
+PROFILE = make_profile(2, 4)
+
+
+class TestCacheKey:
+    def test_key_is_stable(self):
+        a = bench_cache_key(SPEC, Options(), PROFILE, 0.5)
+        b = bench_cache_key(SPEC, Options(), PROFILE, 0.5)
+        assert a == b
+        assert len(a) == 64  # sha256 hex
+
+    def test_restating_a_default_hashes_the_same(self):
+        default = Options().get("write_buffer_size")
+        explicit = Options({"write_buffer_size": default})
+        assert bench_cache_key(SPEC, Options(), PROFILE) == \
+            bench_cache_key(SPEC, explicit, PROFILE)
+
+    def test_option_change_invalidates(self):
+        tuned = Options({"write_buffer_size": 256 * 1024})
+        assert bench_cache_key(SPEC, Options(), PROFILE) != \
+            bench_cache_key(SPEC, tuned, PROFILE)
+
+    def test_spec_profile_and_scale_are_in_the_key(self):
+        base = bench_cache_key(SPEC, Options(), PROFILE, 0.5)
+        assert bench_cache_key(SPEC.with_seed(8), Options(), PROFILE, 0.5) != base
+        assert bench_cache_key(SPEC, Options(), make_profile(4, 4), 0.5) != base
+        assert bench_cache_key(SPEC, Options(), PROFILE, 0.25) != base
+
+    def test_generic_key_sorts_dict_keys(self):
+        assert cache_key({"a": 1, "b": 2}) == cache_key({"b": 2, "a": 1})
+
+
+class TestResultCache:
+    def test_miss_then_hit(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        key = cache_key({"k": 1})
+        assert cache.get(key) is None
+        cache.put(key, {"value": 42})
+        assert cache.get(key) == {"value": 42}
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        key = cache_key({"k": 2})
+        cache.put(key, [1, 2, 3])
+        path = os.path.join(str(tmp_path), f"{key}.pkl")
+        with open(path, "wb") as f:
+            f.write(b"\x80garbage-not-a-pickle")
+        assert cache.get(key) is None
+
+    def test_len_and_clear(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        for i in range(3):
+            cache.put(cache_key({"i": i}), i)
+        assert len(cache) == 3
+        cache.clear()
+        assert len(cache) == 0
+
+    def test_put_overwrites(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        key = cache_key({"k": 3})
+        cache.put(key, "old")
+        cache.put(key, "new")
+        assert cache.get(key) == "new"

@@ -1,0 +1,131 @@
+"""Parallel executor: serial/parallel equivalence and cache plumbing.
+
+The determinism contract is the load-bearing property: fanning runs over
+worker processes must change nothing but wall-clock time. These tests
+force ``max_workers=2`` (fork works regardless of core count), so the
+contract is exercised even on a single-core host.
+"""
+
+import json
+
+import pytest
+
+from repro.bench.spec import paper_workload
+from repro.hardware.profile import make_profile
+from repro.lsm.options import Options
+from repro.parallel import (
+    BenchTask,
+    ResultCache,
+    SessionTask,
+    profile_for_cell,
+    run_bench_tasks,
+    run_session_tasks,
+)
+
+SCALE = 0.0001
+
+
+def _bench_tasks(n=3):
+    spec = paper_workload("fillrandom", SCALE)
+    return [
+        BenchTask(
+            spec=spec.with_seed(7 + i),
+            options=Options({"write_buffer_size": 256 * 1024}),
+            profile=make_profile(2, 4),
+            byte_scale=1 / 1024,
+        )
+        for i in range(n)
+    ]
+
+
+def _fingerprints(results):
+    return [json.dumps(r.fingerprint(), sort_keys=True, default=str)
+            for r in results]
+
+
+class TestProfileForCell:
+    def test_parses_cell_label(self):
+        profile = profile_for_cell("2c4g-nvme-ssd")
+        assert profile.cpu_cores == 2
+        assert profile.memory_gib == pytest.approx(4.0)
+        assert profile.device.name == "nvme-ssd"
+
+    def test_hdd_cell(self):
+        assert profile_for_cell("4c8g-sata-hdd").device.name == "sata-hdd"
+
+
+class TestBenchExecutor:
+    def test_serial_and_parallel_results_identical(self):
+        tasks = _bench_tasks()
+        serial = run_bench_tasks(tasks, max_workers=1)
+        parallel = run_bench_tasks(tasks, max_workers=2)
+        assert _fingerprints(serial) == _fingerprints(parallel)
+
+    def test_results_come_back_in_input_order(self):
+        tasks = _bench_tasks()
+        results = run_bench_tasks(tasks, max_workers=2)
+        assert [r.spec.seed for r in results] == [t.spec.seed for t in tasks]
+
+    def test_wall_clock_is_populated_but_not_fingerprinted(self):
+        result = run_bench_tasks(_bench_tasks(1), max_workers=1)[0]
+        assert result.wall_clock_s > 0
+        assert "wall_clock_s" not in result.fingerprint()
+
+    def test_cache_round_trip(self, tmp_path):
+        tasks = _bench_tasks(2)
+        cache = ResultCache(str(tmp_path))
+        first = run_bench_tasks(tasks, max_workers=1, cache=cache)
+        assert cache.misses == 2 and cache.hits == 0
+        second = run_bench_tasks(tasks, max_workers=1, cache=cache)
+        assert cache.hits == 2
+        assert _fingerprints(first) == _fingerprints(second)
+
+    def test_option_change_misses_the_cache(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        base = _bench_tasks(1)
+        run_bench_tasks(base, max_workers=1, cache=cache)
+        tuned = [
+            BenchTask(
+                spec=base[0].spec,
+                options=Options({"write_buffer_size": 512 * 1024}),
+                profile=base[0].profile,
+                byte_scale=base[0].byte_scale,
+            )
+        ]
+        cache.hits = cache.misses = 0
+        run_bench_tasks(tuned, max_workers=1, cache=cache)
+        assert cache.misses == 1 and cache.hits == 0
+        assert len(cache) == 2
+
+    def test_empty_task_list(self):
+        assert run_bench_tasks([]) == []
+
+
+class TestSessionExecutor:
+    def test_serial_and_parallel_sessions_identical(self):
+        tasks = [SessionTask(workload="fillrandom", cell="2c4g-nvme-ssd",
+                             seed=42, scale=SCALE, iterations=2)]
+        serial = run_session_tasks(tasks, max_workers=1)[0]
+        parallel = run_session_tasks(tasks, max_workers=2)[0]
+        assert serial.throughput_series() == parallel.throughput_series()
+        assert serial.p99_write_series() == parallel.p99_write_series()
+        assert serial.best.options.overrides() == \
+            parallel.best.options.overrides()
+        assert serial.stop_reason == parallel.stop_reason
+
+    def test_session_cache_round_trip(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        tasks = [SessionTask(workload="fillrandom", cell="2c4g-nvme-ssd",
+                             seed=42, scale=SCALE, iterations=2)]
+        first = run_session_tasks(tasks, max_workers=1, cache=cache)[0]
+        assert cache.misses == 1
+        second = run_session_tasks(tasks, max_workers=1, cache=cache)[0]
+        assert cache.hits == 1
+        assert first.throughput_series() == second.throughput_series()
+
+    def test_different_iteration_budget_changes_key(self):
+        short = SessionTask(workload="fillrandom", cell="2c4g-nvme-ssd",
+                            iterations=2)
+        long = SessionTask(workload="fillrandom", cell="2c4g-nvme-ssd",
+                           iterations=7)
+        assert short.key() != long.key()
