@@ -23,4 +23,19 @@ echo "== microbench smoke (timing disabled) =="
 python -m pytest -x -q --benchmark-disable benchmarks/test_engine_microbench.py
 
 echo
+echo "== trace schema: every event round-trips through JSONL =="
+python scripts/validate_trace_schema.py
+
+echo
+echo "== console audit: no direct print() outside repro/obs/console.py =="
+# Match print( as a call (not substrings like fingerprint(); the
+# sanctioned helper is the only allowed caller).
+if grep -rnE '(^|[^a-zA-Z0-9_."])print\(' src/repro --include='*.py' \
+    | grep -v 'repro/obs/console.py'; then
+  echo "FAIL: direct print() found in src/repro (use repro.obs.console)" >&2
+  exit 1
+fi
+echo "console audit OK"
+
+echo
 echo "check.sh: all green"

@@ -1,0 +1,52 @@
+"""Trace-schema gate: every registered event survives JSONL round-trip.
+
+Run by ``scripts/check.sh``. For each event type in the registry a
+sample instance is built, serialized to a JSON line, parsed back, and
+compared for equality — so a field added without JSON-compatible types,
+a renamed ``TYPE`` string, or a broken ``__post_init__`` normalization
+fails the build before it can corrupt stored traces.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.obs.events import (
+    event_from_dict,
+    event_to_dict,
+    event_types,
+    from_jsonl_line,
+    sample_events,
+    to_jsonl_line,
+)
+
+
+def main() -> int:
+    samples = list(sample_events())
+    sampled_types = {type(e).TYPE for e in samples}
+    missing = set(event_types()) - sampled_types
+    if missing:
+        print(f"FAIL: no sample generated for: {sorted(missing)}",
+              file=sys.stderr)
+        return 1
+    failures = 0
+    for event in samples:
+        line = to_jsonl_line(event)
+        back = from_jsonl_line(line)
+        if back != event:
+            print(f"FAIL: {type(event).TYPE} JSONL round-trip mismatch:\n"
+                  f"  sent: {event!r}\n  got:  {back!r}", file=sys.stderr)
+            failures += 1
+            continue
+        if event_from_dict(event_to_dict(event)) != event:
+            print(f"FAIL: {type(event).TYPE} dict round-trip mismatch",
+                  file=sys.stderr)
+            failures += 1
+    if failures:
+        return 1
+    print(f"trace schema OK: {len(samples)} event types round-trip")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

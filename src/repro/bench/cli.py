@@ -9,7 +9,6 @@ Mirrors the ``db_bench`` invocation style the paper uses::
 from __future__ import annotations
 
 import argparse
-import sys
 
 from repro.bench.report import render_report
 from repro.bench.runner import DbBench
@@ -23,6 +22,7 @@ from repro.hardware.device import device_by_name
 from repro.hardware.profile import make_profile
 from repro.lsm.options import Options
 from repro.lsm.options_file import load_options_file
+from repro.obs import JsonlSink, Tracer, console
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -48,26 +48,40 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--byte-scale", type=float, default=DEFAULT_BYTE_SCALE,
                         help="byte-world scale (buffers, caches, memory)")
     parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument("--trace-out", default=None, metavar="PATH",
+                        help="write the run's trace as JSON Lines here")
+    parser.add_argument("--quiet", action="store_true",
+                        help="suppress the report on stdout")
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    console.set_quiet(args.quiet)
     try:
         device = device_by_name(args.device)
     except ValueError as exc:
-        print(f"error: {exc}", file=sys.stderr)
+        console.warn(f"error: {exc}")
         return 2
     profile = make_profile(args.cpus, args.memory_gib, device)
     if args.options_file:
         options, warnings = load_options_file(args.options_file, strict=False)
         for warning in warnings:
-            print(f"warning: {warning}", file=sys.stderr)
+            console.warn(f"warning: {warning}")
     else:
         options = Options()
     spec = paper_workload(args.benchmark, args.scale).with_seed(args.seed)
-    result = DbBench(spec, options, profile, byte_scale=args.byte_scale).run()
-    print(render_report(result))
+    tracer = None
+    if args.trace_out:
+        tracer = Tracer(JsonlSink(args.trace_out))
+    try:
+        result = DbBench(
+            spec, options, profile, byte_scale=args.byte_scale, tracer=tracer
+        ).run()
+    finally:
+        if tracer is not None:
+            tracer.close()
+    console.out(render_report(result))
     return 0
 
 

@@ -21,17 +21,13 @@ from repro.lsm.env import Env
 from repro.lsm.histogram import HistogramSummary
 from repro.lsm.options import Options
 from repro.lsm.statistics import OpClass, Statistics, Ticker
+from repro.obs.events import BenchAbort, BenchEnd, BenchProgress, BenchStart
+from repro.obs.tracer import Tracer
 
-
-@dataclass(frozen=True)
-class ProgressEvent:
-    """Periodic progress sample handed to the monitor callback."""
-
-    ops_done: int
-    total_ops: int
-    elapsed_virtual_s: float
-    ops_per_sec: float
-
+#: The periodic progress sample is a first-class trace event now; the
+#: old callback-facing name stays as an alias so existing monitors and
+#: tests keep constructing it positionally.
+ProgressEvent = BenchProgress
 
 #: Callback contract: return False to abort the run early.
 ProgressCallback = Callable[[ProgressEvent], bool]
@@ -67,6 +63,9 @@ class BenchResult:
     #: Real (host) seconds the run took. Diagnostic only: every headline
     #: metric is virtual-time and deterministic; this one is not.
     wall_clock_s: float = 0.0
+    #: Trace events captured during the run (populated by the parallel
+    #: executor's workers so traces survive the process boundary).
+    trace_events: list = field(default_factory=list)
 
     @property
     def ops_per_sec(self) -> float:
@@ -143,6 +142,7 @@ class DbBench:
         byte_scale: float = 1.0,
         db_path: str = "/bench/db",
         env: Env | None = None,
+        tracer: Tracer | None = None,
     ) -> None:
         self.spec = spec
         self.options = options if options is not None else Options()
@@ -150,6 +150,7 @@ class DbBench:
         self.byte_scale = byte_scale
         self.db_path = db_path
         self.env = env if env is not None else Env()
+        self.tracer = tracer
 
     # -- phases ------------------------------------------------------------
 
@@ -181,6 +182,11 @@ class DbBench:
         """Execute preload + measured phase; returns the result."""
         wall_start = time.perf_counter()
         stats = statistics if statistics is not None else Statistics()
+        tracer = (
+            self.tracer
+            if self.tracer is not None and self.tracer.enabled
+            else None
+        )
         db = DB.open(
             self.db_path,
             self.options,
@@ -188,6 +194,7 @@ class DbBench:
             profile=self.profile,
             statistics=stats,
             byte_scale=self.byte_scale,
+            tracer=self.tracer,
         )
         spec = self.spec
         try:
@@ -203,9 +210,14 @@ class DbBench:
                 seed=spec.seed ^ 0xBEEF,
             )
             mix_rng = random.Random(spec.seed ^ 0xC0FFEE)
+            if tracer is not None:
+                tracer.emit(
+                    BenchStart(spec.name, spec.num_ops, spec.num_keys)
+                )
             start_us = self.env.clock.now_us
             reads = writes = 0
             aborted = False
+            sample = progress is not None or tracer is not None
             for op_index in range(spec.num_ops):
                 if spec.read_fraction >= 1.0 or (
                     spec.read_fraction > 0.0
@@ -216,7 +228,7 @@ class DbBench:
                 else:
                     db.put(keys.next_key(), values.next_value())
                     writes += 1
-                if progress is not None and (op_index + 1) % self.PROGRESS_EVERY == 0:
+                if sample and (op_index + 1) % self.PROGRESS_EVERY == 0:
                     elapsed = (self.env.clock.now_us - start_us) / 1e6
                     event = ProgressEvent(
                         ops_done=op_index + 1,
@@ -224,10 +236,36 @@ class DbBench:
                         elapsed_virtual_s=elapsed,
                         ops_per_sec=(op_index + 1) / elapsed if elapsed > 0 else 0.0,
                     )
-                    if not progress(event):
+                    if tracer is not None:
+                        # Sinks (e.g. the early-stop monitor) see the
+                        # sample and may request an abort through the
+                        # tracer's control channel.
+                        tracer.emit(event)
+                        if tracer.abort_requested:
+                            reason = tracer.take_abort() or "abort requested"
+                            tracer.emit(BenchAbort(reason))
+                            aborted = True
+                            break
+                    if progress is not None and not progress(event):
                         aborted = True
+                        if tracer is not None:
+                            tracer.emit(BenchAbort("progress callback"))
                         break
             duration_s = (self.env.clock.now_us - start_us) / 1e6
+            if tracer is not None:
+                ops_done = reads + writes
+                tracer.emit(
+                    BenchEnd(
+                        ops_done=ops_done,
+                        reads_done=reads,
+                        writes_done=writes,
+                        duration_s=duration_s,
+                        ops_per_sec=(
+                            ops_done / duration_s if duration_s > 0 else 0.0
+                        ),
+                        aborted=aborted,
+                    )
+                )
             result = self._collect(db, stats, reads, writes, duration_s, aborted)
             result.wall_clock_s = time.perf_counter() - wall_start
             return result
@@ -280,7 +318,8 @@ def run_benchmark(
     *,
     byte_scale: float = 1.0,
     progress: ProgressCallback | None = None,
+    tracer: Tracer | None = None,
 ) -> BenchResult:
     """Convenience wrapper: build a :class:`DbBench` and run it once."""
-    bench = DbBench(spec, options, profile, byte_scale=byte_scale)
+    bench = DbBench(spec, options, profile, byte_scale=byte_scale, tracer=tracer)
     return bench.run(progress)

@@ -3,7 +3,6 @@
 from __future__ import annotations
 
 import argparse
-import sys
 
 from repro.bench.spec import DEFAULT_BYTE_SCALE, DEFAULT_SCALE, PAPER_WORKLOADS, paper_workload
 from repro.core.reporting import format_option_trajectory
@@ -13,6 +12,7 @@ from repro.hardware.device import device_by_name
 from repro.hardware.profile import make_profile
 from repro.llm.hallucination import HallucinationProfile
 from repro.llm.simulated import SimulatedExpert
+from repro.obs import JsonlSink, Tracer, console
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -33,15 +33,20 @@ def build_parser() -> argparse.ArgumentParser:
                         help="run a perfectly disciplined expert")
     parser.add_argument("--save-options", default=None,
                         help="write the final OPTIONS file here")
+    parser.add_argument("--trace-out", default=None, metavar="PATH",
+                        help="write the session's trace as JSON Lines here")
+    parser.add_argument("--quiet", action="store_true",
+                        help="suppress the session summary on stdout")
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    console.set_quiet(args.quiet)
     try:
         device = device_by_name(args.device)
     except ValueError as exc:
-        print(f"error: {exc}", file=sys.stderr)
+        console.warn(f"error: {exc}")
         return 2
     config = TunerConfig(
         workload=paper_workload(args.workload, args.scale).with_seed(args.seed),
@@ -53,16 +58,23 @@ def main(argv: list[str] | None = None) -> int:
         HallucinationProfile.none() if args.no_hallucinations else None
     )
     llm = SimulatedExpert(seed=args.seed, hallucination=hallucination)
-    tuner = ElmoTune(config, llm)
-    session = tuner.run()
-    print(session.describe())
-    print()
-    print("Option changes across iterations (Table 5 shape):")
-    print(format_option_trajectory(session))
+    tracer = None
+    if args.trace_out:
+        tracer = Tracer(JsonlSink(args.trace_out))
+    tuner = ElmoTune(config, llm, tracer=tracer)
+    try:
+        session = tuner.run()
+    finally:
+        if tracer is not None:
+            tracer.close()
+    console.out(session.describe())
+    console.out()
+    console.out("Option changes across iterations (Table 5 shape):")
+    console.out(format_option_trajectory(session))
     if args.save_options:
         with open(args.save_options, "w", encoding="utf-8") as f:
             f.write(tuner.final_options_text(session))
-        print(f"\nfinal OPTIONS written to {args.save_options}")
+        console.out(f"\nfinal OPTIONS written to {args.save_options}")
     return 0
 
 

@@ -10,6 +10,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.core.bench_parser import BenchMetrics
+from repro.obs.events import FlagDecisionEvent
+from repro.obs.tracer import Tracer
 
 
 @dataclass(frozen=True)
@@ -32,6 +34,7 @@ class ActiveFlagger:
         *,
         min_gain: float = 0.0,
         p99_tiebreak_band: float = 0.02,
+        tracer: Tracer | None = None,
     ) -> None:
         """``min_gain``: fractional throughput gain required to call a
         change an improvement. ``p99_tiebreak_band``: if throughput is
@@ -40,8 +43,23 @@ class ActiveFlagger:
             raise ValueError("min_gain cannot be negative")
         self.min_gain = min_gain
         self.p99_tiebreak_band = p99_tiebreak_band
+        self.tracer = tracer
 
     def decide(self, best: BenchMetrics, candidate: BenchMetrics) -> FlagDecision:
+        decision = self._decide(best, candidate)
+        if self.tracer is not None and self.tracer.enabled:
+            self.tracer.emit(
+                FlagDecisionEvent(
+                    keep=decision.keep,
+                    improved=decision.improved,
+                    reason=decision.reason,
+                    best_ops_per_sec=best.ops_per_sec,
+                    candidate_ops_per_sec=candidate.ops_per_sec,
+                )
+            )
+        return decision
+
+    def _decide(self, best: BenchMetrics, candidate: BenchMetrics) -> FlagDecision:
         if candidate.aborted:
             return FlagDecision(
                 keep=False,

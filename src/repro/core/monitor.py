@@ -3,6 +3,12 @@
 Watches a run's progress stream; if, after a warmup window, throughput
 sits far below the best configuration's, the run is aborted so the
 flagger can revert without paying for a full benchmark.
+
+The monitor is a :class:`~repro.obs.sinks.TraceSink`: attached to the
+benchmark's tracer it consumes ``bench.progress`` events and requests
+an abort through the tracer's control channel. The legacy
+progress-callback protocol (``monitor(event) -> bool``) still works for
+callers that drive :class:`~repro.bench.runner.DbBench` directly.
 """
 
 from __future__ import annotations
@@ -10,6 +16,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.bench.runner import ProgressEvent
+from repro.obs.events import BenchProgress, TraceEvent
+from repro.obs.sinks import TraceSink
 
 
 @dataclass(frozen=True)
@@ -34,25 +42,41 @@ class MonitorConfig:
             raise ValueError("abort_ratio must be in (0, 1)")
 
 
-class BenchmarkMonitor:
-    """Progress-callback implementing the early-stop policy."""
+class BenchmarkMonitor(TraceSink):
+    """Early-stop policy as a trace subscriber (or legacy callback)."""
 
     def __init__(
         self,
         config: MonitorConfig,
         reference_ops_per_sec: float | None,
     ) -> None:
+        super().__init__()
         self.config = config
         self.reference = reference_ops_per_sec
         self.fired = False
 
-    def __call__(self, event: ProgressEvent) -> bool:
-        """Return False to abort the run."""
+    def _should_abort(self, event: ProgressEvent) -> str | None:
+        """Return an abort reason, or None to let the run continue."""
         if not self.config.enabled or self.reference is None:
-            return True
+            return None
         if event.ops_done < event.total_ops * self.config.warmup_fraction:
-            return True
+            return None
         if event.ops_per_sec < self.reference * self.config.abort_ratio:
             self.fired = True
-            return False
-        return True
+            return (
+                f"throughput {event.ops_per_sec:.0f} ops/s below "
+                f"{self.config.abort_ratio:.0%} of reference "
+                f"{self.reference:.0f} ops/s"
+            )
+        return None
+
+    def emit(self, event: TraceEvent) -> None:
+        """Sink protocol: watch progress samples, request aborts."""
+        if type(event) is BenchProgress and not self.fired:
+            reason = self._should_abort(event)
+            if reason is not None and self.tracer is not None:
+                self.tracer.request_abort(reason)
+
+    def __call__(self, event: ProgressEvent) -> bool:
+        """Legacy callback protocol: return False to abort the run."""
+        return self._should_abort(event) is None

@@ -24,6 +24,8 @@ from repro.lsm.options import (
     sensitive_option_names,
     spec_for,
 )
+from repro.obs.events import Veto
+from repro.obs.tracer import Tracer
 
 
 @dataclass(frozen=True)
@@ -72,10 +74,12 @@ class SafeguardEnforcer:
         *,
         allow_deprecated: bool = False,
         max_changes_per_iteration: int | None = None,
+        tracer: Tracer | None = None,
     ) -> None:
         self.blacklist = blacklist if blacklist is not None else default_blacklist()
         self.allow_deprecated = allow_deprecated
         self.max_changes = max_changes_per_iteration
+        self.tracer = tracer
 
     def vet(
         self, proposals: list[ProposedChange], base: Options
@@ -96,6 +100,16 @@ class SafeguardEnforcer:
                               "per-iteration change budget exceeded", "semantic")
                 )
             result.accepted = result.accepted[: self.max_changes]
+        if self.tracer is not None and self.tracer.enabled:
+            for rejection in result.rejected:
+                self.tracer.emit(
+                    Veto(
+                        rejection.name,
+                        rejection.raw_value,
+                        rejection.reason,
+                        rejection.category,
+                    )
+                )
         return result
 
     def _vet_one(self, change: ProposedChange) -> tuple[str, Any] | Rejection:

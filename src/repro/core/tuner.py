@@ -26,6 +26,18 @@ from repro.llm.client import ChatMessage, LLMClient, Transcript
 from repro.llm.simulated import SimulatedExpert
 from repro.lsm.options import Options
 from repro.lsm.options_file import apply_changes, diff_as_text, serialize_options
+from repro.obs.events import (
+    Feedback,
+    IterationEnd,
+    IterationStart,
+    LLMExchange,
+    Revert,
+    SessionEnd,
+    SessionStart,
+    Stop,
+)
+from repro.obs.sinks import RingSink
+from repro.obs.tracer import Tracer
 
 _FORMAT_REMINDER = (
     "Your previous reply contained no parseable option changes. Please "
@@ -61,12 +73,25 @@ class ElmoTune:
         *,
         safeguard: SafeguardEnforcer | None = None,
         flagger: ActiveFlagger | None = None,
+        tracer: Tracer | None = None,
     ) -> None:
         self.config = config
         self.llm = llm if llm is not None else SimulatedExpert(seed=config.workload.seed)
         self.safeguard = safeguard if safeguard is not None else SafeguardEnforcer()
         self.flagger = flagger if flagger is not None else ActiveFlagger()
         self.transcript = Transcript()
+        # With no tracer supplied, capture the session into a ring so the
+        # finished TuningSession always carries its own trace.
+        if tracer is None:
+            self._ring: RingSink | None = RingSink()
+            self.tracer = Tracer(self._ring)
+        else:
+            self._ring = None
+            self.tracer = tracer
+        if self.safeguard.tracer is None:
+            self.safeguard.tracer = self.tracer
+        if self.flagger.tracer is None:
+            self.flagger.tracer = self.tracer
         self._prompter = PromptGenerator(
             config.profile, config.workload, sections=config.prompt_sections
         )
@@ -83,8 +108,15 @@ class ElmoTune:
             self.config.profile,
             byte_scale=self.config.byte_scale,
             db_path=self.config.db_path,
+            tracer=self.tracer,
         )
-        result = bench.run(monitor)
+        # The monitor subscribes to the trace for the duration of the
+        # run; it requests aborts through the tracer's control channel.
+        self.tracer.add_sink(monitor)
+        try:
+            result = bench.run()
+        finally:
+            self.tracer.remove_sink(monitor)
         report = render_report(result)
         metrics = parse_report(report)
         return result, metrics, report, monitor.fired
@@ -116,9 +148,14 @@ class ElmoTune:
     def run(self) -> TuningSession:
         """Execute the full feedback loop; returns the session record."""
         cfg = self.config
+        tracer = self.tracer
+        trace = tracer.enabled
         session = TuningSession(
             workload_name=cfg.workload.name, profile_name=cfg.profile.name
         )
+        if trace:
+            tracer.emit(SessionStart(cfg.workload.name, cfg.profile.name))
+            tracer.emit(IterationStart(0))
         best_options = cfg.base_options.copy()
         result, metrics, report, _ = self._run_bench(best_options, None)
         session.add(
@@ -131,21 +168,32 @@ class ElmoTune:
                 note="baseline (out-of-box configuration)",
             )
         )
+        if trace:
+            tracer.emit(
+                IterationEnd(0, True, metrics.ops_per_sec, changes=[])
+            )
         best_metrics = metrics
         last_feedback = FeedbackContext(iteration=1, previous_report=report)
         last_snapshot = result.snapshot
         tracker = StopTracker(cfg.stopping)
+        tracker.seed(best_metrics)
 
         iteration = 0
         while True:
             reason = tracker.should_stop(best_metrics)
             if reason is not None:
                 session.stop_reason = reason
+                if trace:
+                    tracer.emit(Stop(reason))
                 break
             iteration += 1
+            if trace:
+                tracer.emit(IterationStart(iteration))
             response, proposals, failures = self._ask_llm(
                 best_options, last_snapshot, last_feedback
             )
+            if trace:
+                tracer.emit(LLMExchange(len(proposals), failures))
             vet = self.safeguard.vet(proposals, best_options)
             if not vet.accepted:
                 # Nothing usable this round: configuration unchanged.
@@ -163,6 +211,14 @@ class ElmoTune:
                     )
                 )
                 tracker.record(False, best_metrics)
+                if trace:
+                    tracer.emit(
+                        IterationEnd(
+                            iteration, True, best_metrics.ops_per_sec,
+                            changes=[],
+                        )
+                    )
+                    tracer.emit(Feedback(False, False))
                 last_feedback = FeedbackContext(
                     iteration=iteration + 1,
                     previous_report=report,
@@ -203,6 +259,16 @@ class ElmoTune:
                 reverted_diff = diff_as_text(best_options, candidate)
                 deteriorated = True
             tracker.record(decision.improved, best_metrics)
+            if trace:
+                tracer.emit(
+                    IterationEnd(
+                        iteration, keep, metrics.ops_per_sec,
+                        changes=[[n, v] for n, v in vet.accepted],
+                    )
+                )
+                if reverted_diff is not None:
+                    tracer.emit(Revert(reverted_diff))
+                tracer.emit(Feedback(deteriorated, fired))
             last_snapshot = result.snapshot
             last_feedback = FeedbackContext(
                 iteration=iteration + 1,
@@ -211,6 +277,18 @@ class ElmoTune:
                 reverted_diff=reverted_diff,
                 aborted_early=fired,
             )
+        if trace:
+            best = session.best
+            tracer.emit(
+                SessionEnd(
+                    iterations=len(session.iterations) - 1,
+                    best_iteration=best.iteration,
+                    best_ops_per_sec=best.metrics.ops_per_sec,
+                )
+            )
+        if self._ring is not None:
+            session.trace_events = self._ring.events
+            self._ring.clear()
         return session
 
     def final_options_text(self, session: TuningSession) -> str:

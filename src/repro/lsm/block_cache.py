@@ -8,11 +8,12 @@ RocksDB's ``LRUCache``. Stores decompressed block payloads keyed by
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Hashable
+from typing import Callable, Hashable
 
 
 class _Shard:
-    __slots__ = ("capacity", "used", "entries", "hits", "misses", "evictions")
+    __slots__ = ("capacity", "used", "entries", "hits", "misses", "evictions",
+                 "on_evict")
 
     def __init__(self, capacity: int) -> None:
         self.capacity = capacity
@@ -21,6 +22,9 @@ class _Shard:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        #: Optional ``(key, charge)`` callback fired per capacity
+        #: eviction (observability hook; None costs one check).
+        self.on_evict: "Callable[[Hashable, int], None] | None" = None
 
     def get(self, key: Hashable) -> object | None:
         entry = self.entries.get(key)
@@ -45,6 +49,8 @@ class _Shard:
             _k, (_v, c) = self.entries.popitem(last=False)
             self.used -= c
             self.evictions += 1
+            if self.on_evict is not None:
+                self.on_evict(_k, c)
         return self.used - before
 
     def erase(self, key: Hashable) -> int:
@@ -122,3 +128,14 @@ class LRUCache:
     def hit_rate(self) -> float:
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
+
+    def set_eviction_listener(
+        self, callback: Callable[[Hashable, int], None] | None
+    ) -> None:
+        """Observe capacity evictions (``(key, charge)`` per entry).
+
+        The DB wires this to the trace spine when a tracer is active;
+        with no listener the hot path pays one None check per eviction.
+        """
+        for shard in self._shards:
+            shard.on_evict = callback

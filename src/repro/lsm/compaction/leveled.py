@@ -18,6 +18,8 @@ from repro.lsm.memtable import ValueKind
 from repro.lsm.options import Options
 from repro.lsm.snapshot import SnapshotList, may_drop_version
 from repro.lsm.sstable import FileMetaData, ReadStats, SSTableBuilder, SSTableReader
+from repro.obs.events import CompactionRun
+from repro.obs.tracer import Tracer
 
 
 @dataclass
@@ -67,6 +69,7 @@ def run_compaction(
     open_builder: Callable[[str, int], SSTableBuilder],
     bottommost: bool,
     snapshots: "SnapshotList | None" = None,
+    tracer: "Tracer | None" = None,
 ) -> CompactionResult:
     """Execute ``compaction`` over already-open ``readers``.
 
@@ -119,6 +122,18 @@ def run_compaction(
             finish_builder()
     finish_builder()
     bytes_read = compaction.input_bytes
+    if tracer is not None and tracer.enabled:
+        tracer.emit(
+            CompactionRun(
+                level=compaction.level,
+                output_level=compaction.output_level,
+                inputs=len(compaction.all_inputs),
+                bytes_read=bytes_read,
+                bytes_written=bytes_written,
+                entries_merged=entries_merged,
+                entries_dropped=entries_dropped,
+            )
+        )
     return CompactionResult(
         new_files=new_files,
         bytes_read=bytes_read,

@@ -40,6 +40,15 @@ from repro.lsm.version import Version
 from repro.lsm.wal import WalWriter, replay_wal
 from repro.lsm.write_batch import WriteBatch
 from repro.lsm.write_controller import WriteController, WriteState
+from repro.obs.events import (
+    CacheEviction,
+    CompactionInstalled,
+    FifoDrop,
+    FlushInstalled,
+    MemtableRotate,
+    StallEvent,
+)
+from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.sim.resources import Completion, CompletionQueue, SlotPool
 
 _DEFAULT_PROFILE = make_profile(4, 8)
@@ -103,6 +112,7 @@ class DB:
         profile: HardwareProfile,
         statistics: Statistics,
         byte_scale: float = 1.0,
+        tracer: Tracer | None = None,
     ) -> None:
         from repro.lsm.options import scale_bytes
 
@@ -117,6 +127,13 @@ class DB:
         self._env = env
         self._profile = profile
         self._stats = statistics
+        # Trace spine: bind the virtual clock so every event carries
+        # simulated time, and resolve enablement once — the engine's
+        # fast paths must not pay for disabled observability.
+        self._tracer = tracer if tracer is not None else NULL_TRACER
+        self._trace_on = self._tracer.enabled
+        if self._trace_on:
+            self._tracer.bind_clock(env.now_us)
         self._monitor = SystemMonitor(profile)
         self._perf = PerfModel(profile, options, byte_scale=byte_scale)
         self._closed = False
@@ -143,7 +160,7 @@ class DB:
         self._compaction_pool = SlotPool(
             options.effective_max_background_compactions()
         )
-        self._controller = WriteController(options)
+        self._controller = WriteController(options, self._tracer)
         self._rate_limiter = RateLimiter(options.get("rate_limiter_bytes_per_sec"))
         self._block_cache = LRUCache(
             self._effective_cache_bytes(),
@@ -152,6 +169,8 @@ class DB:
         self._table_cache = TableCache(
             self._open_reader, options.get("max_open_files")
         )
+        if self._trace_on:
+            self._block_cache.set_eviction_listener(self._on_cache_evict)
         self._page_cache = LRUCache(self._page_cache_bytes(), 2)
         self._swap_factor = self._compute_swap_factor()
         self._last_stats_dump_us = 0.0
@@ -186,6 +205,7 @@ class DB:
         profile: HardwareProfile | None = None,
         statistics: Statistics | None = None,
         byte_scale: float = 1.0,
+        tracer: Tracer | None = None,
     ) -> "DB":
         """Open (creating or recovering) a database at ``path``.
 
@@ -197,7 +217,7 @@ class DB:
         env = env if env is not None else Env()
         profile = profile if profile is not None else _DEFAULT_PROFILE
         statistics = statistics if statistics is not None else Statistics()
-        db = cls(path, options, env, profile, statistics, byte_scale)
+        db = cls(path, options, env, profile, statistics, byte_scale, tracer)
         db._recover()
         return db
 
@@ -313,6 +333,15 @@ class DB:
         now = self._env.clock.now_us
         return self._flush_pool.busy_count(now) + self._compaction_pool.busy_count(now)
 
+    def _on_cache_evict(self, key, charge: int) -> None:
+        # Block-cache keys are (file_number, block_offset) tuples; stay
+        # defensive in case a non-tuple key is ever cached.
+        if isinstance(key, tuple) and len(key) == 2:
+            file_number, offset = key
+        else:  # pragma: no cover - defensive
+            file_number, offset = -1, -1
+        self._tracer.emit(CacheEviction(int(file_number), int(offset), charge))
+
     def _cache_get(self, key):
         payload = self._block_cache.get(key)
         if payload is None:
@@ -393,6 +422,14 @@ class DB:
         self._stats.bump(Ticker.BYTES_WRITTEN, result.bytes_out)
         self._stats.observe(OpClass.FLUSH, payload.duration_us)
         self._monitor.record_write(result.bytes_out)
+        if self._trace_on:
+            self._tracer.emit(
+                FlushInstalled(
+                    bytes_out=result.bytes_out,
+                    duration_us=payload.duration_us,
+                    l0_files=self._version.num_files(0),
+                )
+            )
         self._maybe_schedule_compaction()
 
     def _install_compaction(self, payload: _CompactionPayload) -> None:
@@ -436,6 +473,16 @@ class DB:
         self._stats.observe(OpClass.COMPACTION, payload.duration_us)
         self._monitor.record_write(result.bytes_written)
         self._monitor.record_read(result.bytes_read)
+        if self._trace_on:
+            self._tracer.emit(
+                CompactionInstalled(
+                    level=compaction.level,
+                    output_level=compaction.output_level,
+                    bytes_read=result.bytes_read,
+                    bytes_written=result.bytes_written,
+                    duration_us=payload.duration_us,
+                )
+            )
         self._maybe_schedule_compaction()
 
     # ------------------------------------------------------- scheduling
@@ -448,7 +495,9 @@ class DB:
         if not force and len(batch) < min_merge:
             return False
         wal_paths = list(self._imm_wal_paths[-len(batch):])
-        result = run_flush(batch, self._l0_builder, self._snapshots)
+        result = run_flush(
+            batch, self._l0_builder, self._snapshots, tracer=self._tracer
+        )
         now = self._env.clock.now_us
         duration = self._perf.flush_duration_us(
             result.bytes_in, result.bytes_out, result.entries_in
@@ -525,6 +574,7 @@ class DB:
             open_builder=lambda path, level: self._make_builder(path, level),
             bottommost=bottommost,
             snapshots=self._snapshots,
+            tracer=self._tracer,
         )
         now = self._env.clock.now_us
         duration = self._perf.compaction_duration_us(
@@ -569,6 +619,13 @@ class DB:
         assert self._manifest is not None
         self._manifest.append(edit)
         self._stats.bump(Ticker.COMPACTION_COUNT)
+        if self._trace_on:
+            self._tracer.emit(
+                FifoDrop(
+                    files_dropped=len(drop.doomed),
+                    bytes_dropped=sum(m.file_size for m in drop.doomed),
+                )
+            )
         return True
 
     # ------------------------------------------------------------ write
@@ -601,6 +658,10 @@ class DB:
                     slowdown_counted = True
                 delay = self._controller.delay_us_for(decision, entry_bytes)
                 self._stats.bump(Ticker.DELAYED_WRITE_MICROS, int(delay))
+                if self._trace_on:
+                    self._tracer.emit(
+                        StallEvent("delayed", decision.reason, delay)
+                    )
                 self._advance(delay)
                 return extra_us + delay
             # STOPPED: wait for background work to finish.
@@ -612,9 +673,19 @@ class DB:
                 # Wedged (e.g. compactions disabled while L0 is over the
                 # stop trigger): charge a heavy penalty and let it through.
                 self._stats.bump(Ticker.STALL_MICROS, int(_WEDGED_PENALTY_US))
+                if self._trace_on:
+                    self._tracer.emit(
+                        StallEvent(
+                            "wedged", decision.reason, _WEDGED_PENALTY_US
+                        )
+                    )
                 self._advance(_WEDGED_PENALTY_US)
                 return extra_us + _WEDGED_PENALTY_US
             wait = max(0.0, nxt.at_us - self._env.clock.now_us)
+            if self._trace_on:
+                self._tracer.emit(
+                    StallEvent("stopped", decision.reason, wait)
+                )
             self._env.clock.advance_to(nxt.at_us)
             self._apply_completion(nxt)
             self._stats.bump(Ticker.STALL_MICROS, int(wait))
@@ -761,6 +832,13 @@ class DB:
         assert self._wal is not None
         self._wal.sync()
         self._wal.close()
+        if self._trace_on:
+            self._tracer.emit(
+                MemtableRotate(
+                    memtable_bytes=self._mem.approximate_memory_usage,
+                    immutables=len(self._imm) + 1,
+                )
+            )
         self._imm.append(self._mem)
         self._imm_wal_paths.append(self._wal.path)
         self._mem = self._new_memtable()
@@ -1082,6 +1160,10 @@ class DB:
     @property
     def statistics(self) -> Statistics:
         return self._stats
+
+    @property
+    def tracer(self) -> Tracer:
+        return self._tracer
 
     @property
     def version(self) -> Version:

@@ -10,6 +10,8 @@ from repro.lsm import ikey as ikey_mod
 from repro.lsm.memtable import MemTable, ValueKind
 from repro.lsm.snapshot import SnapshotList, may_drop_version
 from repro.lsm.sstable import FileMetaData, SSTableBuilder
+from repro.obs.events import FlushRun
+from repro.obs.tracer import Tracer
 
 
 @dataclass
@@ -50,6 +52,7 @@ def run_flush(
     memtables: list[MemTable],
     open_builder: Callable[[], SSTableBuilder],
     snapshots: "SnapshotList | None" = None,
+    tracer: "Tracer | None" = None,
 ) -> FlushResult:
     """Write the merged contents of ``memtables`` into one new table.
 
@@ -76,12 +79,24 @@ def run_flush(
         builder.add(internal, kind, value)
         entries_out += 1
     if builder is None:
-        return FlushResult(None, bytes_in, 0, entries_in, 0)
-    meta = builder.finish()
-    return FlushResult(
-        file_meta=meta,
-        bytes_in=bytes_in,
-        bytes_out=meta.file_size,
-        entries_in=entries_in,
-        entries_out=entries_out,
-    )
+        result = FlushResult(None, bytes_in, 0, entries_in, 0)
+    else:
+        meta = builder.finish()
+        result = FlushResult(
+            file_meta=meta,
+            bytes_in=bytes_in,
+            bytes_out=meta.file_size,
+            entries_in=entries_in,
+            entries_out=entries_out,
+        )
+    if tracer is not None and tracer.enabled:
+        tracer.emit(
+            FlushRun(
+                memtables=len(memtables),
+                entries_in=result.entries_in,
+                entries_out=result.entries_out,
+                bytes_in=result.bytes_in,
+                bytes_out=result.bytes_out,
+            )
+        )
+    return result

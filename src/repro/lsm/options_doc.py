@@ -85,14 +85,16 @@ def render_markdown() -> str:
 
 
 def main(argv: list[str] | None = None) -> int:
+    from repro.obs import console
+
     args = argv if argv is not None else sys.argv[1:]
     text = render_markdown()
     if args:
         with open(args[0], "w", encoding="utf-8") as f:
             f.write(text + "\n")
-        print(f"wrote {args[0]} ({len(text.splitlines())} lines)")
+        console.out(f"wrote {args[0]} ({len(text.splitlines())} lines)")
     else:
-        print(text)
+        console.out(text)
     return 0
 
 

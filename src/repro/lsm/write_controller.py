@@ -9,8 +9,13 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.lsm.options import Options
+from repro.obs.events import WriteStateChange
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.tracer import Tracer
 
 
 class WriteState(str, enum.Enum):
@@ -38,14 +43,18 @@ _NORMAL = StallDecision(WriteState.NORMAL)
 
 
 class WriteController:
-    """Stateless policy object: inputs in, decision out.
+    """Policy object: inputs in, decision out.
 
     The stall thresholds are resolved from the options once at
     construction — this runs before every single write, and the
-    configuration cannot change without a DB reopen.
+    configuration cannot change without a DB reopen. The only state
+    kept is the last decided write state, so state *transitions* can be
+    published to the trace spine.
     """
 
-    def __init__(self, options: Options) -> None:
+    def __init__(
+        self, options: Options, tracer: "Tracer | None" = None
+    ) -> None:
         self._options = options
         self._max_bufs = options.get("max_write_buffer_number")
         self._l0_stop = options.get("level0_stop_writes_trigger")
@@ -53,8 +62,31 @@ class WriteController:
         self._hard_pending = options.get("hard_pending_compaction_bytes_limit")
         self._soft_pending = options.get("soft_pending_compaction_bytes_limit")
         self._delayed_rate = options.get("delayed_write_rate")
+        # Tracing is resolved once: this runs before every write, so
+        # a disabled tracer must cost a single None check.
+        self._tracer = tracer if tracer is not None and tracer.enabled else None
+        self._last_state = WriteState.NORMAL
 
     def decide(
+        self,
+        *,
+        l0_files: int,
+        immutable_memtables: int,
+        pending_compaction_bytes: int,
+    ) -> StallDecision:
+        decision = self._decide(
+            l0_files=l0_files,
+            immutable_memtables=immutable_memtables,
+            pending_compaction_bytes=pending_compaction_bytes,
+        )
+        if self._tracer is not None and decision.state is not self._last_state:
+            self._last_state = decision.state
+            self._tracer.emit(
+                WriteStateChange(decision.state.value, decision.reason)
+            )
+        return decision
+
+    def _decide(
         self,
         *,
         l0_files: int,

@@ -1,0 +1,450 @@
+"""Typed trace events: the vocabulary of the observability spine.
+
+Every observable fact in the system — an engine flush, a write stall, a
+benchmark progress sample, a tuning-loop decision — is one dataclass
+here. Events are plain data: JSON-safe scalar fields (plus lists of
+scalars), a class-level ``TYPE`` string, and a keyword-only ``t_us``
+timestamp in *virtual* microseconds, stamped by the
+:class:`~repro.obs.tracer.Tracer` at emission. Because timestamps come
+from the simulated clock, traces are deterministic: the same task
+produces byte-identical JSONL whether it ran serially, in a worker
+process, or was replayed from the result cache.
+
+Serialization is a registry round-trip: :func:`event_to_dict` /
+:func:`event_from_dict` (and the JSONL line forms) reconstruct the exact
+dataclass, so ``from_jsonl_line(to_jsonl_line(e)) == e`` holds for every
+registered type — ``scripts/check.sh`` enforces this invariant.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field, fields
+from typing import Any, ClassVar, Iterator
+
+from repro.errors import ReproError
+
+
+class TraceError(ReproError):
+    """Malformed trace data (unknown type, bad fields, bad JSON)."""
+
+
+#: type string -> event class; populated by :func:`register_event`.
+_REGISTRY: dict[str, type["TraceEvent"]] = {}
+
+
+def register_event(cls: type["TraceEvent"]) -> type["TraceEvent"]:
+    """Class decorator: make an event type JSONL round-trippable."""
+    if not cls.TYPE:
+        raise TraceError(f"{cls.__name__} must define a TYPE string")
+    if cls.TYPE in _REGISTRY:
+        raise TraceError(f"duplicate event type {cls.TYPE!r}")
+    _REGISTRY[cls.TYPE] = cls
+    return cls
+
+
+def event_types() -> dict[str, type["TraceEvent"]]:
+    """The full registry (type string -> class), for tooling."""
+    return dict(_REGISTRY)
+
+
+@dataclass
+class TraceEvent:
+    """Base class: one timestamped, typed observation."""
+
+    TYPE: ClassVar[str] = ""
+
+    #: Virtual-clock timestamp (microseconds); stamped at emission.
+    t_us: float = field(default=0.0, kw_only=True)
+
+    @property
+    def type(self) -> str:
+        return self.TYPE
+
+
+# --------------------------------------------------------------- spans
+
+@register_event
+@dataclass
+class SpanBegin(TraceEvent):
+    """A named region of work opened (spans nest by ``depth``)."""
+
+    TYPE: ClassVar[str] = "span.begin"
+    name: str
+    depth: int = 0
+
+
+@register_event
+@dataclass
+class SpanEnd(TraceEvent):
+    """The matching close; ``duration_us`` is virtual time inside."""
+
+    TYPE: ClassVar[str] = "span.end"
+    name: str
+    depth: int = 0
+    duration_us: float = 0.0
+
+
+# -------------------------------------------------------------- engine
+
+@register_event
+@dataclass
+class FlushRun(TraceEvent):
+    """One flush job merged immutable memtables into an L0 table."""
+
+    TYPE: ClassVar[str] = "engine.flush.run"
+    memtables: int
+    entries_in: int
+    entries_out: int
+    bytes_in: int
+    bytes_out: int
+
+
+@register_event
+@dataclass
+class FlushInstalled(TraceEvent):
+    """A finished flush was applied to the live version."""
+
+    TYPE: ClassVar[str] = "engine.flush.installed"
+    bytes_out: int
+    duration_us: float
+    l0_files: int
+
+
+@register_event
+@dataclass
+class CompactionRun(TraceEvent):
+    """One compaction merge executed (not yet installed)."""
+
+    TYPE: ClassVar[str] = "engine.compaction.run"
+    level: int
+    output_level: int
+    inputs: int
+    bytes_read: int
+    bytes_written: int
+    entries_merged: int
+    entries_dropped: int
+
+
+@register_event
+@dataclass
+class CompactionInstalled(TraceEvent):
+    """A finished compaction was applied to the live version."""
+
+    TYPE: ClassVar[str] = "engine.compaction.installed"
+    level: int
+    output_level: int
+    bytes_read: int
+    bytes_written: int
+    duration_us: float
+
+
+@register_event
+@dataclass
+class FifoDrop(TraceEvent):
+    """FIFO compaction dropped the oldest files."""
+
+    TYPE: ClassVar[str] = "engine.fifo.drop"
+    files_dropped: int
+    bytes_dropped: int
+
+
+@register_event
+@dataclass
+class WriteStateChange(TraceEvent):
+    """The write controller moved between NORMAL/DELAYED/STOPPED."""
+
+    TYPE: ClassVar[str] = "engine.write.state"
+    state: str
+    reason: str = ""
+
+
+@register_event
+@dataclass
+class StallEvent(TraceEvent):
+    """A write paid stall latency (delayed pacing, stop wait, wedge)."""
+
+    TYPE: ClassVar[str] = "engine.stall"
+    kind: str  # "delayed" | "stopped" | "wedged"
+    reason: str
+    wait_us: float
+
+
+@register_event
+@dataclass
+class MemtableRotate(TraceEvent):
+    """The active memtable was sealed and a new one started."""
+
+    TYPE: ClassVar[str] = "engine.memtable.rotate"
+    memtable_bytes: int
+    immutables: int
+
+
+@register_event
+@dataclass
+class CacheEviction(TraceEvent):
+    """The block cache evicted one entry under capacity pressure."""
+
+    TYPE: ClassVar[str] = "engine.cache.evict"
+    file_number: int
+    offset: int
+    charge: int
+
+
+# --------------------------------------------------------------- bench
+
+@register_event
+@dataclass
+class BenchStart(TraceEvent):
+    """A db_bench run began its measured phase."""
+
+    TYPE: ClassVar[str] = "bench.start"
+    benchmark: str
+    num_ops: int
+    num_keys: int
+
+
+@register_event
+@dataclass
+class BenchProgress(TraceEvent):
+    """Periodic progress sample (the old ``ProgressEvent``)."""
+
+    TYPE: ClassVar[str] = "bench.progress"
+    ops_done: int
+    total_ops: int
+    elapsed_virtual_s: float
+    ops_per_sec: float
+
+
+@register_event
+@dataclass
+class BenchAbort(TraceEvent):
+    """The run was aborted early (e.g. by the benchmark monitor)."""
+
+    TYPE: ClassVar[str] = "bench.abort"
+    reason: str
+
+
+@register_event
+@dataclass
+class BenchEnd(TraceEvent):
+    """A db_bench run finished (or aborted) its measured phase."""
+
+    TYPE: ClassVar[str] = "bench.end"
+    ops_done: int
+    reads_done: int
+    writes_done: int
+    duration_s: float
+    ops_per_sec: float
+    aborted: bool
+
+
+# -------------------------------------------------------------- tuning
+
+@register_event
+@dataclass
+class SessionStart(TraceEvent):
+    """An ELMo-Tune session opened."""
+
+    TYPE: ClassVar[str] = "tune.session.start"
+    workload: str
+    profile: str
+
+
+@register_event
+@dataclass
+class IterationStart(TraceEvent):
+    """One loop turn began (iteration 0 is the baseline run)."""
+
+    TYPE: ClassVar[str] = "tune.iteration.start"
+    iteration: int
+
+
+@register_event
+@dataclass
+class LLMExchange(TraceEvent):
+    """One LLM round-trip (including format retries) completed."""
+
+    TYPE: ClassVar[str] = "tune.llm.exchange"
+    proposals: int
+    parse_failures: int
+
+
+@register_event
+@dataclass
+class Veto(TraceEvent):
+    """The safeguard rejected one proposed change."""
+
+    TYPE: ClassVar[str] = "tune.veto"
+    name: str
+    raw_value: str
+    reason: str
+    category: str
+
+
+@register_event
+@dataclass
+class FlagDecisionEvent(TraceEvent):
+    """The active flagger's keep-or-revert verdict."""
+
+    TYPE: ClassVar[str] = "tune.flag"
+    keep: bool
+    improved: bool
+    reason: str
+    best_ops_per_sec: float
+    candidate_ops_per_sec: float
+
+
+@register_event
+@dataclass
+class IterationEnd(TraceEvent):
+    """One loop turn finished; carries the applied option diff."""
+
+    TYPE: ClassVar[str] = "tune.iteration.end"
+    iteration: int
+    kept: bool
+    ops_per_sec: float
+    #: Accepted ``[name, value]`` pairs (empty when nothing was applied).
+    changes: list = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        # Tuples arrive from the safeguard; JSON yields lists. Normalize
+        # so round-tripped events compare equal.
+        self.changes = [list(pair) for pair in self.changes]
+
+
+@register_event
+@dataclass
+class Revert(TraceEvent):
+    """A regressing configuration was rolled back."""
+
+    TYPE: ClassVar[str] = "tune.revert"
+    diff: str
+
+
+@register_event
+@dataclass
+class Feedback(TraceEvent):
+    """The feedback context composed for the next prompt."""
+
+    TYPE: ClassVar[str] = "tune.feedback"
+    deteriorated: bool
+    aborted_early: bool
+
+
+@register_event
+@dataclass
+class Stop(TraceEvent):
+    """The stopping criteria ended the session."""
+
+    TYPE: ClassVar[str] = "tune.stop"
+    reason: str
+
+
+@register_event
+@dataclass
+class SessionEnd(TraceEvent):
+    """An ELMo-Tune session closed; headline outcome inline."""
+
+    TYPE: ClassVar[str] = "tune.session.end"
+    iterations: int
+    best_iteration: int
+    best_ops_per_sec: float
+
+
+# ------------------------------------------------------------ parallel
+
+@register_event
+@dataclass
+class TaskStart(TraceEvent):
+    """The experiment executor began replaying one task's trace."""
+
+    TYPE: ClassVar[str] = "exec.task.start"
+    index: int
+    kind: str  # "bench" | "session"
+    label: str = ""
+
+
+@register_event
+@dataclass
+class TaskEnd(TraceEvent):
+    """End of one task's replayed trace."""
+
+    TYPE: ClassVar[str] = "exec.task.end"
+    index: int
+
+
+# ------------------------------------------------------- serialization
+
+def event_to_dict(event: TraceEvent) -> dict[str, Any]:
+    """Flat JSON-safe dict with the ``type`` discriminator first."""
+    out: dict[str, Any] = {"type": event.TYPE}
+    for f in fields(event):
+        out[f.name] = getattr(event, f.name)
+    return out
+
+
+def event_from_dict(payload: dict[str, Any]) -> TraceEvent:
+    """Inverse of :func:`event_to_dict`; raises :class:`TraceError`."""
+    data = dict(payload)
+    type_name = data.pop("type", None)
+    if type_name is None:
+        raise TraceError("trace record has no 'type' field")
+    cls = _REGISTRY.get(type_name)
+    if cls is None:
+        raise TraceError(f"unknown trace event type {type_name!r}")
+    try:
+        return cls(**data)
+    except TypeError as exc:
+        raise TraceError(f"bad fields for {type_name!r}: {exc}") from exc
+
+
+def to_jsonl_line(event: TraceEvent) -> str:
+    """One compact JSON object (no newline)."""
+    return json.dumps(
+        event_to_dict(event), sort_keys=True, separators=(",", ":")
+    )
+
+
+def from_jsonl_line(line: str) -> TraceEvent:
+    """Parse one JSONL line back into its event dataclass."""
+    try:
+        payload = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise TraceError(f"bad trace JSON: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise TraceError("trace line is not a JSON object")
+    return event_from_dict(payload)
+
+
+# ----------------------------------------------------- schema tooling
+
+_SAMPLE_BY_ANNOTATION = {
+    "str": "sample",
+    "int": 3,
+    "float": 1.5,
+    "bool": True,
+    "list": [["name", 7]],
+}
+
+
+def sample_events() -> Iterator[TraceEvent]:
+    """One synthetic instance of every registered event type.
+
+    Used by the schema-validation gate in ``scripts/check.sh`` (and the
+    mirrored pytest) to prove each type survives a JSONL round-trip.
+    """
+    for cls in _REGISTRY.values():
+        kwargs: dict[str, Any] = {}
+        for f in fields(cls):
+            annotation = str(f.type)
+            for key, sample in _SAMPLE_BY_ANNOTATION.items():
+                if annotation.startswith(key):
+                    kwargs[f.name] = sample
+                    break
+            else:
+                raise TraceError(
+                    f"{cls.__name__}.{f.name}: no sample for {annotation!r}; "
+                    "trace events must stick to JSON-safe scalar fields"
+                )
+        yield cls(**kwargs)

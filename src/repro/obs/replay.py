@@ -1,0 +1,114 @@
+"""Trace replay: reconstruct what happened from the event stream alone.
+
+A tuning session's JSONL trace is a complete record: this module reads
+one back and rebuilds the per-iteration story — option diffs, keep or
+revert verdicts, early aborts, the stop reason, the final metrics —
+without touching the :class:`~repro.core.session.TuningSession` object.
+Tests assert the two agree, which is what makes the trace trustworthy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable
+
+from repro.obs.events import (
+    BenchAbort,
+    FlagDecisionEvent,
+    Feedback,
+    IterationEnd,
+    IterationStart,
+    Revert,
+    SessionEnd,
+    SessionStart,
+    Stop,
+    TraceEvent,
+    Veto,
+    from_jsonl_line,
+)
+
+
+def read_trace(path: str) -> list[TraceEvent]:
+    """Load a JSONL trace file back into event dataclasses."""
+    events: list[TraceEvent] = []
+    with open(path, "r", encoding="utf-8") as stream:
+        for line in stream:
+            line = line.strip()
+            if line:
+                events.append(from_jsonl_line(line))
+    return events
+
+
+@dataclass
+class IterationTrace:
+    """One loop turn, as reconstructed from the trace."""
+
+    iteration: int
+    kept: bool = True
+    ops_per_sec: float = 0.0
+    changes: list[list[Any]] = field(default_factory=list)
+    vetoes: int = 0
+    aborted_early: bool = False
+    reverted: bool = False
+    deteriorated: bool = False
+
+
+@dataclass
+class SessionTrace:
+    """A whole tuning session, as reconstructed from the trace."""
+
+    workload: str = ""
+    profile: str = ""
+    iterations: list[IterationTrace] = field(default_factory=list)
+    stop_reason: str = ""
+    best_iteration: int = -1
+    best_ops_per_sec: float = 0.0
+    complete: bool = False  # saw tune.session.end
+
+    def option_diffs(self) -> dict[int, list[list[Any]]]:
+        """iteration -> accepted ``[name, value]`` pairs (non-empty only)."""
+        return {
+            it.iteration: it.changes for it in self.iterations if it.changes
+        }
+
+    def kept_flags(self) -> list[bool]:
+        return [it.kept for it in self.iterations]
+
+
+def summarize_session(events: Iterable[TraceEvent]) -> SessionTrace:
+    """Fold a session's event stream into a :class:`SessionTrace`.
+
+    Only tuning-level events matter here; engine and bench events are
+    skipped (they tell the *why*, not the *what*, of each iteration).
+    """
+    summary = SessionTrace()
+    current: IterationTrace | None = None
+    for event in events:
+        if isinstance(event, SessionStart):
+            summary.workload = event.workload
+            summary.profile = event.profile
+        elif isinstance(event, IterationStart):
+            current = IterationTrace(iteration=event.iteration)
+            summary.iterations.append(current)
+        elif isinstance(event, Veto) and current is not None:
+            current.vetoes += 1
+        elif isinstance(event, BenchAbort) and current is not None:
+            current.aborted_early = True
+        elif isinstance(event, FlagDecisionEvent) and current is not None:
+            current.kept = event.keep
+        elif isinstance(event, Revert) and current is not None:
+            current.reverted = True
+        elif isinstance(event, Feedback) and current is not None:
+            current.deteriorated = event.deteriorated
+        elif isinstance(event, IterationEnd) and current is not None:
+            current.iteration = event.iteration
+            current.kept = event.kept
+            current.ops_per_sec = event.ops_per_sec
+            current.changes = [list(pair) for pair in event.changes]
+        elif isinstance(event, Stop):
+            summary.stop_reason = event.reason
+        elif isinstance(event, SessionEnd):
+            summary.best_iteration = event.best_iteration
+            summary.best_ops_per_sec = event.best_ops_per_sec
+            summary.complete = True
+    return summary

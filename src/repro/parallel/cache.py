@@ -24,7 +24,8 @@ from repro.lsm.options import Options
 
 #: Bump when the result layout changes incompatibly; old entries then
 #: miss instead of unpickling into stale shapes.
-CACHE_FORMAT = 1
+#: 2: results carry ``trace_events`` (the per-task observability trace).
+CACHE_FORMAT = 2
 
 
 def _jsonable(value: Any) -> Any:

@@ -28,6 +28,9 @@ from repro.hardware.device import device_by_name
 from repro.hardware.profile import HardwareProfile, make_profile
 from repro.llm.simulated import SimulatedExpert
 from repro.lsm.options import Options
+from repro.obs.events import TaskEnd, TaskStart
+from repro.obs.sinks import RingSink, TraceSink
+from repro.obs.tracer import Tracer
 from repro.parallel.cache import ResultCache, bench_cache_key, cache_key
 
 
@@ -87,13 +90,20 @@ class SessionTask:
 
 
 # Workers must be module-level functions: ProcessPoolExecutor pickles
-# the callable and the task into the child.
+# the callable and the task into the child. Each worker captures its
+# task's trace into a ring and ships the event list back inside the
+# (pickled) result, so per-task traces survive the process boundary and
+# cached results replay the exact trace of their original run.
 
 def _run_bench_task(task: BenchTask) -> BenchResult:
+    ring = RingSink()
     bench = DbBench(
-        task.spec, task.options, task.profile, byte_scale=task.byte_scale
+        task.spec, task.options, task.profile, byte_scale=task.byte_scale,
+        tracer=Tracer(ring),
     )
-    return bench.run()
+    result = bench.run()
+    result.trace_events = ring.events
+    return result
 
 
 def _run_session_task(task: SessionTask) -> TuningSession:
@@ -103,11 +113,44 @@ def _run_session_task(task: SessionTask) -> TuningSession:
         byte_scale=task.byte_scale,
         stopping=StoppingCriteria(max_iterations=task.iterations),
     )
+    # The tuner's default ring capture lands on session.trace_events.
     return ElmoTune(config, SimulatedExpert(seed=task.seed)).run()
 
 
+def _task_label(task) -> str:
+    label = getattr(task, "label", "")
+    if label:
+        return label
+    if isinstance(task, SessionTask):
+        return f"{task.workload}@{task.cell}"
+    return ""
+
+
+def _task_kind(task) -> str:
+    return "session" if isinstance(task, SessionTask) else "bench"
+
+
+def _replay_traces(tasks: Sequence, results: list, sink: TraceSink) -> None:
+    """Merge per-task traces into the caller's sink, in input order.
+
+    Each task's events are bracketed by ``exec.task.start``/``end`` so a
+    merged trace can be split back per task. Events keep their stored
+    virtual timestamps (no re-stamping: the replay tracer has no clock),
+    so serial and parallel executions ship byte-identical traces.
+    """
+    tracer = Tracer(sink)
+    for index, (task, result) in enumerate(zip(tasks, results)):
+        events = getattr(result, "trace_events", None) or []
+        tracer.emit(TaskStart(index, _task_kind(task), _task_label(task)))
+        for event in events:
+            sink.emit(event)
+        tracer.emit(TaskEnd(index))
+    tracer.remove_sink(sink)
+
+
 def _execute(tasks: Sequence, worker, max_workers: int | None,
-             cache: ResultCache | None) -> list:
+             cache: ResultCache | None,
+             sink: TraceSink | None = None) -> list:
     """Shared fan-out: cache-hit short circuit, pool or serial run,
     cache fill, results in input order."""
     results: list = [None] * len(tasks)
@@ -136,6 +179,8 @@ def _execute(tasks: Sequence, worker, max_workers: int | None,
     if cache is not None:
         for i in misses:
             cache.put(keys[i], results[i])
+    if sink is not None:
+        _replay_traces(tasks, results, sink)
     return results
 
 
@@ -144,9 +189,15 @@ def run_bench_tasks(
     *,
     max_workers: int | None = None,
     cache: ResultCache | None = None,
+    sink: TraceSink | None = None,
 ) -> list[BenchResult]:
-    """Run benchmark tasks, parallel when cores allow; input order."""
-    return _execute(list(tasks), _run_bench_task, max_workers, cache)
+    """Run benchmark tasks, parallel when cores allow; input order.
+
+    With ``sink``, every task's trace (captured in the worker, cached
+    alongside the result) is replayed into it, bracketed by task
+    start/end events.
+    """
+    return _execute(list(tasks), _run_bench_task, max_workers, cache, sink)
 
 
 def run_session_tasks(
@@ -154,6 +205,11 @@ def run_session_tasks(
     *,
     max_workers: int | None = None,
     cache: ResultCache | None = None,
+    sink: TraceSink | None = None,
 ) -> list[TuningSession]:
-    """Run tuning sessions, parallel when cores allow; input order."""
-    return _execute(list(tasks), _run_session_task, max_workers, cache)
+    """Run tuning sessions, parallel when cores allow; input order.
+
+    With ``sink``, per-session traces are replayed into it exactly as
+    for :func:`run_bench_tasks`.
+    """
+    return _execute(list(tasks), _run_session_task, max_workers, cache, sink)

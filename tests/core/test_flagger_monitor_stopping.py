@@ -110,11 +110,34 @@ class TestStopping:
 
     def test_patience_resets_on_improvement(self):
         tracker = StopTracker(StoppingCriteria(max_iterations=99, patience=2))
-        best = metrics(100)
-        tracker.record(False, best)
-        tracker.record(True, best)
-        tracker.record(False, best)
-        assert tracker.should_stop(best) is None
+        tracker.seed(metrics(100))
+        tracker.record(False, metrics(100))
+        tracker.record(True, metrics(120))  # real gain resets the streak
+        tracker.record(False, metrics(120))
+        assert tracker.should_stop(metrics(120)) is None
+
+    def test_minimal_gain_counts_toward_patience(self):
+        tracker = StopTracker(
+            StoppingCriteria(max_iterations=99, patience=2, minimal_gain=0.05)
+        )
+        tracker.seed(metrics(100))
+        # Flagger said "improved", but the gains sit below minimal_gain:
+        # the streak must keep growing and the stop reason must say so.
+        tracker.record(True, metrics(101))
+        assert tracker.should_stop(metrics(101)) is None
+        tracker.record(True, metrics(102))
+        reason = tracker.should_stop(metrics(102))
+        assert reason is not None and "no improvement" in reason
+        assert "minimal gain" in reason
+
+    def test_meaningful_gain_resets_minimal_streak(self):
+        tracker = StopTracker(
+            StoppingCriteria(max_iterations=99, patience=2, minimal_gain=0.05)
+        )
+        tracker.seed(metrics(100))
+        tracker.record(True, metrics(101))  # marginal: streak = 1
+        tracker.record(True, metrics(120))  # 18.8% over 101: streak resets
+        assert tracker.should_stop(metrics(120)) is None
 
     def test_target_throughput(self):
         tracker = StopTracker(

@@ -21,7 +21,7 @@ class TestTopLevel:
 class TestPackageAlls:
     @pytest.mark.parametrize("module_name", [
         "repro.lsm", "repro.bench", "repro.llm", "repro.core",
-        "repro.hardware", "repro.sim",
+        "repro.hardware", "repro.sim", "repro.obs",
     ])
     def test_every_all_entry_exists(self, module_name):
         import importlib
