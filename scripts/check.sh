@@ -27,6 +27,12 @@ echo "== trace schema: every event round-trips through JSONL =="
 python scripts/validate_trace_schema.py
 
 echo
+echo "== crash consistency: bounded seeded sweep (3 styles) =="
+# 200 seeded crash schedules; the full 1000-schedule acceptance sweep
+# is scripts/crashmonkey.py with defaults (docs/crash_consistency.md).
+python scripts/crashmonkey.py --schedules 200 --seed 77 --quiet
+
+echo
 echo "== console audit: no direct print() outside repro/obs/console.py =="
 # Match print( as a call (not substrings like fingerprint(); the
 # sanctioned helper is the only allowed caller).

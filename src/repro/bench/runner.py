@@ -17,6 +17,7 @@ from repro.bench.keygen import ValueGenerator, format_key, make_generator
 from repro.bench.spec import WorkloadSpec
 from repro.hardware.profile import HardwareProfile, make_profile
 from repro.lsm.db import DB
+from repro.errors import SimulatedCrash
 from repro.lsm.env import Env
 from repro.lsm.histogram import HistogramSummary
 from repro.lsm.options import Options
@@ -197,6 +198,8 @@ class DbBench:
             tracer=self.tracer,
         )
         spec = self.spec
+        reads = writes = 0
+        start_us = self.env.clock.now_us
         try:
             self._preload(db)
             stats.reset()
@@ -215,7 +218,6 @@ class DbBench:
                     BenchStart(spec.name, spec.num_ops, spec.num_keys)
                 )
             start_us = self.env.clock.now_us
-            reads = writes = 0
             aborted = False
             sample = progress is not None or tracer is not None
             for op_index in range(spec.num_ops):
@@ -269,8 +271,21 @@ class DbBench:
             result = self._collect(db, stats, reads, writes, duration_s, aborted)
             result.wall_clock_s = time.perf_counter() - wall_start
             return result
+        except SimulatedCrash:
+            # A fault-injection harness killed the simulated process
+            # mid-benchmark. Report what completed as an aborted run;
+            # the dead filesystem makes further engine calls invalid.
+            if tracer is not None:
+                tracer.emit(BenchAbort("simulated crash"))
+            duration_s = (self.env.clock.now_us - start_us) / 1e6
+            result = self._collect(db, stats, reads, writes, duration_s, True)
+            result.wall_clock_s = time.perf_counter() - wall_start
+            return result
         finally:
-            db.close()
+            try:
+                db.close()
+            except SimulatedCrash:
+                pass  # the crash already "closed" the process
 
     def _collect(
         self,

@@ -61,6 +61,19 @@ class NotFoundError(DBError):
     """Key not present (raised only by APIs documented to raise)."""
 
 
+class SimulatedCrash(DBError):
+    """The fault-injection layer killed the simulated process.
+
+    Raised by :class:`repro.lsm.faults.FaultFS` when a scheduled crash
+    point fires (and on every filesystem call afterwards, until the
+    harness calls ``crash()`` to materialize the post-crash disk).
+    """
+
+
+class InjectedIOError(DBError):
+    """A transient I/O failure injected by the fault layer."""
+
+
 class WorkloadError(ReproError):
     """A benchmark workload specification was invalid."""
 

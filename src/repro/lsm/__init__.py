@@ -3,6 +3,7 @@ performance accounting (the RocksDB stand-in for the reproduction)."""
 
 from repro.lsm.db import DB
 from repro.lsm.env import Env, MemFileSystem
+from repro.lsm.faults import FaultFS, KVModel, check_crash_invariants
 from repro.lsm.options import Options, default_options
 from repro.lsm.snapshot import Snapshot
 from repro.lsm.statistics import OpClass, Statistics, Ticker
@@ -11,6 +12,8 @@ from repro.lsm.write_batch import WriteBatch
 __all__ = [
     "DB",
     "Env",
+    "FaultFS",
+    "KVModel",
     "MemFileSystem",
     "Options",
     "default_options",
@@ -19,4 +22,5 @@ __all__ = [
     "Statistics",
     "Ticker",
     "OpClass",
+    "check_crash_invariants",
 ]

@@ -140,6 +140,12 @@ class DB:
         self._foreground_parallelism = 1
 
         self._seq = 0
+        #: Highest sequence number guaranteed to survive a crash: covered
+        #: by a completed WAL sync, or (with WAL disabled) by a flush
+        #: whose VersionEdit reached the synced MANIFEST. Only advanced
+        #: *after* the corresponding filesystem sync call returns, so a
+        #: simulated crash inside the sync never overstates durability.
+        self._durable_seq = 0
         self._next_file_number = 1
         self._mem: MemTable = self._new_memtable()
         self._imm: list[MemTable] = []
@@ -228,15 +234,35 @@ class DB:
         if existed:
             if self._options.get("error_if_exists"):
                 raise DBError(f"database already exists at {self._path}")
-            version, last_seq, next_file = Manifest.replay(
+            # recover() truncates any torn manifest tail before the
+            # writer reattaches, so new edits never append after damage.
+            manifest, version, last_seq, next_file = Manifest.recover(
                 fs, manifest_path, self._options.get("num_levels")
             )
+            self._manifest = manifest
             self._version = version
             self._seq = last_seq
             self._next_file_number = next_file
         elif not self._options.get("create_if_missing"):
             raise DBError(f"database missing at {self._path}")
-        self._manifest = Manifest(fs, manifest_path)
+        else:
+            self._manifest = Manifest(fs, manifest_path, create=True)
+        # Purge orphan SSTs: tables written by a flush/compaction whose
+        # VersionEdit never reached the synced MANIFEST (crash between
+        # table finish and edit append), or compaction inputs whose
+        # deletion edit landed but whose files were not yet unlinked.
+        # Must happen before WAL replay: replay may schedule flushes
+        # that create new tables.
+        referenced = {meta.file_number for meta in self._version.all_files()}
+        for path in list(fs.list_dir(self._path)):
+            if not path.endswith(".sst"):
+                continue
+            number = int(path.rsplit("/", 1)[-1].split(".")[0])
+            if number not in referenced:
+                fs.delete(path)
+            # An orphan's number came from a counter ahead of the
+            # persisted one; never hand it out again.
+            self._next_file_number = max(self._next_file_number, number + 1)
         # Replay any leftover WALs (oldest first by file number) into the
         # memtable AND into a fresh WAL: recovered-but-unflushed entries
         # must survive a second crash before the next flush.
@@ -253,7 +279,14 @@ class DB:
                 self._mem.add(seq, kind, key, value)
                 self._wal.add_record(seq, kind, key, value)
                 self._seq = max(self._seq, seq)
+                # A backlog larger than one write buffer must not pile
+                # into a single oversized memtable that then sits
+                # unflushed; rotate and let flushes drain as usual.
+                if self._mem.should_flush():
+                    self._rotate_memtable()
+                    self._process_completions()
         self._wal.sync()
+        self._durable_seq = self._seq
         for path in old_wals:
             fs.delete(path)
         if not existed:
@@ -398,17 +431,13 @@ class DB:
         ids = set(payload.memtable_ids)
         self._imm = [mt for mt in self._imm if id(mt) not in ids]
         self._flushing_ids -= ids
-        keep_paths = []
-        for path in payload.wal_paths:
-            if self._env.fs.exists(path):
-                self._env.fs.delete(path)
-        self._imm_wal_paths = [
-            p for p in self._imm_wal_paths if p not in set(payload.wal_paths)
-        ]
-        del keep_paths
         if result.file_meta is not None:
             self._version.add_file(0, result.file_meta)
             assert self._manifest is not None
+            # Durability ordering: the flush's VersionEdit must reach the
+            # synced MANIFEST *before* the WALs covering these memtables
+            # are unlinked — a crash between the two would otherwise lose
+            # acked writes (the table would be an orphan and the log gone).
             self._manifest.append(
                 VersionEdit(
                     added=[self._version.files_at(0)[-1]],
@@ -417,6 +446,16 @@ class DB:
                     comment="flush",
                 )
             )
+            if self._disable_wal:
+                self._durable_seq = max(
+                    self._durable_seq, result.last_sequence
+                )
+        for path in payload.wal_paths:
+            if self._env.fs.exists(path):
+                self._env.fs.delete(path)
+        self._imm_wal_paths = [
+            p for p in self._imm_wal_paths if p not in set(payload.wal_paths)
+        ]
         self._stats.bump(Ticker.FLUSH_COUNT)
         self._stats.bump(Ticker.FLUSH_BYTES, result.bytes_out)
         self._stats.bump(Ticker.BYTES_WRITTEN, result.bytes_out)
@@ -440,10 +479,29 @@ class DB:
             self._inflight_ranges.remove((compaction.output_level, lo, hi))
         except ValueError:  # pragma: no cover - defensive
             pass
+        from dataclasses import replace as _replace
+
         edit = VersionEdit(comment=f"compaction L{compaction.level}")
         for meta in compaction.all_inputs:
-            removed = self._version.remove_file(meta.level, meta.file_number)
-            edit.deleted.append((removed.level, removed.file_number))
+            edit.deleted.append((meta.level, meta.file_number))
+        for meta in result.new_files:
+            # The manifest must record the *installed* level or replay
+            # would put compaction outputs back at L0.
+            edit.added.append(_replace(meta, level=compaction.output_level))
+            if compaction.output_level == 0:
+                # Universal merge outputs replace the *oldest* runs;
+                # replay must reinstall them at the oldest L0 position
+                # or reads would see stale values after reopen.
+                edit.l0_front.append(meta.file_number)
+        edit.last_sequence = self._seq
+        edit.next_file_number = self._next_file_number
+        assert self._manifest is not None
+        # Durability ordering: sync the edit before unlinking inputs. A
+        # crash after the deletes but before the edit would leave the
+        # MANIFEST referencing files that no longer exist.
+        self._manifest.append(edit)
+        for meta in compaction.all_inputs:
+            self._version.remove_file(meta.level, meta.file_number)
             self._claimed_files.discard(meta.file_number)
             self._table_cache.evict(meta.file_number)
             self._block_cache.erase_file(meta.file_number)
@@ -451,20 +509,11 @@ class DB:
             path = self._sst_path(meta.file_number)
             if self._env.fs.exists(path):
                 self._env.fs.delete(path)
-        from dataclasses import replace as _replace
-
         for meta in result.new_files:
             if compaction.output_level == 0:
                 self._version.add_file_l0_front(meta)
             else:
                 self._version.add_file(compaction.output_level, meta)
-            # The manifest must record the *installed* level or replay
-            # would put compaction outputs back at L0.
-            edit.added.append(_replace(meta, level=compaction.output_level))
-        edit.last_sequence = self._seq
-        edit.next_file_number = self._next_file_number
-        assert self._manifest is not None
-        self._manifest.append(edit)
         self._stats.bump(Ticker.COMPACTION_COUNT)
         self._stats.bump(Ticker.COMPACTION_BYTES_READ, result.bytes_read)
         self._stats.bump(Ticker.COMPACTION_BYTES_WRITTEN, result.bytes_written)
@@ -608,16 +657,20 @@ class DB:
             return False
         edit = VersionEdit(comment="fifo drop")
         for meta in drop.doomed:
-            removed = self._version.remove_file(0, meta.file_number)
-            edit.deleted.append((0, removed.file_number))
+            edit.deleted.append((0, meta.file_number))
+        assert self._manifest is not None
+        # Same ordering rule as compaction install: record the deletions
+        # in the MANIFEST before unlinking, so a crash in between leaves
+        # orphans (cleaned at recovery) rather than dangling references.
+        self._manifest.append(edit)
+        for meta in drop.doomed:
+            self._version.remove_file(0, meta.file_number)
             self._table_cache.evict(meta.file_number)
             self._block_cache.erase_file(meta.file_number)
             self._page_cache.erase_file(meta.file_number)
             path = self._sst_path(meta.file_number)
             if self._env.fs.exists(path):
                 self._env.fs.delete(path)
-        assert self._manifest is not None
-        self._manifest.append(edit)
         self._stats.bump(Ticker.COMPACTION_COUNT)
         if self._trace_on:
             self._tracer.emit(
@@ -738,6 +791,7 @@ class DB:
             tickers[_T_WRITE_WITH_WAL] += 1
             if self._use_fsync:
                 self._wal.sync()
+                self._durable_seq = self._seq
                 latency += perf.wal_sync_cost_us()
                 tickers[_T_WAL_SYNCS] += 1
                 self._monitor.record_sync()
@@ -785,6 +839,7 @@ class DB:
             tickers[_T_WRITE_WITH_WAL] += 1
             if self._use_fsync:
                 wal.sync()
+                self._durable_seq = self._seq
                 latency += perf.wal_sync_cost_us()
                 tickers[_T_WAL_SYNCS] += 1
                 monitor.record_sync()
@@ -831,6 +886,10 @@ class DB:
             return
         assert self._wal is not None
         self._wal.sync()
+        if not self._disable_wal:
+            # Everything acked so far now sits in a synced WAL (older
+            # generations were synced at their own rotation).
+            self._durable_seq = self._seq
         self._wal.close()
         if self._trace_on:
             self._tracer.emit(
@@ -1120,8 +1179,33 @@ class DB:
         self.wait_for_background()
         if self._wal is not None:
             self._wal.sync()
+            if not self._disable_wal:
+                self._durable_seq = self._seq
             self._wal.close()
         self._closed = True
+
+    def crash_and_reopen(self) -> "DB":
+        """Kill this process image and recover from the surviving disk.
+
+        Simulates a crash: all in-memory state (memtables, pending
+        completions, caches) is discarded, the environment's filesystem
+        drops whatever a real crash would not have persisted (see
+        :meth:`~repro.lsm.env.MemFileSystem.crash`), and a fresh DB is
+        opened over the same env to run recovery. The contract gated by
+        the crash harness: every write at or below
+        :attr:`durable_sequence` survives.
+        """
+        self._closed = True
+        self._env.fs.crash()
+        return DB.open(
+            self._path,
+            self._user_options,
+            env=self._env,
+            profile=self._profile,
+            statistics=self._stats,
+            byte_scale=self._byte_scale,
+            tracer=self._tracer,
+        )
 
     def __enter__(self) -> "DB":
         return self
@@ -1166,6 +1250,10 @@ class DB:
         return self._tracer
 
     @property
+    def path(self) -> str:
+        return self._path
+
+    @property
     def version(self) -> Version:
         return self._version
 
@@ -1188,6 +1276,17 @@ class DB:
     @property
     def last_sequence(self) -> int:
         return self._seq
+
+    @property
+    def durable_sequence(self) -> int:
+        """Highest sequence number guaranteed to survive a crash now.
+
+        Advanced only after a successful WAL sync (rotation, fsync'd
+        write, close) or — with the WAL disabled — after a flush's edit
+        reaches the synced MANIFEST. Writes above this mark are acked
+        but legitimately lost by a crash.
+        """
+        return self._durable_seq
 
     @property
     def num_immutable_memtables(self) -> int:

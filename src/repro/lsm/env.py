@@ -155,6 +155,22 @@ class MemFileSystem:
         del f.data[size:]
         f.synced_bytes = min(f.synced_bytes, size)
 
+    def crash(self) -> None:
+        """Simulate a process crash: only synced bytes survive.
+
+        The strict (most pessimistic) crash model: every file is cut
+        back to its ``synced_bytes`` watermark and files that were never
+        synced vanish entirely (their creation was never made durable).
+        :class:`repro.lsm.faults.FaultFS` layers a seeded, *partial*
+        survival model on top of this for torn-tail testing.
+        """
+        for path in list(self._files):
+            f = self._files[path]
+            if f.synced_bytes == 0:
+                del self._files[path]
+            else:
+                del f.data[f.synced_bytes:]
+
 
 class Env:
     """Bundle of filesystem and virtual clock shared by one DB."""

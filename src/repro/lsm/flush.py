@@ -23,6 +23,11 @@ class FlushResult:
     bytes_out: int
     entries_in: int
     entries_out: int
+    #: Highest sequence number in the flushed batch. Once the flush's
+    #: VersionEdit is synced to the MANIFEST, everything at or below
+    #: this sequence that lived in the batch is durable without the WAL
+    #: (the durability source when ``disable_wal`` is set).
+    last_sequence: int = 0
 
 
 def merge_memtables(
@@ -67,6 +72,7 @@ def run_flush(
     builder: SSTableBuilder | None = None
     last_user: bytes | None = None
     last_seq = 0
+    max_seq = max(mt.last_seq for mt in memtables)
     entries_out = 0
     for internal, kind, value in merge_memtables(memtables):
         user_key, seq = ikey_mod.decode(internal)
@@ -79,7 +85,7 @@ def run_flush(
         builder.add(internal, kind, value)
         entries_out += 1
     if builder is None:
-        result = FlushResult(None, bytes_in, 0, entries_in, 0)
+        result = FlushResult(None, bytes_in, 0, entries_in, 0, last_sequence=max_seq)
     else:
         meta = builder.finish()
         result = FlushResult(
@@ -88,6 +94,7 @@ def run_flush(
             bytes_out=meta.file_size,
             entries_in=entries_in,
             entries_out=entries_out,
+            last_sequence=max_seq,
         )
     if tracer is not None and tracer.enabled:
         tracer.emit(

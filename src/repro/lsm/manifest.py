@@ -4,6 +4,14 @@ Each edit records files added/deleted and the last sequence number; on
 open, replaying the MANIFEST rebuilds the Version. The format is a JSON
 line per edit with a crc32 prefix — structurally identical in spirit to
 RocksDB's VersionEdit log, but human-inspectable.
+
+Recovery contract (mirrors :func:`repro.lsm.wal.replay_wal`): damage
+confined to the *final* record — a truncated header/body or a checksum
+mismatch on the record that reaches end-of-file — is a torn tail from a
+crash and silently ends replay. Damage with intact records *after* it is
+mid-log corruption and raises :class:`CorruptionError`: a crash cannot
+produce it, because these logs are append-only and sync ordering means
+everything before the torn point was durable.
 """
 
 from __future__ import annotations
@@ -24,6 +32,11 @@ class VersionEdit:
 
     added: list[FileMetaData] = field(default_factory=list)
     deleted: list[tuple[int, int]] = field(default_factory=list)  # (level, fileno)
+    #: File numbers (from ``added``) that must be installed at the
+    #: *oldest* L0 position on replay. Universal-compaction outputs
+    #: replace the oldest runs; replaying them as newest would reorder
+    #: L0 recency and make reads return stale values after reopen.
+    l0_front: list[int] = field(default_factory=list)
     last_sequence: int | None = None
     next_file_number: int | None = None
     comment: str = ""
@@ -43,6 +56,7 @@ class VersionEdit:
                     for f in self.added
                 ],
                 "deleted": self.deleted,
+                "l0_front": self.l0_front,
                 "last_sequence": self.last_sequence,
                 "next_file_number": self.next_file_number,
                 "comment": self.comment,
@@ -67,6 +81,7 @@ class VersionEdit:
         return cls(
             added=added,
             deleted=[tuple(d) for d in raw.get("deleted", [])],
+            l0_front=list(raw.get("l0_front", [])),
             last_sequence=raw.get("last_sequence"),
             next_file_number=raw.get("next_file_number"),
             comment=raw.get("comment", ""),
@@ -74,12 +89,19 @@ class VersionEdit:
 
 
 class Manifest:
-    """Appends version edits and replays them at open."""
+    """Appends version edits and replays them at open.
 
-    def __init__(self, fs: MemFileSystem, path: str) -> None:
+    A brand-new manifest is created with ``fs.create`` so that a file
+    that unexpectedly already exists (e.g. a reused path) fails loudly
+    instead of silently appending to stale state; reattaching to an
+    existing manifest goes through :meth:`recover`, which also truncates
+    any torn tail so new edits never land after crash damage.
+    """
+
+    def __init__(self, fs: MemFileSystem, path: str, *, create: bool = True) -> None:
         self._fs = fs
         self._path = path
-        self._file = fs.open_writable(path)
+        self._file = fs.create(path) if create else fs.open_writable(path)
         self.edits_written = 0
 
     @property
@@ -103,11 +125,34 @@ class Manifest:
     def size(self) -> int:
         return self._file.size()
 
+    @classmethod
+    def recover(
+        cls, fs: MemFileSystem, path: str, num_levels: int
+    ) -> tuple["Manifest", Version, int, int]:
+        """Replay an existing manifest and reattach a writer to it.
+
+        Any torn tail is truncated *before* the writer is attached:
+        appending after a damaged record would turn a recoverable torn
+        tail into unrecoverable mid-log corruption on the next open.
+        """
+        version, last_seq, next_file, valid_len = cls._scan(fs, path, num_levels)
+        if valid_len < fs.file_size(path):
+            fs.truncate(path, valid_len)
+        manifest = cls(fs, path, create=False)
+        return manifest, version, last_seq, next_file
+
     @staticmethod
     def replay(
         fs: MemFileSystem, path: str, num_levels: int
     ) -> tuple[Version, int, int]:
         """Rebuild (version, last_sequence, next_file_number) from disk."""
+        version, last_seq, next_file, _ = Manifest._scan(fs, path, num_levels)
+        return version, last_seq, next_file
+
+    @staticmethod
+    def _scan(
+        fs: MemFileSystem, path: str, num_levels: int
+    ) -> tuple[Version, int, int, int]:
         version = Version(num_levels=num_levels)
         last_seq = 0
         next_file = 1
@@ -115,24 +160,30 @@ class Manifest:
         pos = 0
         while pos < len(data):
             if pos + 8 > len(data):
-                break  # torn tail
+                break  # torn tail: partial header
             crc = int.from_bytes(data[pos : pos + 4], "little")
             length = int.from_bytes(data[pos + 4 : pos + 8], "little")
             body_start = pos + 8
             body_end = body_start + length
             if body_end + 1 > len(data):
-                break
+                break  # torn tail: partial body (or missing newline)
             body = data[body_start:body_end]
             if zlib.crc32(body) != crc:
+                if body_end + 1 >= len(data):
+                    break  # damage confined to the final record: torn tail
                 raise CorruptionError(f"MANIFEST checksum mismatch @ {pos}")
             edit = VersionEdit.from_json(body.decode())
             for level, fileno in edit.deleted:
                 version.remove_file(level, fileno)
+            front = set(edit.l0_front)
             for meta in edit.added:
-                version.add_file(meta.level, meta)
+                if meta.level == 0 and meta.file_number in front:
+                    version.add_file_l0_front(meta)
+                else:
+                    version.add_file(meta.level, meta)
             if edit.last_sequence is not None:
                 last_seq = max(last_seq, edit.last_sequence)
             if edit.next_file_number is not None:
                 next_file = max(next_file, edit.next_file_number)
             pos = body_end + 1  # skip newline
-        return version, last_seq, next_file
+        return version, last_seq, next_file, pos

@@ -24,10 +24,16 @@ _PAYLOAD_FIXED = struct.Struct("<QBI")
 
 
 class WalWriter:
-    """Appends records to one WAL file."""
+    """Appends records to one WAL file.
+
+    WAL paths come from the engine's monotonic file-number counter, so a
+    new log must never collide with an existing file; creation goes
+    through ``fs.create`` to fail loudly (instead of silently appending
+    new records after a stale generation's) if that invariant breaks.
+    """
 
     def __init__(self, fs: MemFileSystem, path: str) -> None:
-        self._file: WritableFile = fs.open_writable(path)
+        self._file: WritableFile = fs.create(path)
         self.path = path
 
     def add_record(self, seq: int, kind: ValueKind, key: bytes, value: bytes) -> int:

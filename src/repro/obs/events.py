@@ -191,6 +191,37 @@ class CacheEviction(TraceEvent):
     charge: int
 
 
+# -------------------------------------------------------------- faults
+
+@register_event
+@dataclass
+class FaultInjected(TraceEvent):
+    """The fault layer fired one scheduled fault at a filesystem call.
+
+    ``op_index`` is the position in the deterministic mutation-syscall
+    stream, so a failing schedule can be rebuilt from its trace alone.
+    """
+
+    TYPE: ClassVar[str] = "fault.injected"
+    op: str  # "append" | "sync" | "create" | "rename" | "delete"
+    path: str
+    op_index: int
+    kind: str  # "crash" | "torn_append" | "io_error"
+    detail: str = ""
+
+
+@register_event
+@dataclass
+class CrashSimulated(TraceEvent):
+    """The post-crash disk image was materialized (unsynced state cut)."""
+
+    TYPE: ClassVar[str] = "fault.crash"
+    files_dropped: int
+    bytes_dropped: int
+    files_torn: int
+    op_index: int
+
+
 # --------------------------------------------------------------- bench
 
 @register_event

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.errors import CorruptionError
+from repro.errors import CorruptionError, DBError
 from repro.lsm.env import MemFileSystem
 from repro.lsm.manifest import Manifest, VersionEdit
 from repro.lsm.sstable import FileMetaData
@@ -63,13 +63,64 @@ class TestManifest:
         version, _, _ = Manifest.replay(fs, "/db/MANIFEST", 7)
         assert version.num_files(0) == 1
 
-    def test_corruption_detected(self):
+    def test_midlog_corruption_detected(self):
+        # Damage in a record with intact records *after* it cannot come
+        # from a crash (these logs are append-only): must raise.
         fs = MemFileSystem()
         manifest = Manifest(fs, "/db/MANIFEST")
         manifest.append(VersionEdit(added=[meta(1)]))
+        manifest.append(VersionEdit(added=[meta(2, level=1)]))
         fs.corrupt("/db/MANIFEST", 12, 0xFF)
         with pytest.raises(CorruptionError):
             Manifest.replay(fs, "/db/MANIFEST", 7)
+
+    def test_damaged_final_record_is_torn_tail(self):
+        # A checksum mismatch confined to the last record is crash
+        # damage in the unsynced tail: replay stops silently, matching
+        # replay_wal's non-strict contract.
+        fs = MemFileSystem()
+        manifest = Manifest(fs, "/db/MANIFEST")
+        manifest.append(VersionEdit(added=[meta(1)]))
+        size = manifest.size()
+        manifest.append(VersionEdit(added=[meta(2, level=1)]))
+        fs.corrupt("/db/MANIFEST", size + 12, 0xFF)
+        version, _, _ = Manifest.replay(fs, "/db/MANIFEST", 7)
+        assert version.num_files(0) == 1
+        assert version.num_files(1) == 0
+
+    def test_recover_truncates_torn_tail_before_append(self):
+        # Appending new edits after a torn tail must not bury them
+        # behind damage (which would corrupt the *next* replay).
+        fs = MemFileSystem()
+        manifest = Manifest(fs, "/db/MANIFEST")
+        manifest.append(VersionEdit(added=[meta(1)]))
+        size = manifest.size()
+        manifest.append(VersionEdit(added=[meta(2)]))
+        fs.truncate("/db/MANIFEST", size + 5)
+        manifest2, version, _, _ = Manifest.recover(fs, "/db/MANIFEST", 7)
+        assert version.num_files(0) == 1
+        manifest2.append(VersionEdit(added=[meta(3, level=1)]))
+        version2, _, _ = Manifest.replay(fs, "/db/MANIFEST", 7)
+        assert version2.num_files(0) == 1
+        assert version2.num_files(1) == 1
+
+    def test_create_collision_fails_loudly(self):
+        fs = MemFileSystem()
+        Manifest(fs, "/db/MANIFEST")
+        with pytest.raises(DBError, match="already exists"):
+            Manifest(fs, "/db/MANIFEST")
+
+    def test_l0_front_round_trip_preserves_recency(self):
+        # Universal-compaction outputs are installed at the oldest L0
+        # position; replay must reproduce that order, not append them
+        # as newest.
+        fs = MemFileSystem()
+        manifest = Manifest(fs, "/db/MANIFEST")
+        manifest.append(VersionEdit(added=[meta(1), meta(2)]))
+        manifest.append(VersionEdit(
+            added=[meta(3)], deleted=[(0, 1)], l0_front=[3]))
+        version, _, _ = Manifest.replay(fs, "/db/MANIFEST", 7)
+        assert [f.file_number for f in version.files_at(0)] == [3, 2]
 
     def test_edit_counter(self):
         fs = MemFileSystem()

@@ -28,7 +28,8 @@ class TestRegistry:
     def test_type_strings_are_namespaced(self):
         for type_string in event_types():
             namespace = type_string.split(".", 1)[0]
-            assert namespace in {"span", "engine", "bench", "tune", "exec"}, (
+            assert namespace in {"span", "engine", "bench", "tune", "exec",
+                                 "fault"}, (
                 type_string
             )
 
