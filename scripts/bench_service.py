@@ -1,0 +1,91 @@
+#!/usr/bin/env python
+"""Group-commit economics benchmark -> BENCH_service.json.
+
+Runs the seeded ``readwhilewriting`` workload over 4 shards with 8
+open-loop clients under ``use_fsync``, once with group commit enabled
+and once per-op, and records the WAL-sync savings plus latency/
+throughput headline numbers. All metrics are virtual-time and
+deterministic; only ``host`` metadata and wall-clock fields vary
+between machines.
+
+    PYTHONPATH=src python scripts/bench_service.py            # writes BENCH_service.json
+    PYTHONPATH=src python scripts/bench_service.py out.json   # custom path
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import sys
+
+from repro.bench.spec import workload
+from repro.hardware.profile import make_profile
+from repro.lsm.options import Options
+from repro.service import run_service_benchmark
+
+SHARDS = 4
+CLIENTS = 8
+
+
+def run(group_commit: bool) -> dict:
+    spec = workload("readwhilewriting")
+    options = Options(
+        {
+            "shard_count": SHARDS,
+            "use_fsync": True,
+            "enable_group_commit": group_commit,
+        }
+    )
+    result = run_service_benchmark(
+        spec, options, make_profile(4, 4), num_clients=CLIENTS
+    )
+    agg = result.aggregate
+    return {
+        "ops_per_sec": agg.ops_per_sec,
+        "micros_per_op": agg.micros_per_op,
+        "writes_done": agg.writes_done,
+        "reads_done": agg.reads_done,
+        "wal_syncs": result.wal_syncs,
+        "syncs_per_write": result.syncs_per_write,
+        "groups": result.groups,
+        "grouped_writes": result.grouped_writes,
+        "p99_write_us": agg.p99_write_us(),
+        "p99_read_us": agg.p99_read_us(),
+        "duration_virtual_s": agg.duration_s,
+        "wall_clock_host_s": result.wall_clock_s,
+    }
+
+
+def main() -> int:
+    out = sys.argv[1] if len(sys.argv) > 1 else "BENCH_service.json"
+    grouped = run(group_commit=True)
+    per_op = run(group_commit=False)
+    saved = per_op["wal_syncs"] - grouped["wal_syncs"]
+    payload = {
+        "benchmark": "readwhilewriting",
+        "topology": {"shards": SHARDS, "clients": CLIENTS, "use_fsync": True},
+        "group_commit_on": grouped,
+        "group_commit_off": per_op,
+        "wal_syncs_saved": saved,
+        "sync_reduction_pct": (
+            100.0 * saved / per_op["wal_syncs"] if per_op["wal_syncs"] else 0.0
+        ),
+        "host": {
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+        },
+    }
+    with open(out, "w") as fh:
+        json.dump(payload, fh, indent=2)
+        fh.write("\n")
+    print(
+        f"wrote {out}: {grouped['wal_syncs']} vs {per_op['wal_syncs']} WAL "
+        f"syncs ({payload['sync_reduction_pct']:.1f}% fewer with group "
+        f"commit), {grouped['syncs_per_write']:.3f} vs "
+        f"{per_op['syncs_per_write']:.3f} syncs/write"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -33,6 +33,10 @@ echo "== crash consistency: bounded seeded sweep (3 styles) =="
 python scripts/crashmonkey.py --schedules 200 --seed 77 --quiet
 
 echo
+echo "== service determinism: 4 shards x 8 clients, two byte-identical runs =="
+python scripts/check_service_determinism.py
+
+echo
 echo "== console audit: no direct print() outside repro/obs/console.py =="
 # Match print( as a call (not substrings like fingerprint(); the
 # sanctioned helper is the only allowed caller).

@@ -1,0 +1,64 @@
+"""Service determinism gate: two identical runs, byte-identical output.
+
+Run by ``scripts/check.sh``. Executes the seeded ``readwhilewriting``
+workload over 4 shards with 8 open-loop clients twice and compares:
+
+* the full trace (every ``service.*`` event, serialized to JSONL), and
+* the rendered service report (host wall-clock zeroed — it is the one
+  legitimately nondeterministic field).
+
+Any divergence means the event-scheduled interleaving leaked host
+state (dict order, salted hashes, real time) into the simulation.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.bench.spec import workload
+from repro.hardware.profile import make_profile
+from repro.lsm.options import Options
+from repro.obs.events import to_jsonl_line
+from repro.obs.sinks import RingSink
+from repro.obs.tracer import Tracer
+from repro.service import render_service_report, run_service_benchmark
+
+SHARDS = 4
+CLIENTS = 8
+
+
+def one_run() -> tuple[str, str]:
+    spec = workload("readwhilewriting")
+    options = Options({"shard_count": SHARDS, "use_fsync": True})
+    sink = RingSink()
+    result = run_service_benchmark(
+        spec,
+        options,
+        make_profile(4, 4),
+        num_clients=CLIENTS,
+        tracer=Tracer(sink),
+    )
+    result.wall_clock_s = 0.0
+    trace = "\n".join(to_jsonl_line(e).rstrip("\n") for e in sink.events)
+    return trace, render_service_report(result)
+
+
+def main() -> int:
+    trace1, report1 = one_run()
+    trace2, report2 = one_run()
+    if trace1 != trace2:
+        print("FAIL: service traces differ between identical runs",
+              file=sys.stderr)
+        return 1
+    if report1 != report2:
+        print("FAIL: service reports differ between identical runs",
+              file=sys.stderr)
+        return 1
+    events = trace1.count("\n") + 1 if trace1 else 0
+    print(f"service determinism OK: {SHARDS} shards x {CLIENTS} clients, "
+          f"{events} trace events byte-identical across runs")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

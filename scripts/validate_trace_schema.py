@@ -21,12 +21,38 @@ from repro.obs.events import (
 )
 
 
+#: Namespaces the schema must cover; an accidental deregistration of a
+#: whole subsystem's events (e.g. the service layer) fails loudly.
+REQUIRED_NAMESPACES = {
+    "span", "engine", "bench", "tune", "exec", "fault", "service",
+}
+
+#: The service layer's event vocabulary, pinned by name: trace
+#: consumers (the determinism gate, dashboards) key on these strings.
+REQUIRED_SERVICE_TYPES = {
+    "service.start",
+    "service.group_commit",
+    "service.shard",
+    "service.end",
+}
+
+
 def main() -> int:
     samples = list(sample_events())
     sampled_types = {type(e).TYPE for e in samples}
     missing = set(event_types()) - sampled_types
     if missing:
         print(f"FAIL: no sample generated for: {sorted(missing)}",
+              file=sys.stderr)
+        return 1
+    namespaces = {t.split(".", 1)[0] for t in sampled_types}
+    if not REQUIRED_NAMESPACES <= namespaces:
+        print(f"FAIL: missing event namespaces: "
+              f"{sorted(REQUIRED_NAMESPACES - namespaces)}", file=sys.stderr)
+        return 1
+    if not REQUIRED_SERVICE_TYPES <= sampled_types:
+        print(f"FAIL: missing service events: "
+              f"{sorted(REQUIRED_SERVICE_TYPES - sampled_types)}",
               file=sys.stderr)
         return 1
     failures = 0

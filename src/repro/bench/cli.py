@@ -13,10 +13,11 @@ import argparse
 from repro.bench.report import render_report
 from repro.bench.runner import DbBench
 from repro.bench.spec import (
+    ALL_WORKLOADS,
     DEFAULT_BYTE_SCALE,
     DEFAULT_SCALE,
-    PAPER_WORKLOADS,
-    paper_workload,
+    SERVICE_WORKLOADS,
+    workload,
 )
 from repro.hardware.device import device_by_name
 from repro.hardware.profile import make_profile
@@ -33,7 +34,7 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--benchmark",
         default="fillrandom",
-        choices=sorted(PAPER_WORKLOADS),
+        choices=sorted(ALL_WORKLOADS),
         help="workload to run",
     )
     parser.add_argument("--device", default="nvme-ssd",
@@ -48,6 +49,16 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--byte-scale", type=float, default=DEFAULT_BYTE_SCALE,
                         help="byte-world scale (buffers, caches, memory)")
     parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument("--shards", type=int, default=None, metavar="N",
+                        help="run through the sharded service layer with N "
+                             "DB shards (overrides the shard_count option)")
+    parser.add_argument("--clients", type=int, default=None, metavar="N",
+                        help="simulated open-loop clients (service layer; "
+                             "default: the workload's thread count)")
+    parser.add_argument("--client-ops-per-sec", type=float, default=None,
+                        metavar="RATE",
+                        help="per-client open-loop arrival rate "
+                             "(service layer)")
     parser.add_argument("--trace-out", default=None, metavar="PATH",
                         help="write the run's trace as JSON Lines here")
     parser.add_argument("--quiet", action="store_true",
@@ -70,18 +81,48 @@ def main(argv: list[str] | None = None) -> int:
             console.warn(f"warning: {warning}")
     else:
         options = Options()
-    spec = paper_workload(args.benchmark, args.scale).with_seed(args.seed)
+    spec = workload(args.benchmark, args.scale).with_seed(args.seed)
+    if args.shards is not None:
+        options.set("shard_count", args.shards)
+    # Service workloads (per-client roles), multiple shards, or any
+    # explicit client topology all go through the service layer; the
+    # classic single-DB path stays byte-identical to previous releases.
+    use_service = (
+        args.benchmark in SERVICE_WORKLOADS
+        or options.get("shard_count") > 1
+        or args.clients is not None
+        or args.client_ops_per_sec is not None
+    )
     tracer = None
     if args.trace_out:
         tracer = Tracer(JsonlSink(args.trace_out))
     try:
-        result = DbBench(
-            spec, options, profile, byte_scale=args.byte_scale, tracer=tracer
-        ).run()
+        if use_service:
+            from repro.service import render_service_report, run_service_benchmark
+            from repro.service.service import DEFAULT_CLIENT_OPS_PER_SEC
+
+            service_result = run_service_benchmark(
+                spec,
+                options,
+                profile,
+                num_clients=args.clients,
+                client_ops_per_sec=(
+                    args.client_ops_per_sec
+                    if args.client_ops_per_sec is not None
+                    else DEFAULT_CLIENT_OPS_PER_SEC
+                ),
+                byte_scale=args.byte_scale,
+                tracer=tracer,
+            )
+            console.out(render_service_report(service_result))
+        else:
+            result = DbBench(
+                spec, options, profile, byte_scale=args.byte_scale, tracer=tracer
+            ).run()
+            console.out(render_report(result))
     finally:
         if tracer is not None:
             tracer.close()
-    console.out(render_report(result))
     return 0
 
 

@@ -34,6 +34,9 @@ class WorkloadSpec:
     pareto_values: bool = False
     threads: int = 1
     seed: int = 42
+    #: Keys fetched per read request (db_bench's --batch_size for
+    #: multireadrandom); 1 means plain point gets.
+    batch_size: int = 1
 
     def __post_init__(self) -> None:
         if self.num_ops <= 0 or self.num_keys <= 0:
@@ -44,6 +47,8 @@ class WorkloadSpec:
             raise WorkloadError("need at least one thread")
         if self.preload_keys < 0:
             raise WorkloadError("preload_keys cannot be negative")
+        if self.batch_size < 1:
+            raise WorkloadError("batch_size must be at least 1")
 
     def scaled(self, factor: float) -> "WorkloadSpec":
         """Scale op counts and key space by ``factor`` (< 1 shrinks)."""
@@ -125,6 +130,46 @@ PAPER_WORKLOADS: dict[str, WorkloadSpec] = {
     "mixgraph": MIXGRAPH,
 }
 
+#: Multi-client service workload: one dedicated writer client streams
+#: puts while every other client reads (db_bench's readwhilewriting).
+#: ``read_fraction`` reflects the 7-reader/1-writer client split; the
+#: service layer assigns the roles per client.
+READWHILEWRITING = WorkloadSpec(
+    name="readwhilewriting",
+    num_ops=25_000_000,
+    num_keys=25_000_000,
+    preload_keys=25_000_000,
+    read_fraction=0.875,
+    distribution="uniform",
+    threads=8,
+)
+
+#: Multi-client service workload: every client issues batched multi-key
+#: point reads (db_bench's multireadrandom with --batch_size).
+MULTIREADRANDOM = WorkloadSpec(
+    name="multireadrandom",
+    num_ops=10_000_000,
+    num_keys=25_000_000,
+    preload_keys=25_000_000,
+    read_fraction=1.0,
+    distribution="uniform",
+    threads=4,
+    batch_size=8,
+)
+
+#: Workloads that only make sense driven by the sharded service layer
+#: (multiple concurrent clients with per-client roles).
+SERVICE_WORKLOADS: dict[str, WorkloadSpec] = {
+    "readwhilewriting": READWHILEWRITING,
+    "multireadrandom": MULTIREADRANDOM,
+}
+
+#: Every known workload, paper and service alike.
+ALL_WORKLOADS: dict[str, WorkloadSpec] = {
+    **PAPER_WORKLOADS,
+    **SERVICE_WORKLOADS,
+}
+
 #: Default scale used by the benchmark suite: the paper's 50M-op runs
 #: shrink by 1000x; memory is scaled alongside (see bench harness).
 DEFAULT_SCALE = 1.0 / 1000.0
@@ -142,5 +187,15 @@ def paper_workload(name: str, scale: float = DEFAULT_SCALE) -> WorkloadSpec:
         spec = PAPER_WORKLOADS[name]
     except KeyError:
         known = ", ".join(sorted(PAPER_WORKLOADS))
+        raise WorkloadError(f"unknown workload {name!r}; known: {known}") from None
+    return spec.scaled(scale)
+
+
+def workload(name: str, scale: float = DEFAULT_SCALE) -> WorkloadSpec:
+    """Fetch any known workload (paper or service) at the given scale."""
+    try:
+        spec = ALL_WORKLOADS[name]
+    except KeyError:
+        known = ", ".join(sorted(ALL_WORKLOADS))
         raise WorkloadError(f"unknown workload {name!r}; known: {known}") from None
     return spec.scaled(scale)

@@ -11,7 +11,7 @@ from dataclasses import dataclass, field
 
 from repro.bench.report import render_report
 from repro.bench.runner import BenchResult, DbBench
-from repro.bench.spec import DEFAULT_BYTE_SCALE, WorkloadSpec
+from repro.bench.spec import DEFAULT_BYTE_SCALE, SERVICE_WORKLOADS, WorkloadSpec
 from repro.core.bench_parser import BenchMetrics, parse_report
 from repro.core.flagger import ActiveFlagger
 from repro.core.monitor import BenchmarkMonitor, MonitorConfig
@@ -101,6 +101,11 @@ class ElmoTune:
     def _run_bench(
         self, options: Options, reference_ops: float | None
     ) -> tuple[BenchResult, BenchMetrics, str, bool]:
+        if (
+            options.get("shard_count") > 1
+            or self.config.workload.name in SERVICE_WORKLOADS
+        ):
+            return self._run_service_bench(options)
         monitor = BenchmarkMonitor(self.config.monitor, reference_ops)
         bench = DbBench(
             self.config.workload,
@@ -120,6 +125,33 @@ class ElmoTune:
         report = render_report(result)
         metrics = parse_report(report)
         return result, metrics, report, monitor.fired
+
+    def _run_service_bench(
+        self, options: Options
+    ) -> tuple[BenchResult, BenchMetrics, str, bool]:
+        """Benchmark through the sharded service layer.
+
+        Chosen whenever the tuner is exploring topology
+        (``shard_count`` > 1) or the workload needs per-client roles
+        (``readwhilewriting``, ``multireadrandom``). The headline of
+        the service report is plain db_bench text, so the parser and
+        the feedback prompt work unchanged. Early-stop monitoring does
+        not apply: the service emits no mid-run progress samples.
+        """
+        from repro.service.report import render_service_report
+        from repro.service.service import ShardedService
+
+        service = ShardedService(
+            self.config.workload,
+            options,
+            self.config.profile,
+            byte_scale=self.config.byte_scale,
+            tracer=self.tracer,
+        )
+        service_result = service.run()
+        report = render_service_report(service_result)
+        metrics = parse_report(report)
+        return service_result.aggregate, metrics, report, False
 
     # -- LLM round-trip -------------------------------------------------------
 

@@ -759,10 +759,23 @@ class DB:
         All ops share one stall check and one WAL sync boundary; the
         memtable never rotates mid-batch, so readers observe either none
         or all of the batch. Returns the total modeled latency in us.
+
+        Accounting follows RocksDB's write-group semantics: per-key
+        tickers (``NUMBER_KEYS_WRITTEN``, ``WAL_BYTES``) and the durable
+        watermark advance exactly as for N single writes, while
+        per-*write* tickers (``WRITE_DONE_BY_SELF``, ``WRITE_WITH_WAL``,
+        ``WAL_SYNCS`` under ``use_fsync``) count the batch once — one
+        commit, one sync boundary.
         """
         self._check_open()
         if not batch.ops:
             return 0.0
+        # Validate before mutating anything: a bad op discovered
+        # mid-batch would otherwise leave earlier ops in the WAL with no
+        # committed sequence — half a batch after replay.
+        for op in batch.ops:
+            if not op.key:
+                raise DBError("empty keys are not supported")
         self._process_completions()
         stall_us = self._make_room_for_write(batch.approximate_bytes)
         busy = self._busy_bg_jobs()
@@ -798,6 +811,7 @@ class DB:
         latency += perf.writeback_stall_us(
             wal_bytes + batch.approximate_bytes
         )
+        latency += self._maybe_stats_dump()
         tickers[_T_WRITE_DONE_BY_SELF] += 1
         self._monitor.record_cpu(latency)
         self._monitor.record_write(wal_bytes)

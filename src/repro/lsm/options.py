@@ -329,6 +329,17 @@ CATALOG: tuple[OptionSpec, ...] = (
     _opt("lowest_used_cache_tier", _D, _E, "volatile",
          "Lowest cache tier to use for block placement.",
          choices=("volatile", "non_volatile")),
+    # ------------------------------------------------- service topology
+    _opt("shard_count", _D, _I, 1,
+         "Independent DB shards the service layer hash-routes keys over; "
+         "1 runs a single instance (per-shard options apply to each).",
+         min=1, max=64),
+    _opt("enable_group_commit", _D, _B, True,
+         "Coalesce concurrent writers on one shard into a single write "
+         "group with one WAL sync boundary (service layer)."),
+    _opt("max_write_batch_group_size", _D, _I, 32,
+         "Upper bound on writers coalesced into one group commit.",
+         min=1, max=1024),
     # ------------------------------------------------------ deprecated DB
     _opt("base_background_compactions", _D, _I, -1,
          "DEPRECATED: superseded by max_background_jobs.",

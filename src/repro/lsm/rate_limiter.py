@@ -17,6 +17,7 @@ class RateLimiter:
             raise ValueError("rate cannot be negative")
         self._rate = bytes_per_sec
         self._next_free_us = 0.0
+        self._last_now_us = 0.0
         self.total_bytes_through = 0
         self.total_wait_us = 0.0
 
@@ -28,15 +29,37 @@ class RateLimiter:
     def bytes_per_second(self) -> int:
         return self._rate
 
-    def set_bytes_per_second(self, bytes_per_sec: int) -> None:
+    def set_bytes_per_second(
+        self, bytes_per_sec: int, now_us: float | None = None
+    ) -> None:
+        """Change the rate, rescaling any outstanding wait horizon.
+
+        Bytes already admitted but not yet "drained" (the span between
+        now and ``_next_free_us``) were queued at the old rate; they must
+        drain at the *new* rate, or a raised limit keeps paying waits
+        priced at the old (possibly tiny) rate for the rest of the
+        horizon. ``now_us`` defaults to the time of the last request.
+        """
         if bytes_per_sec < 0:
             raise ValueError("rate cannot be negative")
+        old_rate = self._rate
+        if bytes_per_sec != old_rate:
+            now = self._last_now_us if now_us is None else now_us
+            outstanding_us = self._next_free_us - now
+            if outstanding_us > 0 and old_rate > 0:
+                queued_bytes = outstanding_us * old_rate / 1e6
+                if bytes_per_sec > 0:
+                    self._next_free_us = now + queued_bytes / bytes_per_sec * 1e6
+                else:
+                    # Unlimited: the backlog drains instantly.
+                    self._next_free_us = now
         self._rate = bytes_per_sec
 
     def request(self, now_us: float, nbytes: int) -> float:
         """Account ``nbytes`` at ``now_us``; return extra wait in us."""
         if nbytes < 0:
             raise ValueError("cannot request negative bytes")
+        self._last_now_us = max(self._last_now_us, now_us)
         self.total_bytes_through += nbytes
         if self._rate <= 0 or nbytes == 0:
             return 0.0

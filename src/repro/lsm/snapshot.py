@@ -17,10 +17,18 @@ from repro.errors import DBError
 @dataclass(frozen=True)
 class Snapshot:
     """A pinned read view. Release via :meth:`SnapshotList.release` or
-    by using the DB's ``snapshot()`` context manager."""
+    by using the DB's ``snapshot()`` context manager.
+
+    Release is idempotent *per handle*: an explicit ``snap.release()``
+    followed by the context manager's ``__exit__`` is a no-op, not a
+    crash. Releasing a handle the list never acquired still raises.
+    """
 
     sequence: int
     _list: "SnapshotList" = field(repr=False, compare=False)
+    #: Set by SnapshotList.release the first time this handle is
+    #: released; later releases of the same handle are no-ops.
+    _released: bool = field(default=False, repr=False, compare=False)
 
     def release(self) -> None:
         self._list.release(self)
@@ -46,10 +54,15 @@ class SnapshotList:
         return Snapshot(sequence=sequence, _list=self)
 
     def release(self, snapshot: Snapshot) -> None:
+        if snapshot._released:
+            return  # double-release of the same handle is a no-op
         idx = bisect.bisect_left(self._seqs, snapshot.sequence)
         if idx >= len(self._seqs) or self._seqs[idx] != snapshot.sequence:
             raise DBError("snapshot already released")
         del self._seqs[idx]
+        # The dataclass is frozen so reads can't mutate it by accident;
+        # the list is the one sanctioned writer of the release mark.
+        object.__setattr__(snapshot, "_released", True)
 
     def live_sequences(self) -> list[int]:
         return list(self._seqs)

@@ -51,6 +51,9 @@ class Ticker(str, enum.Enum):
     TABLE_OPENS = "table.opens"
     WRITE_WITH_WAL = "write.with.wal"
     WRITE_DONE_BY_SELF = "write.done.self"
+    #: Writes committed on a writer's behalf by a group-commit leader
+    #: (bumped by the service layer's write groups, not the engine).
+    WRITE_DONE_BY_OTHER = "write.done.other"
 
 
 class OpClass(str, enum.Enum):

@@ -270,6 +270,67 @@ class BenchEnd(TraceEvent):
     aborted: bool
 
 
+# ------------------------------------------------------------- service
+
+@register_event
+@dataclass
+class ServiceStart(TraceEvent):
+    """A sharded multi-client service run began its measured phase."""
+
+    TYPE: ClassVar[str] = "service.start"
+    benchmark: str
+    shards: int
+    clients: int
+    num_ops: int
+    group_commit: bool
+
+
+@register_event
+@dataclass
+class GroupCommit(TraceEvent):
+    """One write group committed on a shard (one WAL sync boundary).
+
+    ``size`` writers were coalesced: the leader executed the batch and
+    ``size - 1`` followers were completed on its behalf.
+    """
+
+    TYPE: ClassVar[str] = "service.group_commit"
+    shard: int
+    size: int
+    leader_client: int
+    latency_us: float
+
+
+@register_event
+@dataclass
+class ShardSummary(TraceEvent):
+    """Per-shard accounting emitted once at the end of a service run."""
+
+    TYPE: ClassVar[str] = "service.shard"
+    shard: int
+    requests: int
+    reads: int
+    writes: int
+    groups: int
+    wal_syncs: int
+    db_size_bytes: int
+
+
+@register_event
+@dataclass
+class ServiceEnd(TraceEvent):
+    """A service run finished; headline group-commit economics inline."""
+
+    TYPE: ClassVar[str] = "service.end"
+    ops_done: int
+    reads_done: int
+    writes_done: int
+    duration_s: float
+    groups: int
+    grouped_writes: int
+    wal_syncs: int
+
+
 # -------------------------------------------------------------- tuning
 
 @register_event

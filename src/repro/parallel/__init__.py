@@ -11,21 +11,25 @@ execution.
 from repro.parallel.cache import ResultCache, bench_cache_key, cache_key
 from repro.parallel.executor import (
     BenchTask,
+    ServiceTask,
     SessionTask,
     default_workers,
     profile_for_cell,
     run_bench_tasks,
+    run_service_tasks,
     run_session_tasks,
 )
 
 __all__ = [
     "BenchTask",
     "ResultCache",
+    "ServiceTask",
     "SessionTask",
     "bench_cache_key",
     "cache_key",
     "default_workers",
     "profile_for_cell",
     "run_bench_tasks",
+    "run_service_tasks",
     "run_session_tasks",
 ]

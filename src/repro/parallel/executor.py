@@ -65,6 +65,31 @@ class BenchTask:
 
 
 @dataclass(frozen=True)
+class ServiceTask:
+    """One independent sharded-service run (multi-client, group commit)."""
+
+    spec: WorkloadSpec
+    options: Options
+    profile: HardwareProfile
+    num_clients: int | None = None
+    client_ops_per_sec: float = 20_000.0
+    byte_scale: float = 1.0
+    label: str = ""
+
+    def key(self) -> str:
+        return cache_key(
+            {
+                "kind": "service",
+                "bench": bench_cache_key(
+                    self.spec, self.options, self.profile, self.byte_scale
+                ),
+                "num_clients": self.num_clients,
+                "client_ops_per_sec": self.client_ops_per_sec,
+            }
+        )
+
+
+@dataclass(frozen=True)
 class SessionTask:
     """One independent ELMo-Tune session over an experiment cell."""
 
@@ -106,6 +131,24 @@ def _run_bench_task(task: BenchTask) -> BenchResult:
     return result
 
 
+def _run_service_task(task: ServiceTask):
+    from repro.service.service import ShardedService
+
+    ring = RingSink()
+    service = ShardedService(
+        task.spec,
+        task.options,
+        task.profile,
+        num_clients=task.num_clients,
+        client_ops_per_sec=task.client_ops_per_sec,
+        byte_scale=task.byte_scale,
+        tracer=Tracer(ring),
+    )
+    result = service.run()
+    result.trace_events = ring.events
+    return result
+
+
 def _run_session_task(task: SessionTask) -> TuningSession:
     config = TunerConfig(
         workload=paper_workload(task.workload, task.scale).with_seed(task.seed),
@@ -127,7 +170,11 @@ def _task_label(task) -> str:
 
 
 def _task_kind(task) -> str:
-    return "session" if isinstance(task, SessionTask) else "bench"
+    if isinstance(task, SessionTask):
+        return "session"
+    if isinstance(task, ServiceTask):
+        return "service"
+    return "bench"
 
 
 def _replay_traces(tasks: Sequence, results: list, sink: TraceSink) -> None:
@@ -198,6 +245,22 @@ def run_bench_tasks(
     start/end events.
     """
     return _execute(list(tasks), _run_bench_task, max_workers, cache, sink)
+
+
+def run_service_tasks(
+    tasks: Iterable[ServiceTask],
+    *,
+    max_workers: int | None = None,
+    cache: ResultCache | None = None,
+    sink: TraceSink | None = None,
+) -> list:
+    """Run sharded-service benchmarks, parallel when cores allow.
+
+    Results are :class:`repro.service.service.ServiceResult` objects in
+    input order; traces replay into ``sink`` exactly as for
+    :func:`run_bench_tasks`.
+    """
+    return _execute(list(tasks), _run_service_task, max_workers, cache, sink)
 
 
 def run_session_tasks(

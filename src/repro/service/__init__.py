@@ -1,0 +1,35 @@
+"""Sharded multi-client service layer over PyLSM.
+
+A hash-sharded front-end that routes keys over N independent DB
+instances, drives a simulated open-loop population of concurrent
+clients on the virtual clock, and coalesces concurrent writers into
+cross-client group commits per shard. See ``docs/service.md``.
+"""
+
+from repro.service.clients import Request, SimClient, build_clients, client_role
+from repro.service.report import render_service_report
+from repro.service.router import fnv1a_64, shard_for_key
+from repro.service.service import (
+    DEFAULT_CLIENT_OPS_PER_SEC,
+    ClientStats,
+    ServiceResult,
+    ShardStats,
+    ShardedService,
+    run_service_benchmark,
+)
+
+__all__ = [
+    "DEFAULT_CLIENT_OPS_PER_SEC",
+    "ClientStats",
+    "Request",
+    "ServiceResult",
+    "ShardStats",
+    "ShardedService",
+    "SimClient",
+    "build_clients",
+    "client_role",
+    "fnv1a_64",
+    "render_service_report",
+    "run_service_benchmark",
+    "shard_for_key",
+]

@@ -1,0 +1,144 @@
+"""Simulated open-loop clients.
+
+Each client is an independent, seeded request stream: arrival times
+follow an exponential (Poisson) process on the *virtual* clock, and the
+op mix depends on the client's role in the workload:
+
+* ``mixed``  — reads with probability ``spec.read_fraction``, else puts
+  (fillrandom/readrandom/readrandomwriterandom/mixgraph semantics).
+* ``writer`` — every request is a put (the dedicated writer of
+  ``readwhilewriting``).
+* ``reader`` — every request is a point get.
+* ``multireader`` — every request is a batched multi-get of
+  ``spec.batch_size`` keys (``multireadrandom``).
+
+Open-loop means arrivals never wait for completions: when a shard falls
+behind, its queue grows and client-observed latency includes the queue
+wait — the regime where group commit starts to matter.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.bench.keygen import ValueGenerator, make_generator
+from repro.bench.spec import WorkloadSpec
+
+#: Request kinds a client can issue.
+GET, PUT, MULTIGET = "get", "put", "multiget"
+
+
+@dataclass(frozen=True)
+class Request:
+    """One client request, stamped with its open-loop arrival time."""
+
+    client: int
+    index: int
+    arrival_us: float
+    kind: str  # GET | PUT | MULTIGET
+    key: bytes = b""
+    value: bytes = b""
+    keys: tuple[bytes, ...] = ()
+
+
+def client_role(spec: WorkloadSpec, client_id: int) -> str:
+    """Role of ``client_id`` under this workload's semantics."""
+    if spec.name == "readwhilewriting":
+        return "writer" if client_id == 0 else "reader"
+    if spec.batch_size > 1:
+        return "multireader"
+    return "mixed"
+
+
+class SimClient:
+    """One simulated client: a deterministic stream of requests."""
+
+    def __init__(
+        self,
+        client_id: int,
+        spec: WorkloadSpec,
+        num_requests: int,
+        mean_interarrival_us: float,
+    ) -> None:
+        if mean_interarrival_us <= 0:
+            raise ValueError("interarrival time must be positive")
+        self.client_id = client_id
+        self.role = client_role(spec, client_id)
+        self.num_requests = num_requests
+        # Independent sub-streams per client, all derived from the spec
+        # seed: two clients never share a random state.
+        base = (spec.seed ^ (0x9E3779B9 * (client_id + 1))) & 0xFFFFFFFF
+        self._arrivals = random.Random(base ^ 0xA221)
+        self._mix = random.Random(base ^ 0xC0FFEE)
+        self._keys = make_generator(spec.distribution, spec.num_keys, base)
+        self._values = ValueGenerator(
+            spec.value_size,
+            pareto_sizes=spec.pareto_values,
+            seed=base ^ 0xBEEF,
+        )
+        self._mean_us = mean_interarrival_us
+        self._spec = spec
+
+    def requests(self, start_us: float = 0.0) -> Iterator[Request]:
+        """Yield this client's whole request stream, arrival-stamped."""
+        spec = self._spec
+        now = start_us
+        for index in range(self.num_requests):
+            now += self._arrivals.expovariate(1.0 / self._mean_us)
+            if self.role == "writer":
+                yield Request(
+                    self.client_id, index, now, PUT,
+                    key=self._keys.next_key(),
+                    value=self._values.next_value(),
+                )
+            elif self.role == "reader":
+                yield Request(
+                    self.client_id, index, now, GET, key=self._keys.next_key()
+                )
+            elif self.role == "multireader":
+                keys = tuple(
+                    self._keys.next_key() for _ in range(spec.batch_size)
+                )
+                yield Request(self.client_id, index, now, MULTIGET, keys=keys)
+            else:  # mixed
+                is_read = spec.read_fraction >= 1.0 or (
+                    spec.read_fraction > 0.0
+                    and self._mix.random() < spec.read_fraction
+                )
+                if is_read:
+                    yield Request(
+                        self.client_id, index, now, GET,
+                        key=self._keys.next_key(),
+                    )
+                else:
+                    yield Request(
+                        self.client_id, index, now, PUT,
+                        key=self._keys.next_key(),
+                        value=self._values.next_value(),
+                    )
+
+
+def build_clients(
+    spec: WorkloadSpec,
+    num_clients: int,
+    mean_interarrival_us: float,
+) -> list[SimClient]:
+    """Split ``spec.num_ops`` requests across ``num_clients`` clients.
+
+    The first ``num_ops % num_clients`` clients take one extra request,
+    so totals always match the spec exactly.
+    """
+    if num_clients < 1:
+        raise ValueError("need at least one client")
+    per, extra = divmod(spec.num_ops, num_clients)
+    return [
+        SimClient(
+            client_id=i,
+            spec=spec,
+            num_requests=per + (1 if i < extra else 0),
+            mean_interarrival_us=mean_interarrival_us,
+        )
+        for i in range(num_clients)
+    ]

@@ -1,0 +1,29 @@
+"""Key routing: which shard owns a user key.
+
+The router must be deterministic across processes and Python sessions —
+``hash()`` is salted per interpreter, so the service uses FNV-1a over
+the raw key bytes. Every key maps to exactly one shard, so a point op
+touches one DB instance and cross-shard coordination is never needed
+for the KV API.
+"""
+
+from __future__ import annotations
+
+_FNV_OFFSET = 0xCBF29CE484222325
+_FNV_PRIME = 0x100000001B3
+_MASK64 = 0xFFFFFFFFFFFFFFFF
+
+
+def fnv1a_64(data: bytes) -> int:
+    """FNV-1a 64-bit hash (stable across processes, unlike hash())."""
+    h = _FNV_OFFSET
+    for byte in data:
+        h = ((h ^ byte) * _FNV_PRIME) & _MASK64
+    return h
+
+
+def shard_for_key(key: bytes, num_shards: int) -> int:
+    """Owning shard index for ``key`` in a ``num_shards``-way layout."""
+    if num_shards <= 1:
+        return 0
+    return fnv1a_64(key) % num_shards

@@ -1,0 +1,590 @@
+"""ShardedService: a multi-client front-end over N independent DBs.
+
+The service hash-routes keys (FNV-1a, :mod:`repro.service.router`) over
+``shard_count`` independent :class:`~repro.lsm.db.DB` instances and
+drives an open-loop population of simulated clients on the virtual
+clock. Everything is event-scheduled — no real threads — so runs are
+bit-deterministic: a heap of ``(time_us, seq)``-ordered events
+interleaves client arrivals with shard completions, and ``seq`` (a
+global monotonic counter) breaks ties the same way every run.
+
+Concurrency model
+-----------------
+Each shard serves one request at a time (a single foreground "thread"
+per shard); requests that arrive while the shard is busy wait in its
+queue, and client-observed latency = completion − arrival, so queue
+wait is included. This is the regime where *group commit* pays off:
+when several writers are waiting on one shard, the shard drains up to
+``max_write_batch_group_size`` of them into a single
+:class:`~repro.lsm.write_batch.WriteBatch` — one WAL append + one sync
+boundary for the whole group, RocksDB write-group style. The first
+drained writer is the leader (the engine bumps ``write.done.self``
+once for the batch); the other ``size − 1`` riders are accounted as
+``write.done.other``.
+
+Reads are served one request at a time. A multi-get whose keys span
+shards is scattered into per-shard sub-reads and completes (for
+latency purposes) when its last sub-read finishes.
+
+Timing
+------
+Every shard has its own :class:`~repro.lsm.env.Env` (filesystem +
+clock) so engine work on one shard never advances another shard's
+clock — shards genuinely overlap in virtual time. After the preload
+all shard clocks and the global clock are aligned to the same base, so
+arrival timestamps, shard clocks, and the trace share one timeline.
+"""
+
+from __future__ import annotations
+
+import heapq
+import time
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.bench.keygen import ValueGenerator, format_key
+from repro.bench.runner import BenchResult
+from repro.bench.spec import WorkloadSpec
+from repro.hardware.profile import HardwareProfile, make_profile
+from repro.lsm.db import DB
+from repro.lsm.env import Env
+from repro.lsm.histogram import Histogram, HistogramSummary
+from repro.lsm.options import Options
+from repro.lsm.statistics import OpClass, Statistics, Ticker
+from repro.lsm.write_batch import WriteBatch
+from repro.obs.events import GroupCommit, ServiceEnd, ServiceStart, ShardSummary
+from repro.obs.tracer import Tracer
+from repro.service.clients import GET, PUT, Request, SimClient, build_clients
+from repro.service.router import shard_for_key
+from repro.sim.clock import SimClock
+
+import random
+
+#: Default open-loop arrival rate per client. At ~50µs mean
+#: interarrival a client outruns a single shard's service rate, so
+#: queues form and write groups actually coalesce.
+DEFAULT_CLIENT_OPS_PER_SEC = 20_000.0
+
+_ARRIVAL = 0
+_FREE = 1
+
+
+@dataclass
+class _Fanout:
+    """Completion tracker for a multi-get scattered across shards."""
+
+    remaining: int
+    arrival_us: float
+    client: int
+    finish_us: float = 0.0
+
+
+@dataclass
+class _Shard:
+    """One shard: an independent DB plus its queues and accounting."""
+
+    index: int
+    env: Env
+    stats: Statistics
+    db: DB
+    #: Pending writes: (arrival_us, seq, Request).
+    write_q: deque = field(default_factory=deque)
+    #: Pending reads: (arrival_us, seq, Request, keys, _Fanout | None).
+    read_q: deque = field(default_factory=deque)
+    busy: bool = False
+    requests: int = 0
+    reads: int = 0
+    writes: int = 0
+    groups: int = 0
+    grouped_writes: int = 0
+    max_group: int = 0
+    write_hist: Histogram = field(default_factory=Histogram)
+    read_hist: Histogram = field(default_factory=Histogram)
+
+
+@dataclass(frozen=True)
+class ShardStats:
+    """Per-shard accounting, frozen at the end of a run."""
+
+    index: int
+    requests: int
+    reads: int
+    writes: int
+    groups: int
+    grouped_writes: int
+    max_group: int
+    wal_syncs: int
+    db_size_bytes: int
+    write_summary: HistogramSummary | None
+    read_summary: HistogramSummary | None
+
+
+@dataclass(frozen=True)
+class ClientStats:
+    """Per-client accounting, frozen at the end of a run."""
+
+    client: int
+    role: str
+    requests: int
+    latency_summary: HistogramSummary | None
+
+
+@dataclass
+class ServiceResult:
+    """Everything one service run produced.
+
+    ``aggregate`` is a plain :class:`BenchResult` (summed tickers,
+    service-level client-observed latency histograms) so the existing
+    db_bench-format reporting and the tuning loop's parser work
+    unchanged. ``aggregate.wall_clock_s`` stays 0 so rendered reports
+    are byte-identical across runs; host time lives here instead.
+    """
+
+    aggregate: BenchResult
+    shards: list[ShardStats]
+    clients: list[ClientStats]
+    groups: int
+    grouped_writes: int
+    wal_syncs: int
+    requests_done: int
+    wall_clock_s: float = 0.0
+    #: Trace events captured during the run (populated by the parallel
+    #: executor's workers so traces survive the process boundary).
+    trace_events: list = field(default_factory=list)
+
+    @property
+    def syncs_per_write(self) -> float:
+        if self.aggregate.writes_done == 0:
+            return 0.0
+        return self.wal_syncs / self.aggregate.writes_done
+
+
+class ShardedService:
+    """One-shot sharded benchmark executor (construct, run, discard)."""
+
+    def __init__(
+        self,
+        spec: WorkloadSpec,
+        options: Options | None = None,
+        profile: HardwareProfile | None = None,
+        *,
+        num_clients: int | None = None,
+        client_ops_per_sec: float = DEFAULT_CLIENT_OPS_PER_SEC,
+        byte_scale: float = 1.0,
+        base_path: str = "/svc",
+        tracer: Tracer | None = None,
+    ) -> None:
+        self.spec = spec
+        self.options = options if options is not None else Options()
+        self.profile = profile if profile is not None else make_profile(4, 4)
+        self.num_clients = (
+            num_clients if num_clients is not None else max(1, spec.threads)
+        )
+        if self.num_clients < 1:
+            raise ValueError("need at least one client")
+        if client_ops_per_sec <= 0:
+            raise ValueError("client_ops_per_sec must be positive")
+        self.client_ops_per_sec = client_ops_per_sec
+        self.byte_scale = byte_scale
+        self.base_path = base_path
+        self.tracer = tracer if tracer is not None and tracer.enabled else None
+        self.num_shards = max(1, int(self.options.shard_count))
+        if self.options.enable_group_commit:
+            self._max_group = max(1, int(self.options.max_write_batch_group_size))
+        else:
+            self._max_group = 1
+        self._clock = SimClock()
+        self._seq = 0
+        self._write_hist = Histogram()
+        self._read_hist = Histogram()
+
+    # -- setup -------------------------------------------------------------
+
+    def _open_shards(self) -> list[_Shard]:
+        shards = []
+        for i in range(self.num_shards):
+            env = Env()
+            stats = Statistics()
+            # Shard DBs run untraced: engine events from N interleaved
+            # shards would share one tracer clock and lose meaning. The
+            # service emits its own service.* events on the global clock.
+            db = DB.open(
+                f"{self.base_path}/shard-{i:02d}",
+                self.options,
+                env=env,
+                profile=self.profile,
+                statistics=stats,
+                byte_scale=self.byte_scale,
+            )
+            shards.append(_Shard(index=i, env=env, stats=stats, db=db))
+        return shards
+
+    def _preload(self, shards: list[_Shard]) -> None:
+        """Random-order preload, routed by key — same key/value streams
+        as :meth:`DbBench._preload` so a 1-shard service preloads a DB
+        byte-identical to the bare benchmark's."""
+        spec = self.spec
+        if spec.preload_keys <= 0:
+            return
+        values = ValueGenerator(
+            spec.value_size,
+            pareto_sizes=spec.pareto_values,
+            seed=spec.seed ^ 0x5EED,
+        )
+        order = list(range(spec.preload_keys))
+        random.Random(spec.seed ^ 0x10AD).shuffle(order)
+        for index in order:
+            key = format_key(index)
+            shard = shards[shard_for_key(key, self.num_shards)]
+            shard.db.put(key, values.next_value())
+        for shard in shards:
+            shard.db.flush(wait_compactions=False)
+
+    # -- event loop --------------------------------------------------------
+
+    def _next_seq(self) -> int:
+        self._seq += 1
+        return self._seq
+
+    def _enqueue(self, shards: list[_Shard], req: Request, heap: list) -> None:
+        """Route an arrived request to its shard queue(s)."""
+        if req.kind == PUT:
+            shard = shards[shard_for_key(req.key, self.num_shards)]
+            shard.write_q.append((req.arrival_us, self._next_seq(), req))
+            self._kick(shard, heap)
+        elif req.kind == GET:
+            shard = shards[shard_for_key(req.key, self.num_shards)]
+            shard.read_q.append(
+                (req.arrival_us, self._next_seq(), req, (req.key,), None)
+            )
+            self._kick(shard, heap)
+        else:  # multiget: scatter keys by shard, gather on completion
+            by_shard: dict[int, list[bytes]] = {}
+            for key in req.keys:
+                by_shard.setdefault(
+                    shard_for_key(key, self.num_shards), []
+                ).append(key)
+            fanout = _Fanout(
+                remaining=len(by_shard),
+                arrival_us=req.arrival_us,
+                client=req.client,
+            )
+            for idx in sorted(by_shard):
+                shard = shards[idx]
+                shard.read_q.append(
+                    (
+                        req.arrival_us,
+                        self._next_seq(),
+                        req,
+                        tuple(by_shard[idx]),
+                        fanout,
+                    )
+                )
+                self._kick(shard, heap)
+
+    def _kick(self, shard: _Shard, heap: list) -> None:
+        """Start serving if the shard is idle."""
+        if not shard.busy:
+            self._serve(shard, heap)
+
+    def _serve(self, shard: _Shard, heap: list) -> None:
+        """Serve one unit of work (a write group or one read) and
+        schedule the shard's completion event."""
+        shard.busy = True
+        # Service begins now on the global timeline; the shard clock may
+        # already be ahead if its previous op finished later (we are
+        # dispatched from its FREE event, so in practice it is equal).
+        shard.env.clock.advance_to(self._clock.now_us)
+        # Writes win ties: the older queue head goes first, and a write
+        # group drains every waiting writer up to the group-size cap.
+        serve_write = bool(shard.write_q) and (
+            not shard.read_q or shard.write_q[0][:2] <= shard.read_q[0][:2]
+        )
+        if serve_write:
+            self._serve_writes(shard)
+        else:
+            self._serve_read(shard)
+        heapq.heappush(
+            heap,
+            (shard.env.clock.now_us, self._next_seq(), _FREE, shard.index, None),
+        )
+
+    def _serve_writes(self, shard: _Shard) -> None:
+        group_start_us = shard.env.clock.now_us
+        n = min(len(shard.write_q), self._max_group)
+        members = [shard.write_q.popleft() for _ in range(n)]
+        if n == 1:
+            req = members[0][2]
+            shard.db.put(req.key, req.value)
+        else:
+            batch = WriteBatch()
+            for _, _, req in members:
+                batch.put(req.key, req.value)
+            shard.db.write(batch)
+            # Followers: committed by the leader on their behalf.
+            shard.stats.bump(Ticker.WRITE_DONE_BY_OTHER, n - 1)
+            shard.groups += 1
+            shard.grouped_writes += n
+            shard.max_group = max(shard.max_group, n)
+        finish_us = shard.env.clock.now_us
+        for arrival_us, _, req in members:
+            latency = finish_us - arrival_us
+            self._write_hist.add(latency)
+            shard.write_hist.add(latency)
+            self._client_hist[req.client].add(latency)
+        shard.writes += n
+        shard.requests += n
+        if n > 1 and self.tracer is not None:
+            self.tracer.emit(
+                GroupCommit(
+                    shard=shard.index,
+                    size=n,
+                    leader_client=members[0][2].client,
+                    latency_us=finish_us - group_start_us,
+                )
+            )
+
+    def _serve_read(self, shard: _Shard) -> None:
+        arrival_us, _, req, keys, fanout = shard.read_q.popleft()
+        if fanout is None and len(keys) == 1:
+            shard.db.get(keys[0])
+        else:
+            shard.db.multi_get(list(keys))
+        finish_us = shard.env.clock.now_us
+        shard.read_hist.add(finish_us - arrival_us)
+        shard.reads += len(keys)
+        shard.requests += 1
+        self._reads_done += len(keys)
+        if fanout is None:
+            latency = finish_us - arrival_us
+            self._read_hist.add(latency)
+            self._client_hist[req.client].add(latency)
+        else:
+            fanout.remaining -= 1
+            fanout.finish_us = max(fanout.finish_us, finish_us)
+            if fanout.remaining == 0:
+                latency = fanout.finish_us - fanout.arrival_us
+                self._read_hist.add(latency)
+                self._client_hist[fanout.client].add(latency)
+
+    # -- run ---------------------------------------------------------------
+
+    def run(self) -> ServiceResult:
+        wall_start = time.perf_counter()
+        spec = self.spec
+        if self.tracer is not None:
+            self.tracer.bind_clock(lambda: self._clock.now_us)
+        shards = self._open_shards()
+        clients = build_clients(
+            spec, self.num_clients, 1e6 / self.client_ops_per_sec
+        )
+        self._client_hist = [Histogram() for _ in clients]
+        self._reads_done = 0
+        try:
+            self._preload(shards)
+            # Align every clock to one post-preload base so arrival
+            # stamps, shard clocks, and the trace share a timeline.
+            base_us = max(s.env.clock.now_us for s in shards)
+            for shard in shards:
+                shard.env.clock.advance_to(base_us)
+                shard.stats.reset()
+            self._clock.advance_to(base_us)
+            if self.tracer is not None:
+                self.tracer.emit(
+                    ServiceStart(
+                        benchmark=spec.name,
+                        shards=self.num_shards,
+                        clients=self.num_clients,
+                        num_ops=spec.num_ops,
+                        group_commit=self._max_group > 1,
+                    )
+                )
+            self._drive(shards, clients, base_us)
+            duration_s = (self._clock.now_us - base_us) / 1e6
+            result = self._collect(shards, clients, duration_s)
+            result.wall_clock_s = time.perf_counter() - wall_start
+            return result
+        finally:
+            for shard in shards:
+                if not shard.db.closed:
+                    shard.db.close()
+
+    def _drive(
+        self, shards: list[_Shard], clients: list[SimClient], base_us: float
+    ) -> None:
+        """The event loop: interleave arrivals and shard completions."""
+        heap: list = []
+        streams = [c.requests(start_us=base_us) for c in clients]
+        for client_id, stream in enumerate(streams):
+            req = next(stream, None)
+            if req is not None:
+                heapq.heappush(
+                    heap,
+                    (req.arrival_us, self._next_seq(), _ARRIVAL, client_id, req),
+                )
+        while heap:
+            t_us, _, kind, who, payload = heapq.heappop(heap)
+            self._clock.advance_to(t_us)
+            if kind == _ARRIVAL:
+                self._enqueue(shards, payload, heap)
+                nxt = next(streams[who], None)
+                if nxt is not None:
+                    heapq.heappush(
+                        heap,
+                        (nxt.arrival_us, self._next_seq(), _ARRIVAL, who, nxt),
+                    )
+            else:  # _FREE
+                shard = shards[who]
+                shard.busy = False
+                if shard.write_q or shard.read_q:
+                    self._serve(shard, heap)
+
+    # -- results -----------------------------------------------------------
+
+    def _collect(
+        self,
+        shards: list[_Shard],
+        clients: list[SimClient],
+        duration_s: float,
+    ) -> ServiceResult:
+        tickers: dict[str, int] = {}
+        for shard in shards:
+            for name, value in shard.stats.as_dict().items():
+                tickers[name] = tickers.get(name, 0) + value
+
+        def total(ticker: Ticker) -> int:
+            return tickers.get(ticker.value, 0)
+
+        cache_total = total(Ticker.BLOCK_CACHE_HIT) + total(Ticker.BLOCK_CACHE_MISS)
+        bloom_checked = total(Ticker.BLOOM_CHECKED)
+        writes_done = sum(s.writes for s in shards)
+        reads_done = self._reads_done
+        groups = sum(s.groups for s in shards)
+        grouped_writes = sum(s.grouped_writes for s in shards)
+        wal_syncs = total(Ticker.WAL_SYNCS)
+        level_shape = "\n".join(
+            f"shard {s.index}: {s.db.describe()}" for s in shards
+        )
+        aggregate = BenchResult(
+            spec=self.spec,
+            profile=self.profile,
+            options=self.options.copy(),
+            ops_done=reads_done + writes_done,
+            reads_done=reads_done,
+            writes_done=writes_done,
+            duration_s=duration_s,
+            aborted=False,
+            write_summary=(
+                self._write_hist.summary() if self._write_hist.count else None
+            ),
+            read_summary=(
+                self._read_hist.summary() if self._read_hist.count else None
+            ),
+            stall_micros=total(Ticker.STALL_MICROS)
+            + total(Ticker.DELAYED_WRITE_MICROS),
+            stall_count=total(Ticker.STALL_COUNT),
+            slowdown_count=total(Ticker.SLOWDOWN_COUNT),
+            cache_hit_rate=(
+                total(Ticker.BLOCK_CACHE_HIT) / cache_total if cache_total else 0.0
+            ),
+            bloom_useful_rate=(
+                total(Ticker.BLOOM_USEFUL) / bloom_checked if bloom_checked else 0.0
+            ),
+            flush_count=total(Ticker.FLUSH_COUNT),
+            compaction_count=total(Ticker.COMPACTION_COUNT),
+            bytes_written=total(Ticker.BYTES_WRITTEN),
+            bytes_read=total(Ticker.BYTES_READ),
+            level_shape=level_shape,
+            db_size_bytes=sum(s.db.approximate_size() for s in shards),
+            tickers=tickers,
+        )
+        shard_stats = []
+        for s in shards:
+            shard_stats.append(
+                ShardStats(
+                    index=s.index,
+                    requests=s.requests,
+                    reads=s.reads,
+                    writes=s.writes,
+                    groups=s.groups,
+                    grouped_writes=s.grouped_writes,
+                    max_group=s.max_group,
+                    wal_syncs=s.stats.ticker(Ticker.WAL_SYNCS),
+                    db_size_bytes=s.db.approximate_size(),
+                    write_summary=(
+                        s.write_hist.summary() if s.write_hist.count else None
+                    ),
+                    read_summary=(
+                        s.read_hist.summary() if s.read_hist.count else None
+                    ),
+                )
+            )
+            if self.tracer is not None:
+                self.tracer.emit(
+                    ShardSummary(
+                        shard=s.index,
+                        requests=s.requests,
+                        reads=s.reads,
+                        writes=s.writes,
+                        groups=s.groups,
+                        wal_syncs=shard_stats[-1].wal_syncs,
+                        db_size_bytes=shard_stats[-1].db_size_bytes,
+                    )
+                )
+        client_stats = [
+            ClientStats(
+                client=c.client_id,
+                role=c.role,
+                requests=c.num_requests,
+                latency_summary=(
+                    self._client_hist[c.client_id].summary()
+                    if self._client_hist[c.client_id].count
+                    else None
+                ),
+            )
+            for c in clients
+        ]
+        if self.tracer is not None:
+            self.tracer.emit(
+                ServiceEnd(
+                    ops_done=aggregate.ops_done,
+                    reads_done=reads_done,
+                    writes_done=writes_done,
+                    duration_s=duration_s,
+                    groups=groups,
+                    grouped_writes=grouped_writes,
+                    wal_syncs=wal_syncs,
+                )
+            )
+        return ServiceResult(
+            aggregate=aggregate,
+            shards=shard_stats,
+            clients=client_stats,
+            groups=groups,
+            grouped_writes=grouped_writes,
+            wal_syncs=wal_syncs,
+            requests_done=sum(s.requests for s in shards),
+        )
+
+
+def run_service_benchmark(
+    spec: WorkloadSpec,
+    options: Options | None = None,
+    profile: HardwareProfile | None = None,
+    *,
+    num_clients: int | None = None,
+    client_ops_per_sec: float = DEFAULT_CLIENT_OPS_PER_SEC,
+    byte_scale: float = 1.0,
+    tracer: Tracer | None = None,
+) -> ServiceResult:
+    """Convenience wrapper: build a :class:`ShardedService`, run once."""
+    service = ShardedService(
+        spec,
+        options,
+        profile,
+        num_clients=num_clients,
+        client_ops_per_sec=client_ops_per_sec,
+        byte_scale=byte_scale,
+        tracer=tracer,
+    )
+    return service.run()

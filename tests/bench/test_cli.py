@@ -43,3 +43,53 @@ class TestCli:
     def test_unknown_workload_rejected(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["--benchmark", "ycsb"])
+
+
+class TestServiceCli:
+    def test_service_workload_selectable(self):
+        args = build_parser().parse_args(["--benchmark", "readwhilewriting"])
+        assert args.benchmark == "readwhilewriting"
+
+    def test_sharded_run_renders_service_report(self, capsys):
+        rc = main([
+            "--benchmark", "readwhilewriting",
+            "--scale", "0.0001",
+            "--shards", "2",
+            "--clients", "4",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "readwhilewriting" in out
+        assert "Service:    2 shard(s), 4 client(s)" in out
+        assert "Group commit:" in out
+
+    def test_shards_flag_flips_bare_workload_to_service(self, capsys):
+        rc = main([
+            "--benchmark", "fillrandom",
+            "--scale", "0.0001",
+            "--shards", "2",
+        ])
+        assert rc == 0
+        assert "Service:" in capsys.readouterr().out
+
+    def test_bare_path_unchanged_without_service_flags(self, capsys):
+        rc = main(["--benchmark", "fillrandom", "--scale", "0.0001"])
+        assert rc == 0
+        assert "Service:" not in capsys.readouterr().out
+
+    def test_service_trace_out(self, tmp_path, capsys):
+        trace = tmp_path / "trace.jsonl"
+        rc = main([
+            "--benchmark", "readwhilewriting",
+            "--scale", "0.0001",
+            "--shards", "2",
+            "--trace-out", str(trace),
+        ])
+        assert rc == 0
+        import json
+
+        lines = trace.read_text().splitlines()
+        types = [json.loads(line)["type"] for line in lines if line]
+        assert types[0] == "service.start"
+        assert "service.shard" in types
+        assert types[-1] == "service.end"

@@ -81,3 +81,46 @@ class TestSpecValidation:
         assert "read-intensive" in READRANDOM.describe()
         assert "mixed" in MIXGRAPH.describe()
         assert "2 thread" in READRANDOMWRITERANDOM.describe()
+
+
+class TestServiceWorkloads:
+    def test_service_workloads_registered(self):
+        from repro.bench.spec import ALL_WORKLOADS, SERVICE_WORKLOADS
+
+        assert set(SERVICE_WORKLOADS) == {
+            "readwhilewriting", "multireadrandom",
+        }
+        assert set(ALL_WORKLOADS) == set(PAPER_WORKLOADS) | set(
+            SERVICE_WORKLOADS
+        )
+
+    def test_readwhilewriting_shape(self):
+        from repro.bench.spec import READWHILEWRITING
+
+        assert READWHILEWRITING.threads == 8
+        assert READWHILEWRITING.read_fraction == pytest.approx(0.875)
+        assert READWHILEWRITING.preload_keys == READWHILEWRITING.num_keys
+
+    def test_multireadrandom_is_batched_reads(self):
+        from repro.bench.spec import MULTIREADRANDOM
+
+        assert MULTIREADRANDOM.batch_size == 8
+        assert MULTIREADRANDOM.read_fraction == 1.0
+
+    def test_workload_accessor_covers_all(self):
+        from repro.bench.spec import workload
+
+        spec = workload("readwhilewriting")
+        assert spec.num_ops == 25_000_000 * DEFAULT_SCALE
+        assert workload("fillrandom").name == "fillrandom"
+        with pytest.raises(WorkloadError):
+            workload("nope")
+
+    def test_paper_workload_rejects_service_names(self):
+        # The paper-grid entry point stays exactly the paper's four.
+        with pytest.raises(WorkloadError):
+            paper_workload("readwhilewriting")
+
+    def test_batch_size_validated(self):
+        with pytest.raises(WorkloadError):
+            WorkloadSpec("x", 10, 10, 0, 1.0, "uniform", batch_size=0)

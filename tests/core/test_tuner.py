@@ -145,3 +145,49 @@ class TestMonitorIntegration:
         assert not it1.kept
         if it1.aborted_early:
             assert it1.metrics.aborted
+
+
+class TestServiceBenchRouting:
+    """The tuner benches through the sharded service layer whenever the
+    workload needs per-client roles or topology is being tuned."""
+
+    def _tiny_service_spec(self):
+        from repro.bench.spec import workload
+
+        return workload("readwhilewriting").scaled(0.05).with_seed(5)
+
+    def test_service_workload_routes_to_service_layer(self):
+        from repro.lsm.options import Options
+
+        cfg = config(workload=self._tiny_service_spec())
+        tuner = ElmoTune(cfg, ScriptedLLM([GOOD_RESPONSE], cycle=True))
+        result, metrics, report, fired = tuner._run_bench(Options(), None)
+        assert metrics.benchmark == "readwhilewriting"
+        assert "Group commit:" in report
+        assert not fired  # no early-stop monitoring on service runs
+        assert result.ops_done > 0
+
+    def test_shard_count_override_routes_to_service_layer(self):
+        from repro.lsm.options import Options
+
+        cfg = config(workload=TINY)
+        tuner = ElmoTune(cfg, ScriptedLLM([GOOD_RESPONSE], cycle=True))
+        _, metrics, report, _ = tuner._run_bench(
+            Options({"shard_count": 2}), None
+        )
+        assert metrics.benchmark == TINY.name
+        assert "2 shard(s)" in report
+
+    def test_single_shard_paper_workload_stays_on_bare_bench(self):
+        from repro.lsm.options import Options
+
+        cfg = config(workload=TINY)
+        tuner = ElmoTune(cfg, ScriptedLLM([GOOD_RESPONSE], cycle=True))
+        _, _, report, _ = tuner._run_bench(Options(), None)
+        assert "Service:" not in report
+
+    def test_full_session_over_service_workload(self):
+        cfg = config(iterations=1, workload=self._tiny_service_spec())
+        session = ElmoTune(cfg, ScriptedLLM([GOOD_RESPONSE], cycle=True)).run()
+        assert len(session.iterations) == 2
+        assert session.baseline.metrics.ops_per_sec > 0

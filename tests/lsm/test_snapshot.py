@@ -5,7 +5,7 @@ import pytest
 from repro.errors import DBError
 from repro.hardware import make_profile
 from repro.lsm import DB, Options
-from repro.lsm.snapshot import SnapshotList, may_drop_version
+from repro.lsm.snapshot import Snapshot, SnapshotList, may_drop_version
 
 
 def open_db(path="/snap-db"):
@@ -21,12 +21,33 @@ class TestSnapshotList:
         s.release()
         assert len(snaps) == 0
 
-    def test_double_release_rejected(self):
+    def test_double_release_same_handle_is_noop(self):
+        # Regression: an explicit release() followed by the context
+        # manager's __exit__ used to raise "snapshot already released".
         snaps = SnapshotList()
         s = snaps.acquire(10)
         s.release()
+        s.release()  # same handle: idempotent
+        assert len(snaps) == 0
+
+    def test_release_never_acquired_handle_rejected(self):
+        snaps = SnapshotList()
+        snaps.acquire(10)
+        stray = Snapshot(sequence=99, _list=snaps)
         with pytest.raises(DBError):
-            s.release()
+            stray.release()
+
+    def test_double_release_does_not_steal_duplicate(self):
+        # Two handles pinning the same sequence: releasing one of them
+        # twice must not decrement the other handle's refcount.
+        snaps = SnapshotList()
+        a = snaps.acquire(10)
+        b = snaps.acquire(10)
+        a.release()
+        a.release()  # no-op, b's pin survives
+        assert len(snaps) == 1
+        b.release()
+        assert len(snaps) == 0
 
     def test_duplicates_allowed(self):
         snaps = SnapshotList()
@@ -147,3 +168,13 @@ class TestSnapshotReads:
             assert db.get(b"k") == b"v3"
             s1.release()
             s2.release()
+
+    def test_explicit_release_inside_context_manager(self):
+        # Regression: releasing early inside the `with` block made
+        # __exit__ raise DBError("snapshot already released").
+        with open_db() as db:
+            db.put(b"k", b"v")
+            with db.snapshot() as snap:
+                assert db.get(b"k", snapshot=snap) == b"v"
+                snap.release()  # __exit__ must tolerate this
+            assert db.live_snapshots == 0

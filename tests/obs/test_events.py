@@ -24,12 +24,16 @@ class TestRegistry:
         assert "engine.flush.run" in types
         assert "tune.iteration.end" in types
         assert "exec.task.start" in types
+        assert "service.start" in types
+        assert "service.group_commit" in types
+        assert "service.shard" in types
+        assert "service.end" in types
 
     def test_type_strings_are_namespaced(self):
         for type_string in event_types():
             namespace = type_string.split(".", 1)[0]
             assert namespace in {"span", "engine", "bench", "tune", "exec",
-                                 "fault"}, (
+                                 "fault", "service"}, (
                 type_string
             )
 

@@ -129,3 +129,53 @@ class TestSessionExecutor:
         long = SessionTask(workload="fillrandom", cell="2c4g-nvme-ssd",
                            iterations=7)
         assert short.key() != long.key()
+
+
+class TestServiceExecutor:
+    def _service_tasks(self, n=2):
+        from repro.bench.spec import workload
+        from repro.parallel import ServiceTask
+
+        spec = workload("readwhilewriting").scaled(0.08)
+        return [
+            ServiceTask(
+                spec=spec.with_seed(7 + i),
+                options=Options({"shard_count": 2, "use_fsync": True}),
+                profile=make_profile(2, 4),
+                num_clients=4,
+            )
+            for i in range(n)
+        ]
+
+    def test_serial_and_parallel_service_runs_identical(self):
+        from repro.parallel import run_service_tasks
+
+        tasks = self._service_tasks()
+        serial = run_service_tasks(tasks, max_workers=1)
+        parallel = run_service_tasks(tasks, max_workers=2)
+        assert _fingerprints([r.aggregate for r in serial]) == \
+            _fingerprints([r.aggregate for r in parallel])
+        assert [r.wal_syncs for r in serial] == \
+            [r.wal_syncs for r in parallel]
+
+    def test_service_cache_round_trip(self, tmp_path):
+        from repro.parallel import run_service_tasks
+
+        cache = ResultCache(str(tmp_path))
+        tasks = self._service_tasks(n=1)
+        first = run_service_tasks(tasks, max_workers=1, cache=cache)[0]
+        assert cache.misses == 1
+        second = run_service_tasks(tasks, max_workers=1, cache=cache)[0]
+        assert cache.hits == 1
+        assert first.aggregate.fingerprint() == second.aggregate.fingerprint()
+        assert first.trace_events and second.trace_events
+
+    def test_topology_changes_the_cache_key(self):
+        from repro.parallel import ServiceTask
+
+        base = self._service_tasks(n=1)[0]
+        more_clients = ServiceTask(
+            spec=base.spec, options=base.options, profile=base.profile,
+            num_clients=8,
+        )
+        assert base.key() != more_clients.key()

@@ -1,0 +1,44 @@
+"""Tests for deterministic key routing."""
+
+from collections import Counter
+
+from repro.bench.keygen import format_key
+from repro.service.router import fnv1a_64, shard_for_key
+
+
+class TestFnv1a:
+    def test_known_vectors(self):
+        # Canonical FNV-1a 64-bit test vectors.
+        assert fnv1a_64(b"") == 0xCBF29CE484222325
+        assert fnv1a_64(b"a") == 0xAF63DC4C8601EC8C
+        assert fnv1a_64(b"foobar") == 0x85944171F73967E8
+
+    def test_stable_across_calls(self):
+        key = format_key(12345)
+        assert fnv1a_64(key) == fnv1a_64(bytes(key))
+
+
+class TestShardForKey:
+    def test_single_shard_short_circuits(self):
+        assert shard_for_key(b"anything", 1) == 0
+        assert shard_for_key(b"anything", 0) == 0
+
+    def test_in_range(self):
+        for i in range(200):
+            assert 0 <= shard_for_key(format_key(i), 7) < 7
+
+    def test_reasonably_balanced(self):
+        shards = 4
+        counts = Counter(
+            shard_for_key(format_key(i), shards) for i in range(4000)
+        )
+        assert len(counts) == shards
+        for n in counts.values():
+            assert 700 <= n <= 1300  # ~1000 each, generous band
+
+    def test_routing_is_a_function_of_the_key(self):
+        # The whole point of FNV over hash(): two computations of the
+        # same key must agree (hash() is salted per process).
+        for i in range(50):
+            key = format_key(i)
+            assert shard_for_key(key, 5) == shard_for_key(key[:], 5)
