@@ -22,8 +22,10 @@ import time
 from repro.bench.keygen import format_key
 from repro.hardware.profile import make_profile
 from repro.lsm.db import DB
+from repro.lsm.iterator import memtable_source, merge_sources, user_view
 from repro.lsm.options import Options
 from repro.lsm.skiplist import SkipList
+from repro.lsm.sstable import ReadStats
 
 VALUE = b"v" * 100
 
@@ -88,15 +90,125 @@ def bench_scan(n: int = 300) -> float:
     return n / elapsed
 
 
+def _eager_scan(db: DB, start: bytes, limit: int) -> list:
+    """The pre-lazy read path, kept as a re-measurable 'before'.
+
+    Opens an iterator on *every* candidate table up front (the old
+    ``DB.scan`` behaviour), so the bounded-scan speedup recorded in
+    BENCH_engine.json stays an apples-to-apples comparison against the
+    lazy cursor on the same tree, same process, same host.
+    """
+    shared = ReadStats()
+    sources = [memtable_source(db._mem, start)]
+    sources += [memtable_source(mt, start) for mt in reversed(db._imm)]
+    for level in range(db._version.num_levels):
+        for meta in db._version.files_at(level):
+            if meta.largest_key < start:
+                continue
+            reader, _ = db._table_cache.get(meta.file_number)
+            sources.append(reader.iter_from(
+                start, cache_get=db._cache_get,
+                cache_put=db._cache_put, stats=shared))
+    out: list = []
+    for user_key, value in user_view(merge_sources(sources)):
+        out.append((user_key, value))
+        if len(out) >= limit:
+            break
+    return out
+
+
+def _open_multilevel(path: str) -> DB:
+    """A quiesced multi-level tree (L1 + a wide L2) for scan benches.
+
+    Small buffers and file sizes keep the level structure deep at a
+    size the host can build quickly; ``flush()`` waits for the full
+    compaction backlog so the timed loops measure the read path, not
+    background work draining through ``_process_completions``.
+    """
+    db = DB.open(
+        path,
+        Options({"write_buffer_size": 32 * 1024,
+                 "bloom_filter_bits_per_key": 10.0,
+                 "target_file_size_base": 16 * 1024,
+                 "max_bytes_for_level_base": 64 * 1024}),
+        profile=make_profile(4, 8),
+    )
+    for i in range(80_000):
+        db.put(format_key(i * 2654435761 % 200_000), VALUE)
+    db.flush()
+    db.scan(limit=None)  # warm table + block caches for both variants
+    return db
+
+
+def bench_bounded_scan(n: int = 300, limit: int = 10) -> tuple[float, float]:
+    """(eager, lazy) ops/sec for short bounded scans on a deep tree."""
+    db = _open_multilevel("/bench-baseline-bounded")
+    probe = format_key(12_345)
+    assert _eager_scan(db, probe, limit) == db.scan(start=probe, limit=limit)
+    start = time.perf_counter()
+    for i in range(n):
+        _eager_scan(db, format_key((i * 37) % 180_000), limit)
+    eager = n / (time.perf_counter() - start)
+    start = time.perf_counter()
+    for i in range(n):
+        db.scan(start=format_key((i * 37) % 180_000), limit=limit)
+    lazy = n / (time.perf_counter() - start)
+    db.close()
+    return eager, lazy
+
+
+def bench_readseq(n: int = 20_000) -> float:
+    """Sequential cursor reads: one ``next()`` per op, rewind on end."""
+    db = _open_db("/bench-baseline-readseq")
+    for i in range(5000):
+        db.put(format_key(i), VALUE)
+    db.flush()
+    cursor = db.iterator()
+    cursor.seek(None)
+    start = time.perf_counter()
+    for _ in range(n):
+        if cursor.valid:
+            cursor.next()
+        else:
+            cursor.seek(None)
+    elapsed = time.perf_counter() - start
+    cursor.close()
+    db.close()
+    return n / elapsed
+
+
+def bench_seekrandom(n: int = 1000, nexts: int = 10) -> float:
+    """Random seeks, each followed by a short forward scan."""
+    db = _open_multilevel("/bench-baseline-seekrandom")
+    cursor = db.iterator()
+    start = time.perf_counter()
+    for i in range(n):
+        cursor.seek(format_key(i * 7919 % 180_000))
+        for _ in range(nexts):
+            if not cursor.valid:
+                break
+            cursor.next()
+    elapsed = time.perf_counter() - start
+    cursor.close()
+    db.close()
+    return n / elapsed
+
+
 def main() -> None:
     out_path = sys.argv[1] if len(sys.argv) > 1 else "BENCH_engine.json"
     get_hit, get_miss = bench_gets()
+    bounded_eager, bounded_lazy = bench_bounded_scan()
     report = {
         "put_ops_per_sec": round(bench_put(), 1),
         "get_hit_ops_per_sec": round(get_hit, 1),
         "get_miss_ops_per_sec": round(get_miss, 1),
         "skiplist_insert_ops_per_sec": round(bench_skiplist(), 1),
         "scan100_ops_per_sec": round(bench_scan(), 1),
+        "scan_bounded10_eager_ops_per_sec": round(bounded_eager, 1),
+        "scan_bounded10_lazy_ops_per_sec": round(bounded_lazy, 1),
+        "scan_bounded10_speedup": round(bounded_lazy / bounded_eager, 2),
+        "readseq_ops_per_sec": round(bench_readseq(), 1),
+        "seekrandom_ops_per_sec": round(bench_seekrandom(), 1),
         "python": platform.python_version(),
         "machine": platform.machine(),
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),

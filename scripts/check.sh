@@ -37,6 +37,10 @@ echo "== service determinism: 4 shards x 8 clients, two byte-identical runs =="
 python scripts/check_service_determinism.py
 
 echo
+echo "== scan determinism: seekrandom twice, byte-identical traces =="
+python scripts/check_scan_determinism.py
+
+echo
 echo "== console audit: no direct print() outside repro/obs/console.py =="
 # Match print( as a call (not substrings like fingerprint(); the
 # sanctioned helper is the only allowed caller).

@@ -1,0 +1,64 @@
+"""Scan determinism gate: two identical seekrandom runs, byte-identical.
+
+Run by ``scripts/check.sh``. Executes the seeded ``seekrandom``
+workload (cursor seeks plus forward ``next()`` chains — the lazy
+read path end to end) twice and compares:
+
+* the full trace (``iterator.*`` events included, serialized to
+  JSONL), and
+* the rendered db_bench report (host wall-clock zeroed — it is the
+  one legitimately nondeterministic field).
+
+Any divergence means the lazy merge leaked host state (dict order,
+cache-eviction timing, real time) into seek results or latencies.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.bench.runner import DbBench
+from repro.bench.report import render_report
+from repro.bench.spec import workload
+from repro.hardware.profile import make_profile
+from repro.lsm.options import Options
+from repro.obs.events import to_jsonl_line
+from repro.obs.sinks import RingSink
+from repro.obs.tracer import Tracer
+
+SCALE = 0.0003
+
+
+def one_run() -> tuple[str, str]:
+    spec = workload("seekrandom", SCALE)
+    options = Options({"bloom_filter_bits_per_key": 10.0})
+    sink = RingSink()
+    result = DbBench(
+        spec, options, make_profile(4, 4), byte_scale=1 / 1024,
+        tracer=Tracer(sink),
+    ).run()
+    result.wall_clock_s = 0.0
+    trace = "\n".join(to_jsonl_line(e).rstrip("\n") for e in sink.events)
+    return trace, render_report(result)
+
+
+def main() -> int:
+    trace1, report1 = one_run()
+    trace2, report2 = one_run()
+    if trace1 != trace2:
+        print("FAIL: seekrandom traces differ between identical runs",
+              file=sys.stderr)
+        return 1
+    if report1 != report2:
+        print("FAIL: seekrandom reports differ between identical runs",
+              file=sys.stderr)
+        return 1
+    seeks = trace1.count('"iterator.seek"')
+    events = trace1.count("\n") + 1 if trace1 else 0
+    print(f"scan determinism OK: {seeks} seeks, "
+          f"{events} trace events byte-identical across runs")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

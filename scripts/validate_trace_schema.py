@@ -25,6 +25,7 @@ from repro.obs.events import (
 #: whole subsystem's events (e.g. the service layer) fails loudly.
 REQUIRED_NAMESPACES = {
     "span", "engine", "bench", "tune", "exec", "fault", "service",
+    "iterator", "multiget",
 }
 
 #: The service layer's event vocabulary, pinned by name: trace

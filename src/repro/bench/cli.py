@@ -9,6 +9,7 @@ Mirrors the ``db_bench`` invocation style the paper uses::
 from __future__ import annotations
 
 import argparse
+from dataclasses import replace
 
 from repro.bench.report import render_report
 from repro.bench.runner import DbBench
@@ -49,6 +50,9 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--byte-scale", type=float, default=DEFAULT_BYTE_SCALE,
                         help="byte-world scale (buffers, caches, memory)")
     parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument("--seek-nexts", type=int, default=None, metavar="N",
+                        help="iterator Next() calls after each seek "
+                             "(seekrandom; default: the workload's own)")
     parser.add_argument("--shards", type=int, default=None, metavar="N",
                         help="run through the sharded service layer with N "
                              "DB shards (overrides the shard_count option)")
@@ -82,6 +86,8 @@ def main(argv: list[str] | None = None) -> int:
     else:
         options = Options()
     spec = workload(args.benchmark, args.scale).with_seed(args.seed)
+    if args.seek_nexts is not None:
+        spec = replace(spec, seek_nexts=args.seek_nexts)
     if args.shards is not None:
         options.set("shard_count", args.shards)
     # Service workloads (per-client roles), multiple shards, or any

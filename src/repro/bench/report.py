@@ -72,6 +72,19 @@ def render_report(result: BenchResult) -> str:
     lines.append(
         f"Bloom filter useful: {result.bloom_useful_rate * 100:.1f}%"
     )
+    multiget_calls = result.tickers.get("multiget.calls", 0)
+    if multiget_calls:
+        # RocksDB's NUMBER_MULTIGET_* family, db_bench STATISTICS style.
+        lines.append(
+            f"MultiGet: {multiget_calls} calls, "
+            f"{result.tickers.get('multiget.keys.read', 0)} keys read, "
+            f"{result.tickers.get('multiget.bytes.read', 0)} bytes read"
+        )
+    seeks = result.tickers.get("seeks", 0)
+    if seeks:
+        lines.append(
+            f"Seeks: {seeks}  Table opens: {result.tickers.get('table.opens', 0)}"
+        )
     lines.append(
         f"Flushes: {result.flush_count}  Compactions: {result.compaction_count}"
     )

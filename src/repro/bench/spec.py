@@ -37,6 +37,9 @@ class WorkloadSpec:
     #: Keys fetched per read request (db_bench's --batch_size for
     #: multireadrandom); 1 means plain point gets.
     batch_size: int = 1
+    #: Iterator Next() calls after each seek (db_bench's --seek_nexts
+    #: for seekrandom); only meaningful for scan-shaped workloads.
+    seek_nexts: int = 0
 
     def __post_init__(self) -> None:
         if self.num_ops <= 0 or self.num_keys <= 0:
@@ -49,6 +52,8 @@ class WorkloadSpec:
             raise WorkloadError("preload_keys cannot be negative")
         if self.batch_size < 1:
             raise WorkloadError("batch_size must be at least 1")
+        if self.seek_nexts < 0:
+            raise WorkloadError("seek_nexts cannot be negative")
 
     def scaled(self, factor: float) -> "WorkloadSpec":
         """Scale op counts and key space by ``factor`` (< 1 shrinks)."""
@@ -73,9 +78,12 @@ class WorkloadSpec:
             if self.read_fraction > 0.8
             else "mixed read/write"
         )
+        scans = (
+            f", scans ({self.seek_nexts} nexts/seek)" if self.seek_nexts else ""
+        )
         return (
             f"{self.name}: {self.num_ops} ops, {self.read_fraction * 100:.0f}% reads "
-            f"({kind}), key space {self.num_keys}, value ~{self.value_size}B, "
+            f"({kind}{scans}), key space {self.num_keys}, value ~{self.value_size}B, "
             f"{self.threads} thread(s), {self.distribution} key distribution"
         )
 
@@ -130,6 +138,38 @@ PAPER_WORKLOADS: dict[str, WorkloadSpec] = {
     "mixgraph": MIXGRAPH,
 }
 
+#: Scan workload: one sequential iterator pass over a preloaded store
+#: (db_bench's readseq). Each op is one Next(); the cursor re-seeks to
+#: the first key when it exhausts the store.
+READSEQ = WorkloadSpec(
+    name="readseq",
+    num_ops=25_000_000,
+    num_keys=25_000_000,
+    preload_keys=25_000_000,
+    read_fraction=1.0,
+    distribution="uniform",
+)
+
+#: Scan workload: random seeks, each followed by --seek-nexts Next()
+#: calls (db_bench's seekrandom, default seek_nexts=10). Exercises the
+#: lazy pruning read path: a bounded scan should touch only the tables
+#: covering its short key window.
+SEEKRANDOM = WorkloadSpec(
+    name="seekrandom",
+    num_ops=10_000_000,
+    num_keys=25_000_000,
+    preload_keys=25_000_000,
+    read_fraction=1.0,
+    distribution="uniform",
+    seek_nexts=10,
+)
+
+#: Scan-shaped workloads driven through ``DB.iterator()``.
+SCAN_WORKLOADS: dict[str, WorkloadSpec] = {
+    "readseq": READSEQ,
+    "seekrandom": SEEKRANDOM,
+}
+
 #: Multi-client service workload: one dedicated writer client streams
 #: puts while every other client reads (db_bench's readwhilewriting).
 #: ``read_fraction`` reflects the 7-reader/1-writer client split; the
@@ -164,9 +204,10 @@ SERVICE_WORKLOADS: dict[str, WorkloadSpec] = {
     "multireadrandom": MULTIREADRANDOM,
 }
 
-#: Every known workload, paper and service alike.
+#: Every known workload: paper, scan, and service alike.
 ALL_WORKLOADS: dict[str, WorkloadSpec] = {
     **PAPER_WORKLOADS,
+    **SCAN_WORKLOADS,
     **SERVICE_WORKLOADS,
 }
 

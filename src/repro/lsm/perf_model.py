@@ -40,6 +40,9 @@ class CpuCosts:
     compress_per_kb: dict[str, float] | None = None
     merge_entry: float = 0.35
     malloc_stats_dump: float = 1800.0
+    #: Per-key coordination inside one batched MultiGet call — far below
+    #: a full per-operation setup, which is the batching win.
+    multiget_per_key: float = 0.18
 
     def decompress_cost(self, codec: str, nbytes: int) -> float:
         table = self.decompress_per_kb or _DECOMPRESS_PER_KB
@@ -227,6 +230,14 @@ class PerfModel:
             cpu_cost += c.bloom_probe
         if stats.index_read:
             cpu_cost += c.index_search
+        # Batched lookups count per-key probes in the counter fields
+        # (all zero on the single-get path, so its price is unchanged).
+        if stats.bloom_probes:
+            cpu_cost += c.bloom_probe * stats.bloom_probes
+        if stats.index_searches:
+            cpu_cost += c.index_search * stats.index_searches
+        if stats.block_searches:
+            cpu_cost += c.block_search * stats.block_searches
         device_cost = 0.0
         read_factor = self._device_read_factor(busy_bg_jobs)
         for nbytes, source in stats.block_reads:
@@ -255,6 +266,14 @@ class PerfModel:
 
     def scan_next_cost_us(self, value_len: int, busy_bg_jobs: int = 0) -> float:
         return self._cpu(0.25 + 0.01 * value_len / 64.0, busy_bg_jobs)
+
+    def multiget_overhead_us(self, num_keys: int, busy_bg_jobs: int = 0) -> float:
+        """Coordination for one batched MultiGet call: a single fixed
+        setup plus a small per-key term, instead of a full operation
+        setup per key as N independent gets would pay."""
+        return self._cpu(
+            0.6 + self.cpu.multiget_per_key * num_keys, busy_bg_jobs
+        )
 
     # -- background jobs ---------------------------------------------------
 

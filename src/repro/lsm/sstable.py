@@ -69,6 +69,14 @@ class ReadStats:
     bloom_negative: bool = False
     index_read: bool = False
     block_reads: list[tuple[int, str]] = field(default_factory=list)
+    #: Batched lookups (:meth:`SSTableReader.multi_get`) record *per-key*
+    #: probe work in these counters — one stats object is shared across
+    #: the whole batch, so the boolean flags above (per-call semantics,
+    #: used by the single-get path) cannot carry the counts.
+    bloom_probes: int = 0
+    bloom_negatives: int = 0
+    index_searches: int = 0
+    block_searches: int = 0
 
     def device_block_bytes(self) -> int:
         return sum(n for n, source in self.block_reads if source == "device")
@@ -350,6 +358,57 @@ class SSTableReader:
                 break
             return True, ValueKind(packed[0]), packed[1:], stats
         return False, None, None, stats
+
+    def multi_get(
+        self,
+        user_keys: list[bytes],
+        snapshot_seq: int = ikey_mod.MAX_SEQUENCE,
+        *,
+        stats: ReadStats,
+        cache_get: CacheGet | None = None,
+        cache_put: CachePut | None = None,
+        page_get: CacheGet | None = None,
+        page_put: CachePut | None = None,
+    ) -> dict[bytes, tuple[ValueKind, bytes]]:
+        """Batched point lookups sharing one ``stats`` and block fetches.
+
+        ``user_keys`` must be sorted. Per-key bloom/index/block-search
+        work lands in the counter fields of ``stats``; a block holding
+        several of the batch's keys is fetched and decoded once for the
+        whole call (the per-batch ``loaded`` memo), which is where the
+        batching beats N independent ``get`` calls. Returns
+        ``{user_key: (kind, value)}`` for the keys present.
+        """
+        out: dict[bytes, tuple[ValueKind, bytes]] = {}
+        loaded: dict[int, list[tuple[bytes, bytes]]] = {}
+        for user_key in user_keys:
+            if self._bloom is not None:
+                stats.bloom_probes += 1
+                if not self._bloom.may_contain(user_key):
+                    stats.bloom_negatives += 1
+                    continue
+            seek = ikey_mod.seek_key(user_key, snapshot_seq)
+            idx = self._block_index_for(seek)
+            if idx is None:
+                continue
+            stats.index_searches += 1
+            entries = loaded.get(idx)
+            if entries is None:
+                entries = self._read_block(
+                    idx, cache_get, cache_put, stats, page_get, page_put
+                )
+                loaded[idx] = entries
+            else:
+                # A shared block: the fetch (and its search) was already
+                # charged via block_reads; only the extra search is new.
+                stats.block_searches += 1
+            for entry_ikey, packed in block_entries_seek(entries, seek):
+                entry_user, _seq = ikey_mod.decode(entry_ikey)
+                if entry_user != user_key:
+                    break
+                out[user_key] = (ValueKind(packed[0]), packed[1:])
+                break
+        return out
 
     def iter_entries(
         self,

@@ -54,6 +54,11 @@ class Ticker(str, enum.Enum):
     #: Writes committed on a writer's behalf by a group-commit leader
     #: (bumped by the service layer's write groups, not the engine).
     WRITE_DONE_BY_OTHER = "write.done.other"
+    #: Batched reads (RocksDB's NUMBER_MULTIGET_* family): calls, keys
+    #: requested, and value bytes returned by ``DB.multi_get``.
+    NUMBER_MULTIGET_CALLS = "multiget.calls"
+    NUMBER_MULTIGET_KEYS_READ = "multiget.keys.read"
+    NUMBER_MULTIGET_BYTES_READ = "multiget.bytes.read"
 
 
 class OpClass(str, enum.Enum):

@@ -127,6 +127,25 @@ class Version:
             return [files[idx]]
         return []
 
+    def files_from(
+        self, level: int, start: bytes | None
+    ) -> list[FileMetaData]:
+        """Files that may hold keys >= ``start``, in key order (L1+).
+
+        Binary-searches ``largest_key`` over the sorted, disjoint run:
+        the result is the suffix beginning with the first file whose
+        ``largest_key >= start`` — every file before it lies wholly
+        below the scan and is pruned in O(log n) without being touched.
+        L0 files overlap arbitrarily, so this helper is meaningless
+        there; callers filter L0 per file.
+        """
+        self._check_level(level)
+        files = self.levels[level]
+        if start is None or not files:
+            return files
+        keys = [f.largest_key for f in files]
+        return files[bisect.bisect_left(keys, start):]
+
     def overlapping_files(
         self, level: int, lo: bytes | None, hi: bytes | None
     ) -> list[FileMetaData]:

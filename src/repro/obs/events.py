@@ -191,6 +191,53 @@ class CacheEviction(TraceEvent):
     charge: int
 
 
+# ----------------------------------------------------------- iterators
+
+@register_event
+@dataclass
+class IteratorSeek(TraceEvent):
+    """One cursor seek positioned (or exhausted) the lazy merged view.
+
+    ``sources`` counts the merge inputs *considered* — memtables, L0
+    files, and one concatenating source per populated L1+ level; how
+    many actually opened shows up in the cursor's close summary.
+    """
+
+    TYPE: ClassVar[str] = "iterator.seek"
+    target: str  # user key (utf-8, lossy); "" = seek-to-first
+    sources: int
+    valid: bool
+    latency_us: float
+
+
+@register_event
+@dataclass
+class IteratorClose(TraceEvent):
+    """A cursor was released: its lifetime lazy-open accounting."""
+
+    TYPE: ClassVar[str] = "iterator.close"
+    seeks: int
+    nexts: int
+    tables_opened: int
+    blocks_read: int
+    device_bytes: int
+
+
+# ------------------------------------------------------------ multiget
+
+@register_event
+@dataclass
+class MultiGetBatch(TraceEvent):
+    """One batched ``DB.multi_get`` call (grouped, shared block reads)."""
+
+    TYPE: ClassVar[str] = "multiget.batch"
+    keys: int
+    found: int
+    blocks_read: int
+    device_bytes: int
+    latency_us: float
+
+
 # -------------------------------------------------------------- faults
 
 @register_event

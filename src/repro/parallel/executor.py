@@ -19,7 +19,7 @@ from repro.bench.spec import (
     DEFAULT_BYTE_SCALE,
     DEFAULT_SCALE,
     WorkloadSpec,
-    paper_workload,
+    workload,
 )
 from repro.core.stopping import StoppingCriteria
 from repro.core.session import TuningSession
@@ -150,8 +150,10 @@ def _run_service_task(task: ServiceTask):
 
 
 def _run_session_task(task: SessionTask) -> TuningSession:
+    # Any named workload is a valid session target (paper, scan, or
+    # service); resolution errors surface at task build time.
     config = TunerConfig(
-        workload=paper_workload(task.workload, task.scale).with_seed(task.seed),
+        workload=workload(task.workload, task.scale).with_seed(task.seed),
         profile=profile_for_cell(task.cell),
         byte_scale=task.byte_scale,
         stopping=StoppingCriteria(max_iterations=task.iterations),

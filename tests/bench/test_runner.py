@@ -20,6 +20,14 @@ TINY_MIXED = WorkloadSpec(
     preload_keys=1500, read_fraction=0.7, distribution="uniform",
     threads=2, seed=1,
 )
+TINY_READSEQ = WorkloadSpec(
+    name="readseq", num_ops=1000, num_keys=800, preload_keys=800,
+    read_fraction=1.0, distribution="uniform", seed=1,
+)
+TINY_SEEKRANDOM = WorkloadSpec(
+    name="seekrandom", num_ops=500, num_keys=800, preload_keys=800,
+    read_fraction=1.0, distribution="uniform", seed=1, seek_nexts=10,
+)
 
 
 def run(spec, opts=None, progress=None):
@@ -97,3 +105,32 @@ class TestRunner:
     def test_tickers_exported(self):
         result = run(TINY_WRITE)
         assert result.tickers["keys.written"] == 2000
+
+
+class TestScanWorkloads:
+    def test_readseq_runs_and_reports_reads(self):
+        result = run(TINY_READSEQ)
+        assert result.ops_done == 1000
+        assert result.reads_done == 1000
+        assert result.writes_done == 0
+        # Seek latencies back the read histogram for cursor workloads.
+        assert result.read_summary is not None
+        assert result.read_summary.count == 1000
+
+    def test_seekrandom_counts_seeks(self):
+        result = run(TINY_SEEKRANDOM)
+        assert result.ops_done == 500
+        assert result.tickers["seeks"] == 500
+        assert result.read_summary is not None
+
+    def test_seek_nexts_change_the_cost(self):
+        shallow = run(TINY_SEEKRANDOM)
+        import dataclasses
+
+        deep = run(dataclasses.replace(TINY_SEEKRANDOM, seek_nexts=50))
+        assert deep.micros_per_op > shallow.micros_per_op
+
+    def test_scan_workloads_deterministic(self):
+        a, b = run(TINY_SEEKRANDOM), run(TINY_SEEKRANDOM)
+        assert a.ops_per_sec == b.ops_per_sec
+        assert a.read_summary.p99 == b.read_summary.p99

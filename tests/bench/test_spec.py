@@ -50,6 +50,34 @@ class TestPaperWorkloads:
             paper_workload("ycsb-a")
 
 
+class TestScanWorkloads:
+    def test_scan_workloads_registered(self):
+        from repro.bench.spec import ALL_WORKLOADS, SCAN_WORKLOADS, workload
+
+        assert set(SCAN_WORKLOADS) == {"readseq", "seekrandom"}
+        for name in SCAN_WORKLOADS:
+            assert name in ALL_WORKLOADS
+            assert workload(name).read_fraction == 1.0
+            assert workload(name).preload_keys > 0
+
+    def test_seekrandom_does_forward_scans(self):
+        from repro.bench.spec import SEEKRANDOM
+
+        assert SEEKRANDOM.seek_nexts == 10
+        assert "nexts/seek" in SEEKRANDOM.describe()
+
+    def test_seek_nexts_validated(self):
+        with pytest.raises(WorkloadError):
+            WorkloadSpec("x", 10, 10, 0, read_fraction=1.0,
+                         distribution="uniform", seek_nexts=-1)
+
+    def test_paper_workloads_have_no_seek_nexts(self):
+        # The four paper workloads must keep their exact historical
+        # shape (bit-identical fingerprints); seek_nexts stays 0.
+        for spec in PAPER_WORKLOADS.values():
+            assert spec.seek_nexts == 0
+
+
 class TestSpecValidation:
     def test_invalid_read_fraction(self):
         with pytest.raises(WorkloadError):
@@ -85,13 +113,18 @@ class TestSpecValidation:
 
 class TestServiceWorkloads:
     def test_service_workloads_registered(self):
-        from repro.bench.spec import ALL_WORKLOADS, SERVICE_WORKLOADS
+        from repro.bench.spec import (
+            ALL_WORKLOADS,
+            SCAN_WORKLOADS,
+            SERVICE_WORKLOADS,
+        )
 
         assert set(SERVICE_WORKLOADS) == {
             "readwhilewriting", "multireadrandom",
         }
-        assert set(ALL_WORKLOADS) == set(PAPER_WORKLOADS) | set(
-            SERVICE_WORKLOADS
+        assert set(ALL_WORKLOADS) == (
+            set(PAPER_WORKLOADS) | set(SCAN_WORKLOADS)
+            | set(SERVICE_WORKLOADS)
         )
 
     def test_readwhilewriting_shape(self):

@@ -1,0 +1,105 @@
+"""Tests for batched point lookups (DB.multi_get)."""
+
+import pytest
+
+from repro.hardware import make_profile
+from repro.lsm import DB, Options
+from repro.lsm.statistics import Ticker
+
+
+def key(i):
+    return b"%06d" % i
+
+
+@pytest.fixture
+def db():
+    handle = DB.open(
+        "/multiget",
+        Options({"write_buffer_size": 16 * 1024,
+                 "bloom_filter_bits_per_key": 10.0}),
+        profile=make_profile(4, 8),
+    )
+    yield handle
+    handle.close()
+
+
+def populated(db, n=1200):
+    for i in range(n):
+        db.put(key(i), b"v%d" % i)
+    db.flush()
+    for i in range(0, n, 7):
+        db.delete(key(i))
+    for i in range(n, n + 50):  # stays in the memtable
+        db.put(key(i), b"m%d" % i)
+    return db
+
+
+class TestMultiGet:
+    def test_matches_sequential_gets(self, db):
+        populated(db)
+        keys = [key(i) for i in range(0, 1300, 3)]
+        assert db.multi_get(keys) == [db.get(k) for k in keys]
+
+    def test_preserves_order_and_duplicates(self, db):
+        populated(db, 100)
+        keys = [key(5), key(99), key(5), key(500_000), key(1)]
+        result = db.multi_get(keys)
+        assert result[0] == result[2] == db.get(key(5))
+        assert result[3] is None
+        assert len(result) == len(keys)
+
+    def test_empty_batch(self, db):
+        assert db.multi_get([]) == []
+
+    def test_tombstones_are_misses(self, db):
+        populated(db)
+        assert db.multi_get([key(7)]) == [None]  # deleted above
+
+    def test_tickers_account_for_the_batch(self, db):
+        populated(db, 100)
+        keys = [key(i) for i in range(10)]
+        db.multi_get(keys)
+        stats = db._stats
+        assert stats.ticker(Ticker.NUMBER_MULTIGET_CALLS) == 1
+        assert stats.ticker(Ticker.NUMBER_MULTIGET_KEYS_READ) == len(keys)
+        found = [v for v in db.multi_get(keys) if v is not None]
+        assert stats.ticker(Ticker.NUMBER_MULTIGET_BYTES_READ) > 0
+        assert found  # the byte count above actually covered data
+
+    def test_deterministic_latency_vs_repeat(self, db):
+        populated(db, 200)
+        keys = [key(i) for i in range(0, 200, 5)]
+        first = db.multi_get(keys)
+        second = db.multi_get(keys)
+        assert first == second
+
+
+class TestMultiGetSnapshot:
+    """Regression: multi_get must honor ``snapshot=`` exactly like get.
+
+    Before the batched implementation, ``multi_get`` had no snapshot
+    parameter at all — batch readers holding a snapshot silently saw
+    writes made after the snapshot was taken.
+    """
+
+    def test_snapshot_hides_later_writes(self, db):
+        db.put(b"a", b"old-a")
+        db.put(b"b", b"old-b")
+        snap = db.snapshot()
+        db.put(b"a", b"new-a")
+        db.delete(b"b")
+        db.put(b"c", b"born-later")
+        keys = [b"a", b"b", b"c"]
+        assert db.multi_get(keys, snapshot=snap) == \
+            [db.get(k, snapshot=snap) for k in keys]
+        assert db.multi_get(keys, snapshot=snap) == [b"old-a", b"old-b", None]
+        assert db.multi_get(keys) == [b"new-a", None, b"born-later"]
+        snap.release()
+
+    def test_snapshot_survives_flush(self, db):
+        db.put(b"k", b"v1")
+        snap = db.snapshot()
+        db.put(b"k", b"v2")
+        db.flush()
+        assert db.multi_get([b"k"], snapshot=snap) == [b"v1"]
+        snap.release()

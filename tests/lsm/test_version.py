@@ -110,6 +110,25 @@ class TestQueries:
         assert [f.file_number for f in hits] == [3, 4]
         assert v.overlapping_files(1, None, None) == v.files_at(1)
 
+    def test_files_from_prunes_left_of_start(self):
+        v = Version(num_levels=3)
+        v.add_file(1, meta(1, b"a", b"c"))
+        v.add_file(1, meta(2, b"d", b"f"))
+        v.add_file(1, meta(3, b"g", b"i"))
+        # The suffix starts at the FIRST file whose largest_key >= start:
+        # a file ending exactly at start can still hold the start key.
+        assert [f.file_number for f in v.files_from(1, b"f")] == [2, 3]
+        assert [f.file_number for f in v.files_from(1, b"e")] == [2, 3]
+        assert [f.file_number for f in v.files_from(1, b"g")] == [3]
+
+    def test_files_from_boundaries(self):
+        v = Version(num_levels=3)
+        v.add_file(1, meta(1, b"d", b"f"))
+        assert v.files_from(1, None) == v.files_at(1)
+        assert v.files_from(1, b"a") == v.files_at(1)
+        assert v.files_from(1, b"z") == []
+        assert v.files_from(2, b"a") == []  # empty level
+
     def test_describe(self):
         text = self._populated().describe()
         assert "L0" in text and "L1" in text

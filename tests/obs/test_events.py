@@ -33,7 +33,8 @@ class TestRegistry:
         for type_string in event_types():
             namespace = type_string.split(".", 1)[0]
             assert namespace in {"span", "engine", "bench", "tune", "exec",
-                                 "fault", "service"}, (
+                                 "fault", "service", "iterator",
+                                 "multiget"}, (
                 type_string
             )
 

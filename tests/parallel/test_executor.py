@@ -130,6 +130,22 @@ class TestSessionExecutor:
                            iterations=7)
         assert short.key() != long.key()
 
+    def test_seekrandom_session_serial_parallel_and_cached(self, tmp_path):
+        # Scan workloads flow through the tuning loop like any paper
+        # workload: serial == parallel, and a re-run hits the cache.
+        cache = ResultCache(str(tmp_path))
+        tasks = [SessionTask(workload="seekrandom", cell="2c4g-nvme-ssd",
+                             seed=42, scale=SCALE, iterations=2)]
+        serial = run_session_tasks(tasks, max_workers=1, cache=cache)[0]
+        assert cache.misses == 1
+        parallel = run_session_tasks(tasks, max_workers=2)[0]
+        assert serial.throughput_series() == parallel.throughput_series()
+        assert serial.best.options.overrides() == \
+            parallel.best.options.overrides()
+        cached = run_session_tasks(tasks, max_workers=1, cache=cache)[0]
+        assert cache.hits == 1
+        assert cached.throughput_series() == serial.throughput_series()
+
 
 class TestServiceExecutor:
     def _service_tasks(self, n=2):
