@@ -41,6 +41,17 @@ echo "== scan determinism: seekrandom twice, byte-identical traces =="
 python scripts/check_scan_determinism.py
 
 echo
+echo "== perf smoke: write-path throughput vs recorded baseline =="
+# Opt-in (wall-clock timing is meaningless on loaded CI hosts): export
+# PERF_SMOKE=1 to fail the gate when fillrandom throughput drops >30%
+# below the put_ops_per_sec recorded in BENCH_engine.json.
+if [[ "${PERF_SMOKE:-0}" == "1" ]]; then
+  python scripts/profile_write_path.py --smoke
+else
+  echo "skipped (export PERF_SMOKE=1 to enable)"
+fi
+
+echo
 echo "== console audit: no direct print() outside repro/obs/console.py =="
 # Match print( as a call (not substrings like fingerprint(); the
 # sanctioned helper is the only allowed caller).

@@ -1,0 +1,103 @@
+#!/usr/bin/env python
+"""Profile (or smoke-check) the foreground write path.
+
+Default mode runs a fillrandom loop under cProfile and prints the top-N
+functions — the first stop when put throughput regresses:
+
+    PYTHONPATH=src python scripts/profile_write_path.py
+    PYTHONPATH=src python scripts/profile_write_path.py -n 20000 --top 40 --sort cumulative
+
+``--smoke`` skips the profiler and instead compares best-of-3 wall-clock
+fillrandom throughput against the ``put_ops_per_sec`` recorded in
+BENCH_engine.json, exiting non-zero when it falls more than
+``--tolerance`` (default 30%) below the baseline. check.sh runs this
+when PERF_SMOKE=1 is exported.
+
+Note cProfile inflates per-call costs ~2.5-3.5x; use the relative
+ranking, not the absolute times. For honest numbers use --smoke or
+scripts/bench_baseline.py.
+"""
+
+from __future__ import annotations
+
+import argparse
+import cProfile
+import json
+import pstats
+import sys
+import time
+
+from repro.bench.keygen import format_key
+from repro.hardware.profile import make_profile
+from repro.lsm.db import DB
+from repro.lsm.options import Options
+
+VALUE = b"v" * 100
+
+
+def _open(path: str) -> DB:
+    return DB.open(path, Options({"write_buffer_size": 256 * 1024}),
+                   profile=make_profile(4, 8))
+
+
+def _fillrandom(db: DB, n: int) -> None:
+    put = db.put
+    for i in range(n):
+        put(format_key(i * 7919 % 100_000), VALUE)
+
+
+def profile(n: int, top: int, sort: str) -> None:
+    db = _open("/profile-write-path")
+    prof = cProfile.Profile()
+    prof.enable()
+    _fillrandom(db, n)
+    prof.disable()
+    db.close()
+    pstats.Stats(prof).sort_stats(sort).print_stats(top)
+
+
+def smoke(n: int, baseline_path: str, tolerance: float) -> int:
+    try:
+        with open(baseline_path, encoding="utf-8") as f:
+            baseline = json.load(f)["put_ops_per_sec"]
+    except (OSError, KeyError, ValueError) as exc:
+        print(f"perf smoke: no usable baseline in {baseline_path}: {exc}")
+        print("perf smoke: run scripts/bench_baseline.py first; skipping")
+        return 0
+    best = 0.0
+    for r in range(3):
+        db = _open(f"/perf-smoke-{r}")
+        start = time.perf_counter()
+        _fillrandom(db, n)
+        best = max(best, n / (time.perf_counter() - start))
+        db.close()
+    floor = baseline * (1.0 - tolerance)
+    verdict = "OK" if best >= floor else "FAIL"
+    print(f"perf smoke: put {best:,.0f} ops/s "
+          f"(baseline {baseline:,.0f}, floor {floor:,.0f}) -> {verdict}")
+    if best < floor:
+        print("perf smoke: write path is >"
+              f"{tolerance:.0%} below the recorded baseline", file=sys.stderr)
+        return 1
+    return 0
+
+
+def main() -> None:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("-n", type=int, default=8000, help="puts per run")
+    ap.add_argument("--top", type=int, default=25, help="functions to print")
+    ap.add_argument("--sort", default="tottime",
+                    choices=["tottime", "cumulative", "ncalls"])
+    ap.add_argument("--smoke", action="store_true",
+                    help="no profiler: compare against BENCH_engine.json")
+    ap.add_argument("--baseline", default="BENCH_engine.json")
+    ap.add_argument("--tolerance", type=float, default=0.30,
+                    help="allowed fraction below baseline (default 0.30)")
+    args = ap.parse_args()
+    if args.smoke:
+        sys.exit(smoke(args.n, args.baseline, args.tolerance))
+    profile(args.n, args.top, args.sort)
+
+
+if __name__ == "__main__":
+    main()

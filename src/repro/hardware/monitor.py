@@ -130,6 +130,18 @@ class SystemMonitor:
     def set_used_memory(self, nbytes: int) -> None:
         self._used_memory = max(0, nbytes)
 
+    def record_put(self, cpu_us: float, wal_bytes: int, used_memory: int) -> None:
+        """Fused per-write sink: cpu + write + memory gauge in one call.
+
+        Equivalent to record_cpu + record_write + set_used_memory; the
+        write path calls this once per operation instead of three times.
+        """
+        self._cpu_us += cpu_us
+        self._window_cpu_us += cpu_us
+        self._write_bytes += wal_bytes
+        self._write_count += 1
+        self._used_memory = used_memory if used_memory > 0 else 0
+
     # -- observe ----------------------------------------------------------
 
     def snapshot(self, now_us: float) -> SystemSnapshot:

@@ -71,25 +71,51 @@ class BlockBuilder:
     def empty(self) -> bool:
         return self._num_entries == 0
 
-    def add(self, key: bytes, value: bytes) -> None:
-        if self._num_entries and key <= self._last_key:
+    def add(self, key: bytes, value: bytes) -> int:
+        """Append one entry; returns the updated size estimate."""
+        last = self._last_key
+        if self._num_entries and key <= last:
             raise ValueError("block keys must be added in strictly increasing order")
-        shared = 0
+        buf = self._buf
+        key_len = len(key)
         if self._counter < self._restart_interval:
-            limit = min(len(key), len(self._last_key))
-            while shared < limit and key[shared] == self._last_key[shared]:
-                shared += 1
+            # Shared-prefix length via one XOR: the first differing byte
+            # is the highest set byte of key^last over the common span —
+            # three C calls instead of a per-byte (or per-probe) Python
+            # loop. This is the busiest spot in table building.
+            n = len(last)
+            if key_len == n:
+                diff = int.from_bytes(key, "big") ^ int.from_bytes(last, "big")
+            else:
+                if key_len < n:
+                    n = key_len
+                diff = (
+                    int.from_bytes(key[:n], "big")
+                    ^ int.from_bytes(last[:n], "big")
+                )
+            shared = n if diff == 0 else n - ((diff.bit_length() + 7) >> 3)
         else:
-            self._restarts.append(len(self._buf))
+            self._restarts.append(len(buf))
             self._counter = 0
-        _put_varint(self._buf, shared)
-        _put_varint(self._buf, len(key) - shared)
-        _put_varint(self._buf, len(value))
-        self._buf.extend(key[shared:])
-        self._buf.extend(value)
+            shared = 0
+        non_shared = key_len - shared
+        value_len = len(value)
+        # Single-byte varint fast path: block-sized keys/values are
+        # almost always under 128 bytes.
+        if shared < 0x80 and non_shared < 0x80 and value_len < 0x80:
+            buf.append(shared)
+            buf.append(non_shared)
+            buf.append(value_len)
+        else:
+            _put_varint(buf, shared)
+            _put_varint(buf, non_shared)
+            _put_varint(buf, value_len)
+        buf += key[shared:]
+        buf += value
         self._last_key = key
         self._counter += 1
         self._num_entries += 1
+        return len(buf) + 4 * len(self._restarts) + 4
 
     def finish(self) -> bytes:
         out = bytearray(self._buf)
@@ -108,20 +134,36 @@ def decode_block(payload: bytes) -> list[tuple[bytes, bytes]]:
     if data_end < 0:
         raise CorruptionError("block restart array overruns payload")
     entries: list[tuple[bytes, bytes]] = []
+    append = entries.append
     pos = 0
     last_key = b""
-    while pos < data_end:
-        shared, pos = _get_varint(payload, pos)
-        non_shared, pos = _get_varint(payload, pos)
-        value_len, pos = _get_varint(payload, pos)
-        if shared > len(last_key) or pos + non_shared + value_len > data_end:
-            raise CorruptionError("block entry overruns payload")
-        key = last_key[:shared] + payload[pos : pos + non_shared]
-        pos += non_shared
-        value = payload[pos : pos + value_len]
-        pos += value_len
-        entries.append((key, value))
-        last_key = key
+    # Per-entry varints are parsed inline with a single-byte fast path
+    # (lengths below 128 cover typical blocks); compaction decodes every
+    # entry of every input through here.
+    try:
+        while pos < data_end:
+            shared = payload[pos]
+            pos += 1
+            if shared & 0x80:
+                shared, pos = _get_varint(payload, pos - 1)
+            non_shared = payload[pos]
+            pos += 1
+            if non_shared & 0x80:
+                non_shared, pos = _get_varint(payload, pos - 1)
+            value_len = payload[pos]
+            pos += 1
+            if value_len & 0x80:
+                value_len, pos = _get_varint(payload, pos - 1)
+            if shared > len(last_key) or pos + non_shared + value_len > data_end:
+                raise CorruptionError("block entry overruns payload")
+            key = last_key[:shared] + payload[pos : pos + non_shared]
+            pos += non_shared
+            value = payload[pos : pos + value_len]
+            pos += value_len
+            append((key, value))
+            last_key = key
+    except IndexError:
+        raise CorruptionError("truncated varint in block") from None
     return entries
 
 

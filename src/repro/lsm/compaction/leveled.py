@@ -12,7 +12,6 @@ import heapq
 from dataclasses import dataclass, field
 from typing import Callable, Iterator
 
-from repro.lsm import ikey as ikey_mod
 from repro.lsm.compaction.picker import Compaction
 from repro.lsm.memtable import ValueKind
 from repro.lsm.options import Options
@@ -90,9 +89,8 @@ def run_compaction(
     bytes_written = 0
     entries_merged = 0
     entries_dropped = 0
-    last_user_key: bytes | None = None
-    last_seq = 0
     no_snapshots = snapshots is None or len(snapshots) == 0
+    drop_tombstones = bottommost and no_snapshots
 
     def finish_builder() -> None:
         nonlocal builder, bytes_written
@@ -102,24 +100,54 @@ def run_compaction(
             new_files.append(meta)
         builder = None
 
-    for internal_key, kind, value in merge_tables(readers, stats=stats):
-        entries_merged += 1
-        user_key, seq = ikey_mod.decode(internal_key)
-        if user_key == last_user_key and may_drop_version(
-            last_seq, seq, snapshots
-        ):
-            entries_dropped += 1  # shadowed older version, no snapshot needs it
-            continue
-        last_user_key = user_key
-        last_seq = seq
-        if kind is ValueKind.DELETE and bottommost and no_snapshots:
-            entries_dropped += 1  # tombstone reached the bottom
-            continue
-        if builder is None:
-            builder = open_builder(new_table_path(), compaction.output_level)
-        builder.add(internal_key, kind, value)
+    def live_entries():
+        """Merged entries with GC applied (version shadowing, bottommost
+        tombstone drops).
+
+        Same-user-key detection compares ``internal_key[:-8]`` prefixes
+        (escaped user key + terminator): the terminator occurs only as
+        the terminator, so equal prefixes == equal user keys and no
+        entry needs decoding. Sequences are extracted from the key tail
+        only when live snapshots make the drop decision depend on them.
+        """
+        nonlocal entries_merged, entries_dropped
+        last_prefix: bytes | None = None
+        last_internal = b""
+        for internal_key, kind, value in merge_tables(readers, stats=stats):
+            entries_merged += 1
+            prefix = internal_key[:-8]
+            if prefix == last_prefix:
+                if no_snapshots:
+                    entries_dropped += 1  # shadowed older version
+                    continue
+                newer_seq = 0xFFFFFFFFFFFFFFFF - int.from_bytes(
+                    last_internal[-8:], "big"
+                )
+                older_seq = 0xFFFFFFFFFFFFFFFF - int.from_bytes(
+                    internal_key[-8:], "big"
+                )
+                if may_drop_version(newer_seq, older_seq, snapshots):
+                    entries_dropped += 1  # no snapshot needs this version
+                    continue
+            last_prefix = prefix
+            last_internal = internal_key
+            if kind is ValueKind.DELETE and drop_tombstones:
+                entries_dropped += 1  # tombstone reached the bottom
+                continue
+            yield internal_key, kind, value
+
+    entries = live_entries()
+    first = next(entries, None)
+    while first is not None:
+        builder = open_builder(new_table_path(), compaction.output_level)
+        builder.add(*first)
         if builder.current_size >= target_size:
             finish_builder()
+            first = next(entries, None)
+            continue
+        exhausted = builder.add_many(entries, split_size=target_size)
+        finish_builder()
+        first = None if exhausted else next(entries, None)
     finish_builder()
     bytes_read = compaction.input_bytes
     if tracer is not None and tracer.enabled:

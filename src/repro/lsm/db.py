@@ -43,7 +43,14 @@ from repro.lsm.sstable import FileMetaData, ReadStats, SSTableBuilder, SSTableRe
 from repro.lsm.statistics import OpClass, Statistics, Ticker
 from repro.lsm.table_cache import TableCache
 from repro.lsm.version import Version
-from repro.lsm.wal import WalWriter, replay_wal
+from repro.lsm.wal import (
+    _HEADER as _WAL_HEADER,
+    _PAYLOAD_FIXED as _WAL_FIXED,
+    _U32 as _WAL_U32,
+    _crc32 as _wal_crc32,
+    WalWriter,
+    replay_wal,
+)
 from repro.lsm.write_batch import WriteBatch
 from repro.lsm.write_controller import WriteController, WriteState
 from repro.obs.events import (
@@ -93,6 +100,16 @@ _T_NUMBER_SEEKS = Ticker.NUMBER_SEEKS.slot
 _T_MULTIGET_CALLS = Ticker.NUMBER_MULTIGET_CALLS.slot
 _T_MULTIGET_KEYS_READ = Ticker.NUMBER_MULTIGET_KEYS_READ.slot
 _T_MULTIGET_BYTES_READ = Ticker.NUMBER_MULTIGET_BYTES_READ.slot
+
+#: Tombstone tag resolved at module load for the write fast lane.
+_DELETE = ValueKind.DELETE
+_VALUE = ValueKind.VALUE
+# WAL record encoding, inlined into _write (same bytes as
+# WalWriter.add_record — crc32|len|payload, one append per record so
+# fault-injection crash schedules are unchanged).
+_wal_pack_header = _WAL_HEADER.pack
+_wal_pack_fixed = _WAL_FIXED.pack
+_wal_pack_u32 = _WAL_U32.pack
 
 
 @dataclass
@@ -211,6 +228,65 @@ class DB:
             self._picker = UniversalPicker(options)
         else:
             self._picker = FifoPicker(options)
+        # Write-path fast lane: `_write` runs once per put at fillrandom
+        # rates, so everything it needs — the clock, the precomputed
+        # put-cost constants, the monitor/histogram sinks — is bound to
+        # one attribute hop here. Rebound where the underlying object
+        # changes (_rotate_memtable rebinds _mem_add; the
+        # foreground_parallelism setter refreshes _put_plan/_fg_div).
+        self._clock = env.clock
+        self._clock_advance = env.clock.advance
+        self._wal_enabled = not self._disable_wal
+        self._budget_caps = bool(
+            self._db_write_buffer_size or self._max_total_wal_size
+        )
+        #: Sum of approx_bytes over self._imm, maintained incrementally
+        #: (rotation adds, _install_flush recomputes) so the per-write
+        #: memory gauge and global-budget check stay O(1).
+        self._imm_bytes = 0
+        #: (version stamp, imm count, verdict) memo for the stall-clear
+        #: check: the verdict can only change when the file set or the
+        #: immutable list does.
+        self._clear_cache: tuple[int, int, bool] = (-1, -1, False)
+        self._fg_div = 1
+        self._put_plan = self._perf.put_cost_params()
+        self._writeback = self._perf.smoother.on_bytes_written
+        self._record_cpu = self._monitor.record_cpu
+        self._record_write = self._monitor.record_write
+        self._set_used_memory = self._monitor.set_used_memory
+        self._account_put = self._monitor.record_put
+        self._busy_flush = self._flush_pool.busy_count
+        self._busy_compaction = self._compaction_pool.busy_count
+        self._observe_put = statistics.histogram(OpClass.PUT).add
+        self._observe_delete = statistics.histogram(OpClass.DELETE).add
+        self._mem_add = self._mem.add
+        #: Bound group-commit appender; rebound wherever self._wal
+        #: changes (_recover, _rotate_memtable).
+        self._wal_add_records = None
+        self._rebuild_write_plan()
+
+    def _rebuild_write_plan(self) -> None:
+        """Pack the per-put hot state into one tuple.
+
+        ``_write`` unpacks this once per operation instead of paying
+        ~25 attribute loads. Every member is either fixed for the DB's
+        lifetime or rebound here by the sites that change it:
+        ``_recover`` (wal), ``_rotate_memtable`` (memtable + wal), and
+        the ``foreground_parallelism`` setter (cost constants, divisor).
+        """
+        base, per_byte, coord, speed, cores, rot_seek, relief = self._put_plan
+        self._write_plan = (
+            self._busy_flush, self._busy_compaction,
+            base, per_byte, coord, speed, cores, rot_seek, relief,
+            self._wal_enabled, self._use_fsync, self._swap_factor,
+            self._fg_div, self._stats_dump_period_us,
+            self._tickers,
+            None if self._wal is None else self._wal._append,
+            self._mem, self._mem_add,
+            self._writeback, self._account_put, self._clock_advance,
+            self._observe_put, self._observe_delete, self._block_cache,
+            self._budget_caps,
+        )
 
     # ------------------------------------------------------------- open
 
@@ -278,7 +354,10 @@ class DB:
             self._next_file_number = max(self._next_file_number, number + 1)
         # Replay any leftover WALs (oldest first by file number) into the
         # memtable AND into a fresh WAL: recovered-but-unflushed entries
-        # must survive a second crash before the next flush.
+        # must survive a second crash before the next flush. With
+        # ``disable_wal`` set, no live WAL exists — flushes are the
+        # durability source — so leftover logs (from a previous run with
+        # the WAL on) are replayed and immediately flushed instead.
         old_wals = [p for p in sorted(fs.list_dir(self._path))
                     if p.endswith(".log")]
         # WAL rotations are not manifest events, so the persisted file
@@ -286,11 +365,14 @@ class DB:
         for path in old_wals:
             number = int(path.rsplit("/", 1)[-1].split(".")[0])
             self._next_file_number = max(self._next_file_number, number + 1)
-        self._wal = WalWriter(fs, self._wal_path(self._new_file_number()))
+        if not self._disable_wal:
+            self._wal = WalWriter(fs, self._wal_path(self._new_file_number()))
+            self._wal_add_records = self._wal.add_records
         for path in old_wals:
             for seq, kind, key, value in replay_wal(fs, path):
                 self._mem.add(seq, kind, key, value)
-                self._wal.add_record(seq, kind, key, value)
+                if self._wal is not None:
+                    self._wal.add_record(seq, kind, key, value)
                 self._seq = max(self._seq, seq)
                 # A backlog larger than one write buffer must not pile
                 # into a single oversized memtable that then sits
@@ -298,8 +380,16 @@ class DB:
                 if self._mem.should_flush():
                     self._rotate_memtable()
                     self._process_completions()
-        self._wal.sync()
+        if self._wal is not None:
+            self._wal.sync()
+        elif old_wals and (not self._mem.empty() or self._imm):
+            # Replayed entries must reach a flushed table before the old
+            # logs vanish, or a crash right after recovery loses them.
+            self._rotate_memtable()
+            self._maybe_schedule_flush(force=True)
+            self.wait_for_background()
         self._durable_seq = self._seq
+        self._rebuild_write_plan()
         for path in old_wals:
             fs.delete(path)
         if not existed:
@@ -410,7 +500,7 @@ class DB:
             raise DBClosedError("database is closed")
 
     def _advance(self, latency_us: float) -> None:
-        self._env.clock.advance(latency_us / max(1, self.foreground_parallelism))
+        self._clock_advance(latency_us / self._fg_div)
 
     def _maybe_stats_dump(self) -> float:
         period_us = self._stats_dump_period_us
@@ -443,6 +533,7 @@ class DB:
         result = payload.result
         ids = set(payload.memtable_ids)
         self._imm = [mt for mt in self._imm if id(mt) not in ids]
+        self._imm_bytes = sum(mt.approx_bytes for mt in self._imm)
         self._flushing_ids -= ids
         if result.file_meta is not None:
             self._version.add_file(0, result.file_meta)
@@ -760,11 +851,11 @@ class DB:
 
     def put(self, key: bytes, value: bytes) -> float:
         """Insert/overwrite ``key``; returns the modeled latency in us."""
-        return self._write(ValueKind.VALUE, key, value)
+        return self._write(_VALUE, key, value)
 
     def delete(self, key: bytes) -> float:
         """Delete ``key`` (writes a tombstone); returns latency in us."""
-        return self._write(ValueKind.DELETE, key, b"")
+        return self._write(_DELETE, key, b"")
 
     def write(self, batch: "WriteBatch") -> float:
         """Apply a :class:`~repro.lsm.write_batch.WriteBatch` atomically.
@@ -780,111 +871,215 @@ class DB:
         ``WAL_SYNCS`` under ``use_fsync``) count the batch once — one
         commit, one sync boundary.
         """
-        self._check_open()
-        if not batch.ops:
+        if self._closed:
+            raise DBClosedError("database is closed")
+        ops = batch.ops
+        if not ops:
             return 0.0
         # Validate before mutating anything: a bad op discovered
         # mid-batch would otherwise leave earlier ops in the WAL with no
         # committed sequence — half a batch after replay.
-        for op in batch.ops:
+        for op in ops:
             if not op.key:
                 raise DBError("empty keys are not supported")
-        self._process_completions()
-        stall_us = self._make_room_for_write(batch.approximate_bytes)
-        busy = self._busy_bg_jobs()
-        perf = self._perf
+        clock = self._clock
+        if self._completions.next_due_us <= clock._now_us:
+            self._process_completions()
+        stamp = self._version.stamp
+        n_imm = len(self._imm)
+        cache = self._clear_cache
+        if cache[0] == stamp and cache[1] == n_imm:
+            clear = cache[2]
+        else:
+            clear = self._controller.clear(
+                self._version.num_files(0),
+                n_imm,
+                self._pending_compaction_bytes(),
+            )
+            self._clear_cache = (stamp, n_imm, clear)
+        if clear:
+            stall_us = 0.0
+        else:
+            stall_us = self._make_room_for_write(batch.approximate_bytes)
+        now = clock._now_us
+        busy = self._busy_flush(now) + self._busy_compaction(now)
+        base, per_byte, coord, speed, cores, rot_seek, relief = self._put_plan
+        contention = (1.0 + busy) / cores
+        if contention < 1.0:
+            contention = 1.0
+        rot_extra = (
+            rot_seek * busy * 12.0 * relief if rot_seek and busy else 0.0
+        )
         tickers = self._tickers
-        mem_add = self._mem.add
+        mem_add = self._mem_add
         swap = self._swap_factor
         latency = 0.0
         wal_bytes = 0
-        wal_enabled = not self._disable_wal
-        wal_add = self._wal.add_record if wal_enabled and self._wal else None
+        wal_enabled = self._wal_enabled
         seq = self._seq
-        for op in batch.ops:
-            seq += 1
-            latency += perf.put_cost_us(
-                len(op.key), len(op.value),
-                busy_bg_jobs=busy, wal_enabled=wal_enabled,
-            ) * swap
-            if wal_add is not None:
-                wal_bytes += wal_add(seq, op.kind, op.key, op.value)
-            mem_add(seq, op.kind, op.key, op.value)
-            tickers[_T_NUMBER_KEYS_WRITTEN] += 1
+        if wal_enabled:
+            # One WAL append per batch: records are encoded into a single
+            # buffer (byte-identical to N add_record calls) and handed to
+            # the file once, so group commit pays one append round-trip.
+            records = []
+            add_rec = records.append
+            for op in ops:
+                seq += 1
+                key = op.key
+                value = op.value
+                cost = (base + (len(key) + len(value) + 24) * per_byte) + coord
+                per = cost / speed * contention
+                per += rot_extra
+                latency += per * swap
+                add_rec((seq, op.kind, key, value))
+                mem_add(seq, op.kind, key, value)
+            wal_bytes = self._wal_add_records(records)
+        else:
+            per = (base + coord) / speed * contention
+            per += rot_extra
+            per *= swap
+            for op in ops:
+                seq += 1
+                latency += per
+                mem_add(seq, op.kind, op.key, op.value)
         self._seq = seq
+        tickers[_T_NUMBER_KEYS_WRITTEN] += len(ops)
         if wal_enabled:
             tickers[_T_WAL_BYTES] += wal_bytes
             tickers[_T_WRITE_WITH_WAL] += 1
             if self._use_fsync:
                 self._wal.sync()
-                self._durable_seq = self._seq
-                latency += perf.wal_sync_cost_us()
+                self._durable_seq = seq
+                latency += self._perf.wal_sync_cost_us()
                 tickers[_T_WAL_SYNCS] += 1
                 self._monitor.record_sync()
-        latency += perf.writeback_stall_us(
-            wal_bytes + batch.approximate_bytes
-        )
-        latency += self._maybe_stats_dump()
+        latency += self._writeback(wal_bytes + batch.approximate_bytes)
+        period = self._stats_dump_period_us
+        if period > 0.0 and now - self._last_stats_dump_us >= period:
+            self._last_stats_dump_us = now
+            latency += self._perf.stats_dump_cost_us()
         tickers[_T_WRITE_DONE_BY_SELF] += 1
-        self._monitor.record_cpu(latency)
-        self._monitor.record_write(wal_bytes)
-        self._update_memory_gauge()
-        self._advance(latency)
+        mem = self._mem
+        mem_bytes = mem.approx_bytes
+        self._account_put(
+            latency,
+            wal_bytes,
+            mem_bytes + self._imm_bytes + self._block_cache.used_bytes,
+        )
+        self._clock_advance(latency / self._fg_div)
         total = latency + stall_us
-        self._stats.observe(OpClass.PUT, total)
-        if self._mem.should_flush() or self._over_global_write_budget():
+        self._observe_put(total)
+        if mem_bytes >= mem.capacity_bytes or (
+            self._budget_caps and self._over_global_write_budget()
+        ):
             rotation_cost = self._perf.rotation_overhead_us()
-            self._advance(rotation_cost)
+            self._clock_advance(rotation_cost / self._fg_div)
             total += rotation_cost
             self._rotate_memtable()
         return total
 
     def _write(self, kind: ValueKind, key: bytes, value: bytes) -> float:
-        self._check_open()
+        # Fillrandom's inner loop. The mutate path (WAL append + memtable
+        # insert) runs tight; the virtual-time math around it is a fused
+        # multiply-add over constants precomputed in _put_plan, preserving
+        # put_cost_us's exact FP evaluation order so results stay
+        # bit-identical. Accounting flows through bound sinks and the
+        # O(1) memory gauge rather than per-call attribute chains.
+        if self._closed:
+            raise DBClosedError("database is closed")
         if not key:
             raise DBError("empty keys are not supported")
-        self._process_completions()
+        clock = self._clock
+        if self._completions.next_due_us <= clock._now_us:
+            self._process_completions()
         entry_bytes = len(key) + len(value) + 24
-        stall_us = self._make_room_for_write(entry_bytes)
-        self._seq += 1
-        busy = self._busy_bg_jobs()
-        perf = self._perf
-        tickers = self._tickers
-        monitor = self._monitor
-        wal_enabled = not self._disable_wal
-        latency = perf.put_cost_us(
-            len(key), len(value),
-            busy_bg_jobs=busy,
-            wal_enabled=wal_enabled,
-        ) * self._swap_factor
+        # Stall fast path: the clear verdict is pure in (L0 files, imm
+        # count, pending debt), all functions of (version stamp, imm
+        # count) — memoize on those so the common NORMAL case is a tuple
+        # compare. The full state machine only runs near the thresholds.
+        stamp = self._version.stamp
+        n_imm = len(self._imm)
+        cache = self._clear_cache
+        if cache[0] == stamp and cache[1] == n_imm:
+            clear = cache[2]
+        else:
+            clear = self._controller.clear(
+                self._version.num_files(0),
+                n_imm,
+                self._pending_compaction_bytes(),
+            )
+            self._clear_cache = (stamp, n_imm, clear)
+        if clear:
+            stall_us = 0.0
+        else:
+            stall_us = self._make_room_for_write(entry_bytes)
+        # One attribute hop for everything the mutate+price section
+        # needs: the plan tuple is rebuilt whenever any member changes
+        # (_rebuild_write_plan call sites). Unpacked only after the
+        # stall check, which can rotate/flush and thus rebuild it.
+        (
+            busy_flush, busy_compaction,
+            base, per_byte, coord, speed, cores, rot_seek, relief,
+            wal_enabled, use_fsync, swap, fg_div, period,
+            tickers, wal_append, mem, mem_add, writeback, account_put,
+            clock_advance, observe_put, observe_delete, block_cache,
+            budget_caps,
+        ) = self._write_plan
+        seq = self._seq + 1
+        self._seq = seq
+        now = clock._now_us
+        busy = busy_flush(now) + busy_compaction(now)
+        if wal_enabled:
+            cost = (base + entry_bytes * per_byte) + coord
+        else:
+            cost = base + coord
+        contention = (1.0 + busy) / cores
+        if contention < 1.0:
+            contention = 1.0
+        latency = cost / speed * contention
+        if rot_seek and busy:
+            latency += rot_seek * busy * 12.0 * relief
+        latency *= swap
         wal_bytes = 0
         if wal_enabled:
-            wal = self._wal
-            assert wal is not None
-            wal_bytes = wal.add_record(self._seq, kind, key, value)
+            payload = (
+                _wal_pack_fixed(seq, kind, len(key))
+                + key
+                + _wal_pack_u32(len(value))
+                + value
+            )
+            wal_bytes = wal_append(
+                _wal_pack_header(_wal_crc32(payload), len(payload)) + payload
+            )
             tickers[_T_WAL_BYTES] += wal_bytes
             tickers[_T_WRITE_WITH_WAL] += 1
-            if self._use_fsync:
-                wal.sync()
-                self._durable_seq = self._seq
-                latency += perf.wal_sync_cost_us()
+            if use_fsync:
+                self._wal.sync()
+                self._durable_seq = seq
+                latency += self._perf.wal_sync_cost_us()
                 tickers[_T_WAL_SYNCS] += 1
-                monitor.record_sync()
-        self._mem.add(self._seq, kind, key, value)
-        latency += perf.writeback_stall_us(wal_bytes + entry_bytes)
-        latency += self._maybe_stats_dump()
+                self._monitor.record_sync()
+        mem_add(seq, kind, key, value)
+        latency += writeback(wal_bytes + entry_bytes)
+        if period > 0.0 and now - self._last_stats_dump_us >= period:
+            self._last_stats_dump_us = now
+            latency += self._perf.stats_dump_cost_us()
         tickers[_T_NUMBER_KEYS_WRITTEN] += 1
         tickers[_T_WRITE_DONE_BY_SELF] += 1
-        monitor.record_cpu(latency)
-        monitor.record_write(wal_bytes)
-        self._update_memory_gauge()
-        self._advance(latency)
+        mem_bytes = mem.approx_bytes
+        account_put(
+            latency,
+            wal_bytes,
+            mem_bytes + self._imm_bytes + block_cache.used_bytes,
+        )
+        clock_advance(latency / fg_div)
         total = latency + stall_us
-        op = OpClass.DELETE if kind is ValueKind.DELETE else OpClass.PUT
-        self._stats.observe(op, total)
-        if self._mem.should_flush() or self._over_global_write_budget():
+        (observe_delete if kind is _DELETE else observe_put)(total)
+        if mem_bytes >= mem.capacity_bytes or (
+            budget_caps and self._over_global_write_budget()
+        ):
             rotation_cost = self._perf.rotation_overhead_us()
-            self._advance(rotation_cost)
+            self._clock_advance(rotation_cost / self._fg_div)
             total += rotation_cost
             self._rotate_memtable()
         return total
@@ -892,10 +1087,7 @@ class DB:
     def _over_global_write_budget(self) -> bool:
         cap = self._db_write_buffer_size
         if cap:
-            total = self._mem.approximate_memory_usage + sum(
-                mt.approximate_memory_usage for mt in self._imm
-            )
-            if total >= cap:
+            if self._mem.approx_bytes + self._imm_bytes >= cap:
                 return True
         wal_cap = self._max_total_wal_size
         if wal_cap and self._wal is not None:
@@ -911,24 +1103,32 @@ class DB:
     def _rotate_memtable(self) -> None:
         if self._mem.empty():
             return
-        assert self._wal is not None
-        self._wal.sync()
-        if not self._disable_wal:
-            # Everything acked so far now sits in a synced WAL (older
-            # generations were synced at their own rotation).
-            self._durable_seq = self._seq
-        self._wal.close()
+        wal = self._wal
+        if wal is not None:
+            wal.sync()
+            if not self._disable_wal:
+                # Everything acked so far now sits in a synced WAL (older
+                # generations were synced at their own rotation).
+                self._durable_seq = self._seq
+            wal.close()
         if self._trace_on:
             self._tracer.emit(
                 MemtableRotate(
-                    memtable_bytes=self._mem.approximate_memory_usage,
+                    memtable_bytes=self._mem.approx_bytes,
                     immutables=len(self._imm) + 1,
                 )
             )
         self._imm.append(self._mem)
-        self._imm_wal_paths.append(self._wal.path)
+        self._imm_bytes += self._mem.approx_bytes
+        if wal is not None:
+            self._imm_wal_paths.append(wal.path)
+            self._wal = WalWriter(
+                self._env.fs, self._wal_path(self._new_file_number())
+            )
+            self._wal_add_records = self._wal.add_records
         self._mem = self._new_memtable()
-        self._wal = WalWriter(self._env.fs, self._wal_path(self._new_file_number()))
+        self._mem_add = self._mem.add
+        self._rebuild_write_plan()
         self._maybe_schedule_flush()
 
     # ------------------------------------------------------------- read
@@ -1394,7 +1594,12 @@ class DB:
         if value < 1:
             raise DBError("foreground parallelism must be >= 1")
         self._foreground_parallelism = value
+        self._fg_div = value
         self._perf.foreground_threads = value
+        # The coordination constant flips between the single-writer and
+        # write-group figure; refresh the fast lane's snapshot.
+        self._put_plan = self._perf.put_cost_params()
+        self._rebuild_write_plan()
 
     @property
     def closed(self) -> bool:
@@ -1462,12 +1667,11 @@ class DB:
         return len(self._imm)
 
     def _update_memory_gauge(self) -> None:
-        used = (
-            self._mem.approximate_memory_usage
-            + sum(mt.approximate_memory_usage for mt in self._imm)
+        self._set_used_memory(
+            self._mem.approx_bytes
+            + self._imm_bytes
             + self._block_cache.used_bytes
         )
-        self._monitor.set_used_memory(used)
 
     def get_property(self, name: str) -> str | None:
         """RocksDB-style string property lookup (``pylsm.*`` namespace);

@@ -34,6 +34,11 @@ class WritableFile:
         self._fs = fs
         self._path = path
         self._closed = False
+        # The handle is created by create()/open_writable() right after
+        # the _File is inserted; rename() keeps the object identity and
+        # crash()/truncate() mutate it in place, so caching it here (one
+        # append per WAL record) never goes stale.
+        self._f = fs._files[path]
 
     @property
     def path(self) -> str:
@@ -42,22 +47,21 @@ class WritableFile:
     def append(self, data: bytes) -> int:
         if self._closed:
             raise DBError(f"append to closed file {self._path}")
-        f = self._fs._files[self._path]
-        f.data.extend(data)
+        self._f.data.extend(data)
         return len(data)
 
     def sync(self) -> int:
         """Mark everything written so far durable; returns newly-synced bytes."""
-        f = self._fs._files[self._path]
+        f = self._f
         delta = len(f.data) - f.synced_bytes
         f.synced_bytes = len(f.data)
         return max(0, delta)
 
     def size(self) -> int:
-        return len(self._fs._files[self._path].data)
+        return len(self._f.data)
 
     def unsynced_bytes(self) -> int:
-        f = self._fs._files[self._path]
+        f = self._f
         return len(f.data) - f.synced_bytes
 
     def close(self) -> None:

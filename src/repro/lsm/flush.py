@@ -6,7 +6,6 @@ import heapq
 from dataclasses import dataclass
 from typing import Callable, Iterator
 
-from repro.lsm import ikey as ikey_mod
 from repro.lsm.memtable import MemTable, ValueKind
 from repro.lsm.snapshot import SnapshotList, may_drop_version
 from repro.lsm.sstable import FileMetaData, SSTableBuilder
@@ -33,24 +32,32 @@ class FlushResult:
 def merge_memtables(
     memtables: list[MemTable],
 ) -> Iterator[tuple[bytes, ValueKind, bytes]]:
-    """Merge memtables in internal-key order (each is already sorted)."""
+    """Merge memtables in internal-key order (each is already sorted).
+
+    Runs on the encoded keys straight from the skiplists
+    (:meth:`MemTable.raw_entries`) — internal-key byte order is the sort
+    order, so nothing needs decoding, and the single-memtable case (the
+    common one) skips the heap entirely.
+    """
+    if len(memtables) == 1:
+        for internal, (kind, value) in memtables[0].raw_entries():
+            yield internal, kind, value
+        return
     sources = []
     for idx, mt in enumerate(memtables):
-        it = mt.entries()
+        it = mt.raw_entries()
         first = next(it, None)
         if first is not None:
-            user_key, seq, kind, value = first
-            sources.append((ikey_mod.encode(user_key, seq), idx, kind, value, it))
+            internal, (kind, value) = first
+            sources.append((internal, idx, kind, value, it))
     heapq.heapify(sources)
     while sources:
         internal, idx, kind, value, it = heapq.heappop(sources)
         yield internal, kind, value
         nxt = next(it, None)
         if nxt is not None:
-            user_key, seq, nkind, nvalue = nxt
-            heapq.heappush(
-                sources, (ikey_mod.encode(user_key, seq), idx, nkind, nvalue, it)
-            )
+            internal, (kind, value) = nxt
+            heapq.heappush(sources, (internal, idx, kind, value, it))
 
 
 def run_flush(
@@ -70,20 +77,58 @@ def run_flush(
     bytes_in = sum(mt.approximate_memory_usage for mt in memtables)
     entries_in = sum(mt.num_entries for mt in memtables)
     builder: SSTableBuilder | None = None
-    last_user: bytes | None = None
-    last_seq = 0
+    no_snapshots = snapshots is None or len(snapshots) == 0
     max_seq = max(mt.last_seq for mt in memtables)
     entries_out = 0
-    for internal, kind, value in merge_memtables(memtables):
-        user_key, seq = ikey_mod.decode(internal)
-        if user_key == last_user and may_drop_version(last_seq, seq, snapshots):
-            continue  # newer version already emitted, no snapshot needs this
-        last_user = user_key
-        last_seq = seq
-        if builder is None:
-            builder = open_builder()
-        builder.add(internal, kind, value)
-        entries_out += 1
+
+    def live_entries():
+        """Merged entries with shadowed versions collapsed.
+
+        Same-user-key detection compares ``internal[:-8]`` prefixes
+        (escaped user key + terminator): the terminator appears only as
+        the terminator, so equal prefixes == equal user keys; sequences
+        are only extracted (cheaply, from the key tail) when a live
+        snapshot makes the drop decision depend on them.
+        """
+        nonlocal entries_out
+        last_prefix: bytes | None = None
+        last_internal = b""
+        for internal, kind, value in merge_memtables(memtables):
+            prefix = internal[:-8]
+            if prefix == last_prefix:
+                # Newer version already emitted; droppable unless a
+                # snapshot still needs this one.
+                if no_snapshots:
+                    continue
+                newer_seq = 0xFFFFFFFFFFFFFFFF - int.from_bytes(
+                    last_internal[-8:], "big"
+                )
+                older_seq = 0xFFFFFFFFFFFFFFFF - int.from_bytes(
+                    internal[-8:], "big"
+                )
+                if may_drop_version(newer_seq, older_seq, snapshots):
+                    continue
+            last_prefix = prefix
+            last_internal = internal
+            entries_out += 1
+            yield internal, kind, value
+
+    if len(memtables) == 1 and no_snapshots:
+        # Single memtable, no snapshots (the common rotation): the
+        # memtable's per-key version lists already group shadowed
+        # versions, so ask it for just the newest per user key — same
+        # entry stream as the generic merge+dedupe below, minus the
+        # merge heap, the prefix compares, and the shadowed encodes.
+        mt = memtables[0]
+        entries = mt.newest_entries()
+        entries_out = mt.unique_keys
+    else:
+        entries = live_entries()
+    first = next(entries, None)
+    if first is not None:
+        builder = open_builder()
+        builder.add(*first)
+        builder.add_many(entries)
     if builder is None:
         result = FlushResult(None, bytes_in, 0, entries_in, 0, last_sequence=max_seq)
     else:

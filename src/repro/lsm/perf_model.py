@@ -137,13 +137,69 @@ class PerfModel:
         self._fixed_scale = byte_scale
         #: Concurrent foreground writer threads (set by the DB); the
         #: pipelined write path pays off only with real concurrency.
-        self.foreground_threads = 1
+        self._foreground_threads = 1
         # Options are fixed for the lifetime of a model instance (the
         # tuner reopens the DB per configuration), so the hot-path
         # lookups are resolved once here instead of per operation.
         self._memtable_bloom = options.get("memtable_prefix_bloom_size_ratio") > 0
         self._pipelined = bool(options.get("enable_pipelined_write"))
         self._readahead_relief_cached = self._compute_readahead_relief()
+        self._recompute_put_constants()
+
+    @property
+    def foreground_threads(self) -> int:
+        return self._foreground_threads
+
+    @foreground_threads.setter
+    def foreground_threads(self, value: int) -> None:
+        self._foreground_threads = value
+        self._recompute_put_constants()
+
+    def _recompute_put_constants(self) -> None:
+        """Resolve the per-write cost plan once per configuration.
+
+        ``put_cost_us`` is config-constant except for the byte-count
+        term, so the profile branches collapse into a ``(base, per_byte,
+        coord)`` triple plus the contention divisors. The terms are kept
+        separate (not pre-summed) so the floating-point addition order of
+        the original branchy expression — base, then bytes, then
+        coordination — is preserved bit for bit.
+        """
+        c = self.cpu
+        base = c.memtable_insert
+        if self._memtable_bloom:
+            base = base + c.memtable_bloom_probe
+        concurrent = self._foreground_threads > 1
+        if self._pipelined:
+            coord = c.pipelined_write_overhead if concurrent else c.write_group_coordination
+        else:
+            coord = c.write_group_coordination if concurrent else c.pipelined_write_overhead
+        device = self.profile.device
+        self._put_base_us = base
+        self._put_per_byte_us = c.wal_encode_per_byte
+        self._put_coord_us = coord
+        self._put_speed = self.profile.cpu_speed
+        self._put_cores = self.profile.cpu_cores
+        self._put_rot_seek_us = (
+            device.seek_us * self._fixed_scale if device.rotational else 0.0
+        )
+
+    def put_cost_params(
+        self,
+    ) -> tuple[float, float, float, float, int, float, float]:
+        """The precomputed put-cost plan, for callers that inline the
+        fused multiply-add (see ``DB._write``): ``(base_us, per_byte_us,
+        coord_us, cpu_speed, cpu_cores, rot_seek_us, readahead_relief)``.
+        """
+        return (
+            self._put_base_us,
+            self._put_per_byte_us,
+            self._put_coord_us,
+            self._put_speed,
+            self._put_cores,
+            self._put_rot_seek_us,
+            self._readahead_relief_cached,
+        )
 
     # -- helpers -----------------------------------------------------------
 
@@ -168,34 +224,31 @@ class PerfModel:
         busy_bg_jobs: int = 0,
         wal_enabled: bool = True,
     ) -> float:
-        """Cost of one write hitting WAL + memtable (no stalls)."""
-        c = self.cpu
-        cost = c.memtable_insert
-        if self._memtable_bloom:
-            cost += c.memtable_bloom_probe
+        """Cost of one write hitting WAL + memtable (no stalls).
+
+        Evaluated from the constants hoisted by
+        :meth:`_recompute_put_constants`; the floating-point operation
+        order matches the original branch-per-term expression exactly.
+        """
         if wal_enabled:
-            cost += (key_len + value_len + 24) * c.wal_encode_per_byte
-        concurrent = self.foreground_threads > 1
-        if self._pipelined:
-            # Pipelining overlaps WAL and memtable stages: a win with
-            # concurrent writers, pure coordination overhead without.
-            cost += c.pipelined_write_overhead if concurrent else c.write_group_coordination
+            cost = (
+                self._put_base_us
+                + (key_len + value_len + 24) * self._put_per_byte_us
+            ) + self._put_coord_us
         else:
-            cost += c.write_group_coordination if concurrent else c.pipelined_write_overhead
-        total = self._cpu(cost, busy_bg_jobs)
-        if self.profile.device.rotational and busy_bg_jobs:
+            cost = self._put_base_us + self._put_coord_us
+        contention = (1.0 + busy_bg_jobs) / self._put_cores
+        if contention < 1.0:
+            contention = 1.0
+        total = cost / self._put_speed * contention
+        rot_seek = self._put_rot_seek_us
+        if rot_seek and busy_bg_jobs:
             # On a rotational disk the WAL stream shares the arm with
             # flush/compaction streams: every switch costs a seek. The
             # per-op share is the (scaled) seek amortized over the ops
             # between switches, and shrinks when compaction readahead
             # batches its reads into longer sequential runs.
-            total += (
-                self.profile.device.seek_us
-                * self._fixed_scale
-                * busy_bg_jobs
-                * 12.0
-                * self._readahead_relief()
-            )
+            total += rot_seek * busy_bg_jobs * 12.0 * self._readahead_relief_cached
         return total
 
     def _readahead_relief(self) -> float:

@@ -23,6 +23,7 @@ from repro.errors import CorruptionError
 from repro.lsm import ikey as ikey_mod
 from repro.lsm.block import (
     BlockBuilder,
+    _put_varint,
     block_entries_seek,
     compress_block,
     decode_block,
@@ -34,6 +35,11 @@ from repro.lsm.memtable import ValueKind
 
 _FOOTER = struct.Struct("<QQQQQdQ")
 _MAGIC = 0x88E241B785F4CFF7
+
+# Entry hot-path tables: the kind tag is one byte (0 or 1), so prefix
+# bytes and enum members are looked up instead of constructed per entry.
+_KIND_BYTES = (b"\x00", b"\x01")
+_KIND_OF = (ValueKind.DELETE, ValueKind.VALUE)
 
 
 @dataclass(frozen=True)
@@ -107,10 +113,16 @@ class SSTableBuilder:
         self._index: list[tuple[bytes, int, int]] = []
         self._offset = 0
         self._num_entries = 0
-        self._smallest_user: bytes | None = None
-        self._largest_user: bytes | None = None
+        self._first_ikey: bytes | None = None
         self._last_ikey = b""
-        self._bloom_keys: set[bytes] = set()
+        #: Escaped-user-key prefixes (``internal_key[:-8]``) of bloom
+        #: candidates. The escape is injective and the terminator occurs
+        #: only as the terminator, so distinct prefixes == distinct user
+        #: keys; decoding is deferred to :meth:`finish`, once per unique
+        #: key instead of once per entry. Bloom bits are an OR over the
+        #: added keys, so insertion order cannot change the filter.
+        self._bloom_prefixes: set[bytes] = set()
+        self._collect_bloom = bloom_bits_per_key > 0 and whole_key_filtering
         self._finished = False
 
     @property
@@ -126,17 +138,122 @@ class SSTableBuilder:
             raise CorruptionError("add() after finish()")
         if self._num_entries and internal_key <= self._last_ikey:
             raise CorruptionError("sstable keys must be strictly increasing")
-        user_key = ikey_mod.user_key_of(internal_key)
-        if self._smallest_user is None:
-            self._smallest_user = user_key
-        self._largest_user = user_key
-        self._block.add(internal_key, bytes([int(kind)]) + value)
+        if self._first_ikey is None:
+            self._first_ikey = internal_key
         self._last_ikey = internal_key
         self._num_entries += 1
-        if self._bloom_bits > 0 and self._whole_key:
-            self._bloom_keys.add(user_key)
-        if self._block.size_estimate() >= self._block_size:
+        if self._collect_bloom:
+            self._bloom_prefixes.add(internal_key[:-8])
+        if self._block.add(internal_key, _KIND_BYTES[kind] + value) >= self._block_size:
             self._flush_block()
+
+    def add_many(
+        self,
+        entries: Iterator[tuple[bytes, ValueKind, bytes]],
+        split_size: int | None = None,
+    ) -> bool:
+        """Bulk :meth:`add`: one tight loop over ``(internal, kind, value)``.
+
+        Byte-identical to calling :meth:`add` per entry — the block
+        encoding is inlined here (flush/compaction push every entry of
+        every table through this loop, so the per-entry call stack is
+        the cost that matters). With ``split_size``, consumption stops
+        once the table's estimated size reaches it *after* an entry —
+        the caller finishes this table and starts the next one. Returns
+        True when ``entries`` was exhausted.
+        """
+        if self._finished:
+            raise CorruptionError("add() after finish()")
+        block = self._block
+        buf = block._buf
+        restarts = block._restarts
+        counter = block._counter
+        last = block._last_key
+        block_entries = block._num_entries
+        interval = block._restart_interval
+        block_size = self._block_size
+        offset = self._offset
+        collect = self._collect_bloom
+        prefix_add = self._bloom_prefixes.add
+        kind_bytes = _KIND_BYTES
+        last_ikey = self._last_ikey
+        num = self._num_entries
+        first_unset = self._first_ikey is None
+        from_bytes = int.from_bytes
+        exhausted = True
+        for internal_key, kind, value in entries:
+            if num and internal_key <= last_ikey:
+                raise CorruptionError("sstable keys must be strictly increasing")
+            if first_unset:
+                self._first_ikey = internal_key
+                first_unset = False
+            last_ikey = internal_key
+            num += 1
+            if collect:
+                prefix_add(internal_key[:-8])
+            val = kind_bytes[kind] + value
+            key_len = len(internal_key)
+            if counter < interval:
+                n = len(last)
+                if key_len == n:
+                    # Equal-length keys (the norm: fixed-width user keys
+                    # + 10-byte suffix): XOR whole keys, no slicing.
+                    diff = (
+                        from_bytes(internal_key, "big")
+                        ^ from_bytes(last, "big")
+                    )
+                else:
+                    if key_len < n:
+                        n = key_len
+                    diff = (
+                        from_bytes(internal_key[:n], "big")
+                        ^ from_bytes(last[:n], "big")
+                    )
+                shared = n if diff == 0 else n - ((diff.bit_length() + 7) >> 3)
+            else:
+                restarts.append(len(buf))
+                counter = 0
+                shared = 0
+            non_shared = key_len - shared
+            val_len = len(val)
+            if shared < 0x80 and non_shared < 0x80 and val_len < 0x80:
+                buf.append(shared)
+                buf.append(non_shared)
+                buf.append(val_len)
+            else:
+                _put_varint(buf, shared)
+                _put_varint(buf, non_shared)
+                _put_varint(buf, val_len)
+            buf += internal_key[shared:]
+            buf += val
+            last = internal_key
+            counter += 1
+            block_entries += 1
+            estimate = len(buf) + 4 * len(restarts) + 4
+            if estimate >= block_size:
+                block._counter = counter
+                block._last_key = last
+                block._num_entries = block_entries
+                self._last_ikey = last_ikey
+                self._num_entries = num
+                self._flush_block()
+                block = self._block
+                buf = block._buf
+                restarts = block._restarts
+                counter = 0
+                last = b""
+                block_entries = 0
+                offset = self._offset
+                estimate = 8  # empty block: one restart slot + trailer
+            if split_size is not None and offset + estimate >= split_size:
+                exhausted = False
+                break
+        block._counter = counter
+        block._last_key = last
+        block._num_entries = block_entries
+        self._last_ikey = last_ikey
+        self._num_entries = num
+        return exhausted
 
     def _flush_block(self) -> None:
         if self._block.empty():
@@ -153,10 +270,12 @@ class SSTableBuilder:
             raise CorruptionError("finish() called twice")
         self._flush_block()
         filter_off = filter_sz = 0
-        if self._bloom_bits > 0 and self._bloom_keys:
-            bloom = BloomFilter(self._bloom_bits, max(1, len(self._bloom_keys)))
-            for key in self._bloom_keys:
-                bloom.add(key)
+        if self._bloom_bits > 0 and self._bloom_prefixes:
+            bloom = BloomFilter(self._bloom_bits, max(1, len(self._bloom_prefixes)))
+            for prefix in self._bloom_prefixes:
+                # prefix = escape(user_key) + terminator; unescape once
+                # per unique key (reader probes with plain user keys).
+                bloom.add(prefix[:-2].replace(b"\x00\xff", b"\x00"))
             payload = compress_block(bloom.to_bytes(), "none")
             filter_off = self._offset
             filter_sz = len(payload)
@@ -184,11 +303,14 @@ class SSTableBuilder:
         self._file.close()
         self._finished = True
         file_number = _file_number_from_path(self._path)
+        first = self._first_ikey
         return FileMetaData(
             file_number=file_number,
             file_size=self._file.size(),
-            smallest_key=self._smallest_user or b"",
-            largest_key=self._largest_user or b"",
+            smallest_key=ikey_mod.user_key_of(first) if first is not None else b"",
+            largest_key=(
+                ikey_mod.user_key_of(self._last_ikey) if first is not None else b""
+            ),
             num_entries=self._num_entries,
         )
 
@@ -356,7 +478,7 @@ class SSTableReader:
             entry_user, _seq = ikey_mod.decode(entry_ikey)
             if entry_user != user_key:
                 break
-            return True, ValueKind(packed[0]), packed[1:], stats
+            return True, _KIND_OF[packed[0]], packed[1:], stats
         return False, None, None, stats
 
     def multi_get(
@@ -406,7 +528,7 @@ class SSTableReader:
                 entry_user, _seq = ikey_mod.decode(entry_ikey)
                 if entry_user != user_key:
                     break
-                out[user_key] = (ValueKind(packed[0]), packed[1:])
+                out[user_key] = (_KIND_OF[packed[0]], packed[1:])
                 break
         return out
 
@@ -423,7 +545,7 @@ class SSTableReader:
             for entry_ikey, packed in self._read_block(
                 idx, cache_get, cache_put, local
             ):
-                yield entry_ikey, ValueKind(packed[0]), packed[1:]
+                yield entry_ikey, _KIND_OF[packed[0]], packed[1:]
 
     def iter_from(
         self,
@@ -446,4 +568,4 @@ class SSTableReader:
             else:
                 pairs = iter(entries)
             for entry_ikey, packed in pairs:
-                yield entry_ikey, ValueKind(packed[0]), packed[1:]
+                yield entry_ikey, _KIND_OF[packed[0]], packed[1:]

@@ -66,6 +66,41 @@ class WriteController:
         # a disabled tracer must cost a single None check.
         self._tracer = tracer if tracer is not None and tracer.enabled else None
         self._last_state = WriteState.NORMAL
+        # `clear()` thresholds: NORMAL holds iff every input sits strictly
+        # below these. Immutable-memtable pressure delays one buffer
+        # early when three or more are configured; zero pending limits
+        # mean "unlimited".
+        self._imm_clear_below = (
+            self._max_bufs - 1 if self._max_bufs >= 3 else self._max_bufs
+        )
+        self._l0_clear_below = min(self._l0_stop, self._l0_slowdown)
+        pending_limits = [
+            limit for limit in (self._hard_pending, self._soft_pending) if limit
+        ]
+        self._pending_clear_below = (
+            min(pending_limits) if pending_limits else float("inf")
+        )
+
+    def clear(
+        self,
+        l0_files: int,
+        immutable_memtables: int,
+        pending_compaction_bytes: int,
+    ) -> bool:
+        """Fast-path verdict: True iff :meth:`decide` would say NORMAL.
+
+        Positional, three comparisons, no decision object — this runs
+        before every write. Returns False (forcing the full
+        :meth:`decide` path) whenever a stall applies *or* a traced
+        state transition back to NORMAL still needs to be published.
+        """
+        if (
+            immutable_memtables >= self._imm_clear_below
+            or l0_files >= self._l0_clear_below
+            or pending_compaction_bytes >= self._pending_clear_below
+        ):
+            return False
+        return self._tracer is None or self._last_state is WriteState.NORMAL
 
     def decide(
         self,

@@ -33,6 +33,11 @@ class SlotPool:
         if capacity < 1:
             raise ValueError("slot pool needs at least one slot")
         self._free_at: list[float] = [0.0] * capacity
+        # busy_count cache: (valid_until, count). The count can only
+        # change when a slot's end time passes or a job is scheduled, so
+        # between those events the foreground's twice-per-op polls are a
+        # single comparison. Invalidated by acquire()/resize().
+        self._busy_cache: tuple[float, int] = (-_INF, 0)
 
     @property
     def capacity(self) -> int:
@@ -50,13 +55,25 @@ class SlotPool:
             # (later free times) is preserved conservatively.
             self._free_at.sort(reverse=True)
             del self._free_at[capacity:]
+        self._busy_cache = (-_INF, 0)
 
     def earliest_free_us(self) -> float:
         return min(self._free_at)
 
     def busy_count(self, now_us: float) -> int:
         """Number of slots still busy at ``now_us``."""
-        return sum(1 for t in self._free_at if t > now_us)
+        valid_until, count = self._busy_cache
+        if now_us < valid_until:
+            return count
+        count = 0
+        next_change = _INF
+        for t in self._free_at:
+            if t > now_us:
+                count += 1
+                if t < next_change:
+                    next_change = t
+        self._busy_cache = (next_change, count)
+        return count
 
     def acquire(self, now_us: float, duration_us: float) -> float:
         """Schedule a job; return its virtual completion time."""
@@ -66,6 +83,7 @@ class SlotPool:
         start = max(now_us, self._free_at[idx])
         done = start + duration_us
         self._free_at[idx] = done
+        self._busy_cache = (-_INF, 0)
         return done
 
 
@@ -90,24 +108,19 @@ class CompletionQueue:
     def __init__(self) -> None:
         self._heap: list[Completion] = []
         self._seq = 0
+        #: Virtual time of the earliest pending completion (inf if none).
+        #: Maintained by every mutator so the engine's per-operation poll
+        #: is a plain attribute read and one float compare.
+        self.next_due_us: float = _INF
 
     def __len__(self) -> int:
         return len(self._heap)
-
-    @property
-    def next_due_us(self) -> float:
-        """Virtual time of the earliest pending completion (inf if none).
-
-        Lets the engine's per-operation poll skip the pop/list machinery
-        with one comparison when nothing is due yet.
-        """
-        heap = self._heap
-        return heap[0].at_us if heap else _INF
 
     def push(self, at_us: float, kind: str, payload: object = None) -> Completion:
         self._seq += 1
         item = Completion(at_us=at_us, seqno=self._seq, kind=kind, payload=payload)
         heapq.heappush(self._heap, item)
+        self.next_due_us = self._heap[0].at_us
         return item
 
     def peek(self) -> Completion | None:
@@ -116,8 +129,10 @@ class CompletionQueue:
     def pop_due(self, now_us: float) -> list[Completion]:
         """Pop all completions due at or before ``now_us``, in order."""
         due: list[Completion] = []
-        while self._heap and self._heap[0].at_us <= now_us:
-            due.append(heapq.heappop(self._heap))
+        heap = self._heap
+        while heap and heap[0].at_us <= now_us:
+            due.append(heapq.heappop(heap))
+        self.next_due_us = heap[0].at_us if heap else _INF
         return due
 
     def pop_next(self) -> Completion | None:
@@ -125,7 +140,9 @@ class CompletionQueue:
         caller must block until *something* finishes)."""
         if not self._heap:
             return None
-        return heapq.heappop(self._heap)
+        item = heapq.heappop(self._heap)
+        self.next_due_us = self._heap[0].at_us if self._heap else _INF
+        return item
 
     def has_kind(self, kind: str) -> bool:
         """Whether any pending completion is of ``kind``."""
@@ -136,4 +153,5 @@ class CompletionQueue:
         out: list[Completion] = []
         while self._heap:
             out.append(heapq.heappop(self._heap))
+        self.next_due_us = _INF
         return out
