@@ -1,0 +1,182 @@
+#!/usr/bin/env python
+"""Online-tuning benchmark -> the ``online_tuning`` key of BENCH_service.json.
+
+Runs the seeded ``phasedmix`` workload (write-heavy uniform for the
+first half, read-heavy zipfian after) over 2 shards with saturating
+open-loop clients, twice:
+
+* **static** — the deliberately mis-provisioned base configuration
+  (a 256 KiB block cache) held for the whole run;
+* **online** — the same base, but with the :class:`OnlineTuner` riding
+  the service's progress stream: when the drift detector flags the
+  phase change, the tuner asks the LLM for a diff, applies it through
+  ``set_options`` without reopening a shard, scores the next window,
+  and reverts anything that deteriorates.
+
+The LLM is scripted (one good diff, one bad) so the session always
+demonstrates both control-plane paths — a kept improvement and a
+flagger-driven revert — deterministically. The headline number is
+post-drift throughput: ops/sec over the second (drifted) half of the
+run, where the static configuration is mis-tuned.
+
+Existing keys in BENCH_service.json (the group-commit benchmark) are
+preserved.
+
+    PYTHONPATH=src python scripts/bench_online.py            # updates BENCH_service.json
+    PYTHONPATH=src python scripts/bench_online.py out.json   # custom path
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import sys
+
+from repro.bench.spec import workload
+from repro.core.online import OnlineTuner, OnlineTunerConfig
+from repro.hardware.profile import make_profile
+from repro.llm.client import ScriptedLLM
+from repro.lsm.options import Options
+from repro.obs.drift import DriftConfig
+from repro.obs.events import ServiceProgress
+from repro.obs.sinks import RingSink
+from repro.obs.tracer import Tracer
+from repro.service.service import run_service_benchmark
+
+SCALE = 1.0 / 500.0
+SHARDS = 2
+#: Per-client arrival rate chosen to saturate the shards: queues form,
+#: so measured ops/sec reflects service capacity, not the arrival rate.
+CLIENT_OPS_PER_SEC = 200_000.0
+BASE_OPTIONS = {"block_cache_size": 256 * 1024, "shard_count": SHARDS}
+
+#: Scripted LLM turns: a genuinely good post-drift diff (grow the cache
+#: for the read-heavy zipfian phase) and a genuinely bad one (shrink it
+#: to almost nothing) so the revert path is exercised every run.
+GOOD_DIFF = (
+    "Reads dominate now and the block cache is far too small for the "
+    "hot set.\n```\nblock_cache_size=8388608\n```"
+)
+BAD_DIFF = (
+    "Memory is tight; shrink the cache.\n```\nblock_cache_size=65536\n```"
+)
+
+
+def post_drift_ops_per_sec(events: list, total_ops: int) -> float:
+    """Throughput over the drifted second half, from progress samples."""
+    samples = [e for e in events if type(e) is ServiceProgress]
+    mid = next(e for e in samples if e.ops_done >= total_ops // 2)
+    last = samples[-1]
+    secs = last.elapsed_virtual_s - mid.elapsed_virtual_s
+    return (last.ops_done - mid.ops_done) / secs if secs > 0 else 0.0
+
+
+def run_static(spec) -> dict:
+    sink = RingSink()
+    result = run_service_benchmark(
+        spec,
+        Options(dict(BASE_OPTIONS)),
+        make_profile(4, 4),
+        client_ops_per_sec=CLIENT_OPS_PER_SEC,
+        byte_scale=1.0,
+        tracer=Tracer(sink),
+    )
+    agg = result.aggregate
+    return {
+        "ops_per_sec": agg.ops_per_sec,
+        "post_drift_ops_per_sec": post_drift_ops_per_sec(
+            sink.events, spec.num_ops
+        ),
+        "p99_read_us": agg.p99_read_us(),
+        "cache_hit_rate": agg.cache_hit_rate,
+        "wall_clock_host_s": result.wall_clock_s,
+    }
+
+
+def run_online(spec) -> dict:
+    config = OnlineTunerConfig(
+        workload=spec,
+        base_options=Options(dict(BASE_OPTIONS)),
+        byte_scale=1.0,
+        drift=DriftConfig(window_ops=4000),
+        score_window_ops=4000,
+        client_ops_per_sec=CLIENT_OPS_PER_SEC,
+    )
+    tuner = OnlineTuner(config, llm=ScriptedLLM([GOOD_DIFF, BAD_DIFF], cycle=True))
+    session = tuner.run()
+    agg = session.result.aggregate
+    return {
+        "ops_per_sec": agg.ops_per_sec,
+        "post_drift_ops_per_sec": post_drift_ops_per_sec(
+            session.trace_events, spec.num_ops
+        ),
+        "p99_read_us": agg.p99_read_us(),
+        "cache_hit_rate": agg.cache_hit_rate,
+        "wall_clock_host_s": session.result.wall_clock_s,
+        "drift_events": session.drift_count,
+        "diffs_applied": len(session.applied_actions),
+        "diffs_reverted": len(session.reverted_actions),
+        "actions": [
+            {
+                "ops_at": a.ops_at,
+                "trigger": a.trigger,
+                "applied": {n: [old, new] for n, (old, new) in a.applied.items()},
+                "kept": a.kept,
+                "reason": a.reason,
+                "before_ops_per_sec": a.before_ops_per_sec,
+                "after_ops_per_sec": a.after_ops_per_sec,
+            }
+            for a in session.actions
+        ],
+    }
+
+
+def main() -> int:
+    out = sys.argv[1] if len(sys.argv) > 1 else "BENCH_service.json"
+    spec = workload("phasedmix", scale=SCALE)
+    static = run_static(spec)
+    online = run_online(spec)
+    gain = (
+        100.0
+        * (online["post_drift_ops_per_sec"] / static["post_drift_ops_per_sec"] - 1.0)
+        if static["post_drift_ops_per_sec"]
+        else 0.0
+    )
+    section = {
+        "benchmark": "phasedmix",
+        "topology": {
+            "shards": SHARDS,
+            "client_ops_per_sec": CLIENT_OPS_PER_SEC,
+            "base_options": BASE_OPTIONS,
+        },
+        "static": static,
+        "online": online,
+        "post_drift_gain_pct": gain,
+        "host": {
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+        },
+    }
+    payload: dict = {}
+    if os.path.exists(out):
+        with open(out) as fh:
+            try:
+                payload = json.load(fh)
+            except json.JSONDecodeError:
+                payload = {}
+    payload["online_tuning"] = section
+    with open(out, "w") as fh:
+        json.dump(payload, fh, indent=2)
+        fh.write("\n")
+    print(
+        f"wrote {out}: post-drift {online['post_drift_ops_per_sec']:.0f} "
+        f"(online) vs {static['post_drift_ops_per_sec']:.0f} (static) "
+        f"ops/sec ({gain:+.1f}%), {online['diffs_applied']} diff(s) applied "
+        f"mid-flight, {online['diffs_reverted']} reverted"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

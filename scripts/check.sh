@@ -41,6 +41,10 @@ echo "== scan determinism: seekrandom twice, byte-identical traces =="
 python scripts/check_scan_determinism.py
 
 echo
+echo "== online determinism: phased workload, tuner mid-flight, twice =="
+python scripts/check_online_determinism.py
+
+echo
 echo "== perf smoke: write-path throughput vs recorded baseline =="
 # Opt-in (wall-clock timing is meaningless on loaded CI hosts): export
 # PERF_SMOKE=1 to fail the gate when fillrandom throughput drops >30%

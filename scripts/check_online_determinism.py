@@ -1,0 +1,66 @@
+"""Online-tuning determinism gate: two seeded sessions, identical traces.
+
+Run by ``scripts/check.sh``. Executes the seeded ``phasedmix`` workload
+(write-heavy uniform drifting to read-heavy zipfian at the midpoint)
+through the :class:`~repro.core.online.OnlineTuner` twice — drift
+detection, LLM round-trips, mid-flight ``set_options`` fan-outs,
+scoring, and reverts all included — and compares the full JSONL traces
+byte for byte.
+
+Any divergence means host state (dict order, real time, an unseeded
+RNG) leaked into the online control plane, which would make online
+tuning sessions unreproducible.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.bench.spec import workload
+from repro.core.online import OnlineTuner, OnlineTunerConfig
+from repro.llm.simulated import SimulatedExpert
+from repro.obs.drift import DriftConfig
+from repro.obs.events import to_jsonl_line
+
+SCALE = 1.0 / 1000.0
+
+
+def one_run() -> tuple[str, int, int]:
+    spec = workload("phasedmix", scale=SCALE)
+    config = OnlineTunerConfig(
+        workload=spec,
+        byte_scale=1.0,
+        drift=DriftConfig(window_ops=4000),
+        score_window_ops=4000,
+        cadence_ops=8000,
+    )
+    tuner = OnlineTuner(config, llm=SimulatedExpert(seed=spec.seed))
+    session = tuner.run()
+    trace = "\n".join(to_jsonl_line(e).rstrip("\n") for e in session.trace_events)
+    return trace, len(session.applied_actions), session.drift_count
+
+
+def main() -> int:
+    trace1, applied1, drift1 = one_run()
+    trace2, _applied2, _drift2 = one_run()
+    if trace1 != trace2:
+        print("FAIL: online tuning traces differ between identical runs",
+              file=sys.stderr)
+        return 1
+    if applied1 < 1:
+        print("FAIL: online session applied no mid-flight diff",
+              file=sys.stderr)
+        return 1
+    if drift1 < 1:
+        print("FAIL: phased workload produced no drift event",
+              file=sys.stderr)
+        return 1
+    events = trace1.count("\n") + 1 if trace1 else 0
+    print(f"online determinism OK: {drift1} drift event(s), {applied1} "
+          f"mid-flight diff(s), {events} trace events byte-identical "
+          f"across runs")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -25,7 +25,7 @@ from repro.obs.events import (
 #: whole subsystem's events (e.g. the service layer) fails loudly.
 REQUIRED_NAMESPACES = {
     "span", "engine", "bench", "tune", "exec", "fault", "service",
-    "iterator", "multiget",
+    "iterator", "multiget", "db", "workload",
 }
 
 #: The service layer's event vocabulary, pinned by name: trace
@@ -35,6 +35,9 @@ REQUIRED_SERVICE_TYPES = {
     "service.group_commit",
     "service.shard",
     "service.end",
+    "service.progress",
+    "db.set_options",
+    "workload.drift",
 }
 
 

@@ -213,6 +213,15 @@ class DbBench:
                 seed=spec.seed ^ 0xBEEF,
             )
             mix_rng = random.Random(spec.seed ^ 0xC0FFEE)
+            # Phased workloads: resolve mid-run shifts into op-index
+            # segments once; the loop below switches mix/keygen at the
+            # boundaries. Key generators for later segments get seeds
+            # derived from (spec seed, segment index), so the switch is
+            # as deterministic as the rest of the stream.
+            segments = spec.schedule(spec.num_ops)
+            segment = 0
+            read_fraction = spec.read_fraction
+            distribution = spec.distribution
             if tracer is not None:
                 tracer.emit(
                     BenchStart(spec.name, spec.num_ops, spec.num_keys)
@@ -229,6 +238,19 @@ class DbBench:
             sequential = spec.name == "readseq"
             cursor = db.iterator() if scan_mode else None
             for op_index in range(spec.num_ops):
+                while (
+                    segment + 1 < len(segments)
+                    and op_index >= segments[segment + 1][0]
+                ):
+                    segment += 1
+                    _start, read_fraction, new_dist = segments[segment]
+                    if new_dist != distribution:
+                        distribution = new_dist
+                        keys = make_generator(
+                            distribution,
+                            spec.num_keys,
+                            spec.seed ^ (0xD41F7 + segment),
+                        )
                 if cursor is not None:
                     if sequential:
                         latency = (
@@ -243,9 +265,9 @@ class DbBench:
                             latency += cursor.next()
                     stats.observe(OpClass.SEEK, latency)
                     reads += 1
-                elif spec.read_fraction >= 1.0 or (
-                    spec.read_fraction > 0.0
-                    and mix_rng.random() < spec.read_fraction
+                elif read_fraction >= 1.0 or (
+                    read_fraction > 0.0
+                    and mix_rng.random() < read_fraction
                 ):
                     db.get(keys.next_key())
                     reads += 1

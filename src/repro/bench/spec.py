@@ -15,6 +15,32 @@ from repro.errors import WorkloadError
 
 
 @dataclass(frozen=True)
+class WorkloadPhase:
+    """A mid-run workload shift: at ``at_fraction`` of the op stream,
+    the mix and/or key skew change.
+
+    ``None`` fields inherit the value in force before the shift. Phased
+    specs give an online tuning loop real drift to react to — e.g. a
+    write-heavy uniform phase that turns read-heavy zipfian halfway.
+    """
+
+    #: Fraction of the op stream at which this phase begins (0, 1).
+    at_fraction: float
+    #: New read mix; None keeps the previous value.
+    read_fraction: float | None = None
+    #: New key distribution (uniform | zipfian | mixgraph); None keeps.
+    distribution: str | None = None
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.at_fraction < 1.0:
+            raise WorkloadError("phase at_fraction must be in (0, 1)")
+        if self.read_fraction is not None and not 0.0 <= self.read_fraction <= 1.0:
+            raise WorkloadError("phase read_fraction must be in [0, 1]")
+        if self.read_fraction is None and self.distribution is None:
+            raise WorkloadError("a phase must change something")
+
+
+@dataclass(frozen=True)
 class WorkloadSpec:
     """Everything the runner needs to drive one benchmark."""
 
@@ -40,6 +66,8 @@ class WorkloadSpec:
     #: Iterator Next() calls after each seek (db_bench's --seek_nexts
     #: for seekrandom); only meaningful for scan-shaped workloads.
     seek_nexts: int = 0
+    #: Mid-run shifts, ordered by ``at_fraction`` (empty = steady-state).
+    phases: tuple[WorkloadPhase, ...] = ()
 
     def __post_init__(self) -> None:
         if self.num_ops <= 0 or self.num_keys <= 0:
@@ -54,6 +82,35 @@ class WorkloadSpec:
             raise WorkloadError("batch_size must be at least 1")
         if self.seek_nexts < 0:
             raise WorkloadError("seek_nexts cannot be negative")
+        fractions = [p.at_fraction for p in self.phases]
+        if fractions != sorted(set(fractions)):
+            raise WorkloadError("phases must be strictly ordered by at_fraction")
+
+    def with_phases(self, *phases: WorkloadPhase) -> "WorkloadSpec":
+        """A copy of this spec with mid-run shifts attached."""
+        return replace(self, phases=tuple(phases))
+
+    def schedule(self, total_ops: int) -> "list[tuple[int, float, str]]":
+        """Resolve phases into ``(start_index, read_fraction,
+        distribution)`` segments over a stream of ``total_ops`` ops.
+
+        Segment boundaries are indices into *one* op stream; each client
+        (or the single-threaded runner) applies the schedule to its own
+        stream so a phase shift lands at the same stream fraction
+        regardless of how ops were split — the property that keeps
+        serial and parallel traces identical.
+        """
+        segments = [(0, self.read_fraction, self.distribution)]
+        read_fraction, distribution = self.read_fraction, self.distribution
+        for phase in self.phases:
+            if phase.read_fraction is not None:
+                read_fraction = phase.read_fraction
+            if phase.distribution is not None:
+                distribution = phase.distribution
+            segments.append(
+                (int(phase.at_fraction * total_ops), read_fraction, distribution)
+            )
+        return segments
 
     def scaled(self, factor: float) -> "WorkloadSpec":
         """Scale op counts and key space by ``factor`` (< 1 shrinks)."""
@@ -197,11 +254,29 @@ MULTIREADRANDOM = WorkloadSpec(
     batch_size=8,
 )
 
+#: Phased service workload for online tuning: write-heavy uniform for
+#: the first half, then a drift to read-heavy zipfian. The shift is the
+#: signal the drift detector keys on; a static configuration tuned for
+#: the first phase is mis-tuned for the second.
+PHASEDMIX = WorkloadSpec(
+    name="phasedmix",
+    num_ops=25_000_000,
+    num_keys=25_000_000,
+    preload_keys=25_000_000,
+    read_fraction=0.2,
+    distribution="uniform",
+    threads=4,
+    phases=(
+        WorkloadPhase(at_fraction=0.5, read_fraction=0.9, distribution="zipfian"),
+    ),
+)
+
 #: Workloads that only make sense driven by the sharded service layer
 #: (multiple concurrent clients with per-client roles).
 SERVICE_WORKLOADS: dict[str, WorkloadSpec] = {
     "readwhilewriting": READWHILEWRITING,
     "multireadrandom": MULTIREADRANDOM,
+    "phasedmix": PHASEDMIX,
 }
 
 #: Every known workload: paper, scan, and service alike.

@@ -16,7 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.bench.runner import ProgressEvent
-from repro.obs.events import BenchProgress, TraceEvent
+from repro.obs.events import BenchProgress, ServiceProgress, TraceEvent
 from repro.obs.sinks import TraceSink
 
 
@@ -71,8 +71,13 @@ class BenchmarkMonitor(TraceSink):
         return None
 
     def emit(self, event: TraceEvent) -> None:
-        """Sink protocol: watch progress samples, request aborts."""
-        if type(event) is BenchProgress and not self.fired:
+        """Sink protocol: watch progress samples, request aborts.
+
+        ``service.progress`` carries the same first four fields as
+        ``bench.progress``, so service benchmarks get the same
+        early-stop policy.
+        """
+        if type(event) in (BenchProgress, ServiceProgress) and not self.fired:
             reason = self._should_abort(event)
             if reason is not None and self.tracer is not None:
                 self.tracer.request_abort(reason)

@@ -105,7 +105,7 @@ class ElmoTune:
             options.get("shard_count") > 1
             or self.config.workload.name in SERVICE_WORKLOADS
         ):
-            return self._run_service_bench(options)
+            return self._run_service_bench(options, reference_ops)
         monitor = BenchmarkMonitor(self.config.monitor, reference_ops)
         bench = DbBench(
             self.config.workload,
@@ -127,7 +127,7 @@ class ElmoTune:
         return result, metrics, report, monitor.fired
 
     def _run_service_bench(
-        self, options: Options
+        self, options: Options, reference_ops: float | None = None
     ) -> tuple[BenchResult, BenchMetrics, str, bool]:
         """Benchmark through the sharded service layer.
 
@@ -135,12 +135,14 @@ class ElmoTune:
         (``shard_count`` > 1) or the workload needs per-client roles
         (``readwhilewriting``, ``multireadrandom``). The headline of
         the service report is plain db_bench text, so the parser and
-        the feedback prompt work unchanged. Early-stop monitoring does
-        not apply: the service emits no mid-run progress samples.
+        the feedback prompt work unchanged. The service emits periodic
+        ``service.progress`` samples, so early-stop monitoring applies
+        exactly as it does to bare benchmarks.
         """
         from repro.service.report import render_service_report
         from repro.service.service import ShardedService
 
+        monitor = BenchmarkMonitor(self.config.monitor, reference_ops)
         service = ShardedService(
             self.config.workload,
             options,
@@ -148,10 +150,14 @@ class ElmoTune:
             byte_scale=self.config.byte_scale,
             tracer=self.tracer,
         )
-        service_result = service.run()
+        self.tracer.add_sink(monitor)
+        try:
+            service_result = service.run()
+        finally:
+            self.tracer.remove_sink(monitor)
         report = render_service_report(service_result)
         metrics = parse_report(report)
-        return service_result.aggregate, metrics, report, False
+        return service_result.aggregate, metrics, report, monitor.fired
 
     # -- LLM round-trip -------------------------------------------------------
 

@@ -23,6 +23,14 @@ class UnknownOptionError(OptionError):
         self.name = name
 
 
+class ImmutableOptionError(OptionError):
+    """An option cannot be changed on a live DB (requires a reopen)."""
+
+    def __init__(self, name: str) -> None:
+        super().__init__(f"immutable option: {name!r} (requires reopen)")
+        self.name = name
+
+
 class DeprecatedOptionError(OptionError):
     """An option exists but is deprecated and must not be tuned."""
 

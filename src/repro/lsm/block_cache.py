@@ -129,6 +129,31 @@ class LRUCache:
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
 
+    def set_capacity(self, capacity_bytes: int) -> None:
+        """Re-cap the cache in place (``DB.set_options`` hot-swap).
+
+        Shard layout is fixed at construction (``num_shard_bits`` is an
+        immutable option); only the per-shard budget moves. Shrinking
+        evicts LRU entries immediately through the normal path, so the
+        eviction listener and counters observe the trim.
+        """
+        if capacity_bytes < 0:
+            raise ValueError("cache capacity cannot be negative")
+        if capacity_bytes == self.capacity_bytes:
+            return
+        per_shard = max(1, capacity_bytes // self._num_shards)
+        for shard in self._shards:
+            shard.capacity = per_shard
+            while shard.used > shard.capacity and shard.entries:
+                _k, (_v, c) = shard.entries.popitem(last=False)
+                shard.used -= c
+                self._used_total -= c
+                shard.evictions += 1
+                if shard.on_evict is not None:
+                    shard.on_evict(_k, c)
+        self.capacity_bytes = capacity_bytes
+        self._disabled = capacity_bytes == 0
+
     def set_eviction_listener(
         self, callback: Callable[[Hashable, int], None] | None
     ) -> None:

@@ -13,7 +13,7 @@ modeled latency and recording it in the statistics histograms.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator
+from typing import Any, Iterable, Iterator, Mapping
 
 from repro.errors import DBClosedError, DBError
 from repro.hardware.monitor import SystemMonitor
@@ -35,7 +35,8 @@ from repro.lsm.iterator import (
 )
 from repro.lsm.manifest import Manifest, VersionEdit
 from repro.lsm.memtable import MemTable, ValueKind
-from repro.lsm.options import Options
+from repro.lsm.options import Options, ensure_mutable, scale_byte_value
+from repro.lsm.options_file import serialize_options
 from repro.lsm.perf_model import PerfModel
 from repro.lsm.rate_limiter import RateLimiter
 from repro.lsm.snapshot import Snapshot, SnapshotList
@@ -62,6 +63,7 @@ from repro.obs.events import (
     IteratorSeek,
     MemtableRotate,
     MultiGetBatch,
+    SetOptions,
     StallEvent,
 )
 from repro.obs.tracer import NULL_TRACER, Tracer
@@ -210,9 +212,9 @@ class DB:
         self._page_cache = LRUCache(self._page_cache_bytes(), 2)
         self._swap_factor = self._compute_swap_factor()
         self._last_stats_dump_us = 0.0
-        # Per-operation fast lane: resolve configuration that cannot
-        # change while the DB is open, and bind the ticker array once
-        # (raw_tickers() stays valid across Statistics.reset()).
+        # Per-operation fast lane: resolve configuration once (rebound
+        # by _refresh_option_bindings on set_options), and bind the
+        # ticker array (raw_tickers() stays valid across reset()).
         self._tickers = statistics.raw_tickers()
         self._disable_wal = options.get("disable_wal")
         self._use_fsync = options.get("use_fsync")
@@ -271,8 +273,10 @@ class DB:
         ``_write`` unpacks this once per operation instead of paying
         ~25 attribute loads. Every member is either fixed for the DB's
         lifetime or rebound here by the sites that change it:
-        ``_recover`` (wal), ``_rotate_memtable`` (memtable + wal), and
-        the ``foreground_parallelism`` setter (cost constants, divisor).
+        ``_recover`` (wal), ``_rotate_memtable`` (memtable + wal), the
+        ``foreground_parallelism`` setter (cost constants, divisor), and
+        ``set_options`` via ``_refresh_option_bindings`` (everything
+        option-derived).
         """
         base, per_byte, coord, speed, cores, rot_seek, relief = self._put_plan
         self._write_plan = (
@@ -1526,6 +1530,115 @@ class DB:
         if self._conflicts_with_inflight(compaction):
             return False
         return self._execute_compaction(compaction)
+
+    # -------------------------------------------------- dynamic options
+
+    def set_options(
+        self, changes: "Mapping[str, Any] | Iterable[tuple[str, Any]]"
+    ) -> dict[str, tuple[Any, Any]]:
+        """Apply a mutable-option diff to the live DB — no reopen.
+
+        The whole diff is validated first: unknown, deprecated, or
+        immutable names and out-of-range values raise *before* any state
+        is touched (partial-diff atomicity). It is then applied as one
+        step between operations: both option bags are updated in place
+        (paper units in :attr:`options`, byte-scaled values in
+        :attr:`effective_options`, which every component references),
+        every cached per-component snapshot is rebound, the resulting
+        configuration is persisted to the OPTIONS file on the DB's own
+        filesystem, and a ``db.set_options`` trace event is emitted.
+
+        Returns the applied diff as ``{name: (old, new)}`` in paper
+        units; empty when every value already matched.
+        """
+        self._check_open()
+        if isinstance(changes, Mapping):
+            items = list(changes.items())
+        else:
+            items = [(name, value) for name, value in changes]
+        # Phase 1: validate everything before touching anything.
+        validated: list[tuple[str, Any]] = []
+        for name, value in items:
+            spec = ensure_mutable(name)
+            validated.append((name, spec.validate(value)))
+        # Phase 2: apply in place. Live-read options (compaction
+        # triggers, level sizing, compression of new tables) take
+        # effect through the shared bag without any rebinding.
+        applied: dict[str, tuple[Any, Any]] = {}
+        scaled_bag = self._options
+        for name, value in validated:
+            old = self._user_options.get(name)
+            if old != value:
+                applied[name] = (old, value)
+            self._user_options.set(name, value)
+            if scaled_bag is not self._user_options:
+                scaled_bag.set(
+                    name, scale_byte_value(name, value, self._byte_scale)
+                )
+        # Phase 3: rebind cached snapshots. Runs even for a no-op diff:
+        # service shards share one paper-unit bag, so a later shard's
+        # values may already match while its component caches do not.
+        self._refresh_option_bindings()
+        # Phase 4: persist and announce.
+        self._persist_options_file()
+        if applied and self._trace_on:
+            self._tracer.emit(SetOptions(
+                [[n, old, new] for n, (old, new) in sorted(applied.items())]
+            ))
+        return applied
+
+    def _refresh_option_bindings(self) -> None:
+        """Re-derive every cached option snapshot from the live bags.
+
+        The inverse index of the constructor's hoisting: anything
+        resolved out of ``self._options`` into component or fast-lane
+        state is recomputed here. Unconditional on purpose — this runs
+        once per reconfiguration, never on the hot path, and a blanket
+        refresh cannot miss a dependency.
+        """
+        opts = self._options
+        self._controller.refresh_thresholds()
+        self._rate_limiter.set_bytes_per_second(
+            opts.get("rate_limiter_bytes_per_sec"), now_us=self._clock.now_us
+        )
+        self._flush_pool.resize(opts.effective_max_background_flushes())
+        self._compaction_pool.resize(opts.effective_max_background_compactions())
+        self._block_cache.set_capacity(self._effective_cache_bytes())
+        # Page cache is carved from what the block cache leaves free, so
+        # it must be re-derived after the block-cache re-cap.
+        self._page_cache.set_capacity(self._page_cache_bytes())
+        self._table_cache.set_capacity(opts.get("max_open_files"))
+        # The active memtable adopts the new rotation threshold; bloom
+        # shape changes apply from the next rotation's fresh memtable.
+        self._mem.capacity_bytes = opts.get("write_buffer_size")
+        self._perf.refresh_options()
+        self._swap_factor = self._compute_swap_factor()
+        self._use_fsync = opts.get("use_fsync")
+        self._stats_dump_period_us = opts.get("stats_dump_period_sec") * 1e6
+        self._db_write_buffer_size = opts.get("db_write_buffer_size")
+        self._max_total_wal_size = opts.get("max_total_wal_size")
+        self._budget_caps = bool(
+            self._db_write_buffer_size or self._max_total_wal_size
+        )
+        # Memoized verdicts were computed under the old thresholds.
+        self._clear_cache = (-1, -1, False)
+        self._pending_bytes_cache = (-1, 0)
+        self._put_plan = self._perf.put_cost_params()
+        self._writeback = self._perf.smoother.on_bytes_written
+        self._rebuild_write_plan()
+        self._update_memory_gauge()
+
+    def _persist_options_file(self) -> None:
+        """Write the paper-unit configuration next to the data files.
+
+        Mirrors RocksDB, which rewrites its OPTIONS file on every
+        ``SetOptions`` call — through the DB's own (virtual) filesystem,
+        synced so the post-crash image carries the last applied config.
+        """
+        f = self._env.fs.create(f"{self._path}/OPTIONS", overwrite=True)
+        f.append(serialize_options(self._user_options).encode("utf-8"))
+        f.sync()
+        f.close()
 
     def wait_for_background(self) -> None:
         """Advance virtual time until all background work completes."""

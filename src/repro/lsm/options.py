@@ -13,8 +13,10 @@ states one, and RocksDB 8.x / ``db_bench`` defaults otherwise.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Any, Iterator, Mapping
+
+from repro.errors import ImmutableOptionError
 
 from repro.errors import (
     DeprecatedOptionError,
@@ -57,8 +59,10 @@ class OptionSpec:
     min: int | float | None = None
     max: int | float | None = None
     choices: tuple[str, ...] = ()
-    #: Mutable options can be changed on a live DB; immutable ones need
-    #: a reopen (the tuner always reopens, so this is informational).
+    #: Mutable options can be changed on a live DB through
+    #: ``DB.set_options``; immutable ones need a reopen. The audit lives
+    #: in :data:`IMMUTABLE_OPTIONS` below so the engine and the reference
+    #: doc can never disagree.
     mutable: bool = True
     #: Deprecated options parse but are rejected by the safeguard layer.
     deprecated: bool = False
@@ -543,9 +547,90 @@ CATALOG: tuple[OptionSpec, ...] = (
          "Shape bloom filters to malloc bin sizes."),
 )
 
+#: The live-reconfiguration audit: options ``DB.set_options`` cannot
+#: apply because a running engine resolved them into structure at open.
+#: Everything else in the catalog is mutable — either read live on every
+#: use (compaction triggers, level sizing), applied to freshly-built
+#: artifacts (compression, bloom bits on new tables), or rebound by the
+#: ``set_options`` fan-out (write-controller thresholds, cache
+#: capacities, rate limits, memtable threshold, perf-model constants).
+IMMUTABLE_OPTIONS: frozenset[str] = frozenset({
+    # write-path threading shape is fixed when the write path is built
+    "enable_pipelined_write",
+    "allow_concurrent_memtable_write",
+    "enable_write_thread_adaptive_yield",
+    # WAL existence, format, and lifecycle tracking are decided at open
+    "disable_wal",
+    "manual_wal_flush",
+    "wal_compression",
+    "track_and_verify_wals_in_manifest",
+    # open/recovery-time behavior — there is nothing left to apply it to
+    "avoid_flush_during_recovery",
+    "skip_stats_update_on_db_open",
+    "create_if_missing",
+    "error_if_exists",
+    "max_file_opening_threads",
+    "log_readahead_size",
+    # I/O mode of already-open file handles cannot be switched
+    "use_direct_reads",
+    "use_direct_io_for_flush_and_compaction",
+    "allow_mmap_reads",
+    "allow_mmap_writes",
+    "advise_random_on_open",
+    "use_adaptive_mutex",
+    "new_table_reader_for_compaction_inputs",
+    "random_access_max_buffer_size",
+    # integrity stance is a promise made at open
+    "paranoid_checks",
+    "allow_data_loss_on_crash",
+    # manifest / stats persistence structure
+    "max_manifest_file_size",
+    "write_dbid_to_manifest",
+    "persist_stats_to_disk",
+    "enable_thread_tracking",
+    # cache topology (capacities are mutable; shard layout is not)
+    "table_cache_numshardbits",
+    "lowest_used_cache_tier",
+    # service topology: shards hash-route keys, so changing the shard
+    # count (or the commit protocol) mid-run would reshuffle ownership
+    "shard_count",
+    "enable_group_commit",
+    "max_write_batch_group_size",
+    # tree shape and comparator-adjacent structure
+    "num_levels",
+    "compaction_style",
+    "level_compaction_dynamic_level_bytes",
+    "memtable_factory",
+    "inplace_update_support",
+    "prefix_extractor",
+    # block cache existence/sharding and SST on-disk format
+    "block_cache_numshardbits",
+    "no_block_cache",
+    "cache_index_and_filter_blocks",
+    "cache_index_and_filter_blocks_with_high_priority",
+    "pin_l0_filter_and_index_blocks_in_cache",
+    "pin_top_level_index_and_filter",
+    "index_type",
+    "data_block_index_type",
+    "data_block_hash_table_util_ratio",
+    "format_version",
+    "checksum",
+})
+
+# The catalog declares every spec with the default ``mutable=True``;
+# stamp the audited flag here. Deprecated options are immutable by
+# definition (set_options rejects them before mutability is consulted).
+CATALOG = tuple(
+    replace(spec, mutable=False)
+    if (spec.name in IMMUTABLE_OPTIONS or spec.deprecated)
+    else spec
+    for spec in CATALOG
+)
+
 _BY_NAME: dict[str, OptionSpec] = {spec.name: spec for spec in CATALOG}
 
 assert len(_BY_NAME) == len(CATALOG), "duplicate option names in catalog"
+assert IMMUTABLE_OPTIONS <= set(_BY_NAME), "immutable audit names unknown option"
 
 
 def spec_for(name: str) -> OptionSpec:
@@ -573,6 +658,26 @@ def sensitive_option_names() -> tuple[str, ...]:
 
 def deprecated_option_names() -> tuple[str, ...]:
     return tuple(s.name for s in CATALOG if s.deprecated)
+
+
+def mutable_option_names() -> tuple[str, ...]:
+    """Options a live DB accepts through ``DB.set_options``."""
+    return tuple(s.name for s in CATALOG if s.mutable)
+
+
+def ensure_mutable(name: str) -> OptionSpec:
+    """Spec lookup that also enforces live mutability.
+
+    Raises :class:`UnknownOptionError` for names outside the catalog,
+    :class:`DeprecatedOptionError` for deprecated options, and
+    :class:`ImmutableOptionError` for open-time-only options.
+    """
+    spec = spec_for(name)
+    if spec.deprecated:
+        raise DeprecatedOptionError(name)
+    if not spec.mutable:
+        raise ImmutableOptionError(name)
+    return spec
 
 
 class Options:
@@ -750,14 +855,26 @@ def scale_bytes(options: Options, factor: float) -> Options:
         value = options.get(name)
         if not value:
             continue  # 0 and -1 are semantic (off/auto), never scale
-        spec = spec_for(name)
-        new = int(value * factor)
-        if spec.min is not None:
-            new = max(int(spec.min), new)
-        if spec.max is not None:
-            new = min(int(spec.max), new)
-        scaled.set(name, new)
+        scaled.set(name, scale_byte_value(name, value, factor))
     return scaled
+
+
+def scale_byte_value(name: str, value: Any, factor: float) -> Any:
+    """Scale one option value exactly like :func:`scale_bytes` would.
+
+    Non-byte-denominated options and semantic zero/-1 values pass
+    through unchanged, so ``DB.set_options`` can apply a paper-unit diff
+    to a byte-scaled live configuration one value at a time.
+    """
+    if name not in BYTE_SCALED_OPTIONS or not value:
+        return value
+    spec = spec_for(name)
+    new = int(value * factor)
+    if spec.min is not None:
+        new = max(int(spec.min), new)
+    if spec.max is not None:
+        new = min(int(spec.max), new)
+    return new
 
 
 def default_options() -> Options:

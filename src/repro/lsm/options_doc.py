@@ -42,6 +42,8 @@ def _flags(spec) -> str:
         flags.append("**deprecated**")
     if spec.sensitive:
         flags.append("**blacklisted**")
+    if not spec.mutable and not spec.deprecated:
+        flags.append("**immutable**")
     return ", ".join(flags) if flags else "—"
 
 
@@ -60,10 +62,13 @@ def render_markdown() -> str:
         "",
         "Auto-generated from `repro.lsm.options.CATALOG` "
         "(`python -m repro.lsm.options_doc`). "
-        f"{len(CATALOG)} options across three sections. "
+        f"{len(CATALOG)} options across three sections "
+        f"({sum(1 for s in CATALOG if s.mutable)} mutable). "
         "Options marked **blacklisted** are on ELMo-Tune's default "
         "safeguard blacklist; **deprecated** options parse but are "
-        "rejected by the tuner.",
+        "rejected by the tuner. Options marked **immutable** cannot be "
+        "changed on a live DB: `DB.set_options` (and the online tuner) "
+        "rejects them, and changing them requires a reopen.",
         "",
     ]
     for section in (Section.DB, Section.CF, Section.TABLE):

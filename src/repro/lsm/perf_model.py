@@ -138,13 +138,37 @@ class PerfModel:
         #: Concurrent foreground writer threads (set by the DB); the
         #: pipelined write path pays off only with real concurrency.
         self._foreground_threads = 1
-        # Options are fixed for the lifetime of a model instance (the
-        # tuner reopens the DB per configuration), so the hot-path
-        # lookups are resolved once here instead of per operation.
+        # Hot-path lookups are resolved once here instead of per
+        # operation; ``refresh_options`` re-resolves them when the live
+        # configuration changes (``DB.set_options``).
         self._memtable_bloom = options.get("memtable_prefix_bloom_size_ratio") > 0
         self._pipelined = bool(options.get("enable_pipelined_write"))
         self._readahead_relief_cached = self._compute_readahead_relief()
         self._recompute_put_constants()
+
+    def refresh_options(self) -> None:
+        """Re-resolve every hoisted option lookup from the bound bag.
+
+        ``DB.set_options`` mutates the shared :class:`Options` in place
+        and then calls this so the hot-path constants re-price. The
+        smoother is rebuilt against the new ``bytes_per_sync`` family but
+        keeps its accumulated dirty bytes: writeback debt is OS state, a
+        config change does not flush it.
+        """
+        dirty = self.smoother._dirty
+        self.smoother = WriteSmoother(self.options, self.profile, self._fixed_scale)
+        self.smoother._dirty = dirty
+        self._codec = self.options.get("compression")
+        self._memtable_bloom = (
+            self.options.get("memtable_prefix_bloom_size_ratio") > 0
+        )
+        self._pipelined = bool(self.options.get("enable_pipelined_write"))
+        self._readahead_relief_cached = self._compute_readahead_relief()
+        self._recompute_put_constants()
+
+    @property
+    def byte_scale(self) -> float:
+        return self._fixed_scale
 
     @property
     def foreground_threads(self) -> int:

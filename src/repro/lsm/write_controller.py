@@ -46,26 +46,37 @@ class WriteController:
     """Policy object: inputs in, decision out.
 
     The stall thresholds are resolved from the options once at
-    construction — this runs before every single write, and the
-    configuration cannot change without a DB reopen. The only state
-    kept is the last decided write state, so state *transitions* can be
-    published to the trace spine.
+    construction — this runs before every single write. When the live
+    configuration changes (``DB.set_options``), the owner calls
+    :meth:`refresh_thresholds` to re-derive the snapshot; the last
+    decided write state survives the refresh so state *transitions*
+    keep publishing to the trace spine correctly.
     """
 
     def __init__(
         self, options: Options, tracer: "Tracer | None" = None
     ) -> None:
         self._options = options
+        # Tracing is resolved once: this runs before every write, so
+        # a disabled tracer must cost a single None check.
+        self._tracer = tracer if tracer is not None and tracer.enabled else None
+        self._last_state = WriteState.NORMAL
+        self.refresh_thresholds()
+
+    def refresh_thresholds(self) -> None:
+        """Re-derive every cached threshold from the bound options.
+
+        Idempotent and transition-safe: ``_last_state`` is untouched, so
+        a stall entered under the old thresholds still publishes its
+        return to NORMAL under the new ones.
+        """
+        options = self._options
         self._max_bufs = options.get("max_write_buffer_number")
         self._l0_stop = options.get("level0_stop_writes_trigger")
         self._l0_slowdown = options.get("level0_slowdown_writes_trigger")
         self._hard_pending = options.get("hard_pending_compaction_bytes_limit")
         self._soft_pending = options.get("soft_pending_compaction_bytes_limit")
         self._delayed_rate = options.get("delayed_write_rate")
-        # Tracing is resolved once: this runs before every write, so
-        # a disabled tracer must cost a single None check.
-        self._tracer = tracer if tracer is not None and tracer.enabled else None
-        self._last_state = WriteState.NORMAL
         # `clear()` thresholds: NORMAL holds iff every input sits strictly
         # below these. Immutable-memtable pressure delays one buffer
         # early when three or more are configured; zero pending limits

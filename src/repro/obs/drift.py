@@ -1,0 +1,109 @@
+"""Workload drift detection over the progress stream.
+
+The :class:`DriftDetector` characterizes the current workload phase in
+rolling windows of ``service.progress`` samples — read/write mix from
+reads-done deltas, and a key-skew proxy from the block-cache hit rate
+(a zipfian phase concentrates on hot blocks and lifts the rate; a
+uniform phase dilutes it). When a window's characterization moves past
+a threshold against the previous window, the detector produces a
+``workload.drift`` event.
+
+Two ways to consume it:
+
+* as a :class:`~repro.obs.sinks.TraceSink` attached to a tracer — drift
+  events queue in an outbox (sinks must not re-enter ``tracer.emit``);
+  the driver drains :meth:`take_drift` and emits them itself;
+* directly via :meth:`observe` from a progress callback (how the
+  online tuner uses it), which returns the drift event, if any, for
+  the caller to act on and emit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.obs.events import ServiceProgress, TraceEvent, WorkloadDrift
+from repro.obs.sinks import TraceSink
+
+
+@dataclass(frozen=True)
+class DriftConfig:
+    """Windowing and sensitivity knobs."""
+
+    #: Ops per characterization window (boundaries land on multiples).
+    window_ops: int = 4000
+    #: Absolute read-mix delta between windows that counts as drift.
+    read_mix_threshold: float = 0.15
+    #: Absolute cache-hit-rate delta between windows that counts as
+    #: drift (the key-skew proxy).
+    hit_rate_threshold: float = 0.10
+
+    def __post_init__(self) -> None:
+        if self.window_ops < 1:
+            raise ValueError("window_ops must be positive")
+        if not 0.0 < self.read_mix_threshold <= 1.0:
+            raise ValueError("read_mix_threshold must be in (0, 1]")
+        if not 0.0 < self.hit_rate_threshold <= 1.0:
+            raise ValueError("hit_rate_threshold must be in (0, 1]")
+
+
+class DriftDetector(TraceSink):
+    """Rolling-window phase characterization over progress samples."""
+
+    def __init__(self, config: DriftConfig | None = None) -> None:
+        super().__init__()
+        self.config = config if config is not None else DriftConfig()
+        #: Drift events produced while running as a sink (outbox).
+        self.pending: list[WorkloadDrift] = []
+        #: Total drift events produced over the detector's lifetime.
+        self.drift_count = 0
+        self._last_ops = 0
+        self._last_reads = 0
+        self._prev_mix: float | None = None
+        self._prev_hit: float | None = None
+        self._next_boundary = self.config.window_ops
+
+    def observe(self, event: TraceEvent) -> WorkloadDrift | None:
+        """Feed one event; returns a drift event when a window closes
+        with a characterization shift, else None."""
+        if type(event) is not ServiceProgress:
+            return None
+        if event.ops_done < self._next_boundary:
+            return None
+        window_ops = event.ops_done - self._last_ops
+        window_reads = event.reads_done - self._last_reads
+        mix = window_reads / window_ops if window_ops > 0 else 0.0
+        hit = event.cache_hit_rate
+        drift: WorkloadDrift | None = None
+        if (
+            self._prev_mix is not None
+            and abs(mix - self._prev_mix) >= self.config.read_mix_threshold
+        ):
+            drift = WorkloadDrift("read_fraction", self._prev_mix, mix, window_ops)
+        elif (
+            self._prev_hit is not None
+            and abs(hit - self._prev_hit) >= self.config.hit_rate_threshold
+        ):
+            drift = WorkloadDrift("cache_hit_rate", self._prev_hit, hit, window_ops)
+        self._prev_mix = mix
+        self._prev_hit = hit
+        self._last_ops = event.ops_done
+        self._last_reads = event.reads_done
+        self._next_boundary = (
+            event.ops_done // self.config.window_ops + 1
+        ) * self.config.window_ops
+        if drift is not None:
+            drift.t_us = event.t_us
+            self.drift_count += 1
+        return drift
+
+    def emit(self, event: TraceEvent) -> None:
+        """Sink protocol: queue drift events for the driver to drain."""
+        drift = self.observe(event)
+        if drift is not None:
+            self.pending.append(drift)
+
+    def take_drift(self) -> list[WorkloadDrift]:
+        """Drain and return queued drift events (sink mode)."""
+        drained, self.pending = self.pending, []
+        return drained

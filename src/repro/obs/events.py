@@ -378,6 +378,55 @@ class ServiceEnd(TraceEvent):
     wal_syncs: int
 
 
+@register_event
+@dataclass
+class ServiceProgress(TraceEvent):
+    """Periodic progress sample from a running service benchmark.
+
+    Mirrors :class:`BenchProgress` (the monitor reads the same first four
+    fields) and adds the mix counters the drift detector characterizes
+    workload phases from.
+    """
+
+    TYPE: ClassVar[str] = "service.progress"
+    ops_done: int
+    total_ops: int
+    elapsed_virtual_s: float
+    ops_per_sec: float
+    reads_done: int
+    writes_done: int
+    cache_hit_rate: float
+
+
+# ------------------------------------------------------ dynamic options
+
+@register_event
+@dataclass
+class SetOptions(TraceEvent):
+    """A live DB applied a mutable-option diff without reopening."""
+
+    TYPE: ClassVar[str] = "db.set_options"
+    #: Applied ``[name, old, new]`` triples (paper-unit values).
+    changes: list = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        # Tuples arrive from the engine; JSON yields lists. Normalize
+        # so round-tripped events compare equal.
+        self.changes = [list(item) for item in self.changes]
+
+
+@register_event
+@dataclass
+class WorkloadDrift(TraceEvent):
+    """A rolling-window phase characterization changed materially."""
+
+    TYPE: ClassVar[str] = "workload.drift"
+    metric: str  # "read_fraction" | "cache_hit_rate"
+    previous: float
+    current: float
+    window_ops: int
+
+
 # -------------------------------------------------------------- tuning
 
 @register_event

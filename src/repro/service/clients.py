@@ -80,12 +80,35 @@ class SimClient:
         )
         self._mean_us = mean_interarrival_us
         self._spec = spec
+        self._base = base
+        # Phased specs: each client resolves the shifts against its OWN
+        # stream length, so a phase lands at the same stream fraction no
+        # matter how ops were split across clients — the property that
+        # keeps request streams independent of client count.
+        self._segments = spec.schedule(num_requests)
 
     def requests(self, start_us: float = 0.0) -> Iterator[Request]:
         """Yield this client's whole request stream, arrival-stamped."""
         spec = self._spec
         now = start_us
+        segments = self._segments
+        segment = 0
+        read_fraction = spec.read_fraction
+        distribution = spec.distribution
         for index in range(self.num_requests):
+            while (
+                segment + 1 < len(segments)
+                and index >= segments[segment + 1][0]
+            ):
+                segment += 1
+                _start, read_fraction, new_dist = segments[segment]
+                if new_dist != distribution:
+                    distribution = new_dist
+                    self._keys = make_generator(
+                        distribution,
+                        spec.num_keys,
+                        self._base ^ (0xD41F7 + segment),
+                    )
             now += self._arrivals.expovariate(1.0 / self._mean_us)
             if self.role == "writer":
                 yield Request(
@@ -103,9 +126,9 @@ class SimClient:
                 )
                 yield Request(self.client_id, index, now, MULTIGET, keys=keys)
             else:  # mixed
-                is_read = spec.read_fraction >= 1.0 or (
-                    spec.read_fraction > 0.0
-                    and self._mix.random() < spec.read_fraction
+                is_read = read_fraction >= 1.0 or (
+                    read_fraction > 0.0
+                    and self._mix.random() < read_fraction
                 )
                 if is_read:
                     yield Request(

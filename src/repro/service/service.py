@@ -41,6 +41,7 @@ import heapq
 import time
 from collections import deque
 from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Mapping
 
 from repro.bench.keygen import ValueGenerator, format_key
 from repro.bench.runner import BenchResult
@@ -49,10 +50,18 @@ from repro.hardware.profile import HardwareProfile, make_profile
 from repro.lsm.db import DB
 from repro.lsm.env import Env
 from repro.lsm.histogram import Histogram, HistogramSummary
-from repro.lsm.options import Options
+from repro.lsm.options import Options, ensure_mutable
 from repro.lsm.statistics import OpClass, Statistics, Ticker
 from repro.lsm.write_batch import WriteBatch
-from repro.obs.events import GroupCommit, ServiceEnd, ServiceStart, ShardSummary
+from repro.obs.events import (
+    BenchAbort,
+    GroupCommit,
+    ServiceEnd,
+    ServiceProgress,
+    ServiceStart,
+    SetOptions,
+    ShardSummary,
+)
 from repro.obs.tracer import Tracer
 from repro.service.clients import GET, PUT, Request, SimClient, build_clients
 from repro.service.router import shard_for_key
@@ -160,7 +169,19 @@ class ServiceResult:
 
 
 class ShardedService:
-    """One-shot sharded benchmark executor (construct, run, discard)."""
+    """One-shot sharded benchmark executor (construct, run, discard).
+
+    Mid-run interaction happens through two hooks: periodic
+    ``service.progress`` trace events (every :data:`PROGRESS_EVERY`
+    completed operations, same early-stop contract as ``bench.progress``)
+    and an optional :attr:`on_progress` callback fired at the same
+    cadence — the online tuner uses it to call :meth:`set_options`
+    between requests, on the virtual clock, without reopening a shard.
+    """
+
+    #: Completed operations between progress samples (and on_progress
+    #: callbacks). Virtual-time cadence, so it is deterministic.
+    PROGRESS_EVERY = 2000
 
     def __init__(
         self,
@@ -197,6 +218,12 @@ class ShardedService:
         self._seq = 0
         self._write_hist = Histogram()
         self._read_hist = Histogram()
+        #: Optional mid-run hook: called as ``on_progress(service, event)``
+        #: after every progress sample, while the event loop is parked
+        #: between requests. The callback may call :meth:`set_options`.
+        self.on_progress: "Callable[[ShardedService, ServiceProgress], None] | None" = None
+        self._shards: list[_Shard] = []
+        self._aborted = False
 
     # -- setup -------------------------------------------------------------
 
@@ -334,6 +361,8 @@ class ShardedService:
             self._client_hist[req.client].add(latency)
         shard.writes += n
         shard.requests += n
+        self._writes_done += n
+        self._ops_done += n
         if n > 1 and self.tracer is not None:
             self.tracer.emit(
                 GroupCommit(
@@ -355,6 +384,7 @@ class ShardedService:
         shard.reads += len(keys)
         shard.requests += 1
         self._reads_done += len(keys)
+        self._ops_done += len(keys)
         if fanout is None:
             latency = finish_us - arrival_us
             self._read_hist.add(latency)
@@ -380,6 +410,11 @@ class ShardedService:
         )
         self._client_hist = [Histogram() for _ in clients]
         self._reads_done = 0
+        self._writes_done = 0
+        self._ops_done = 0
+        self._total_ops = sum(c.num_requests for c in clients)
+        self._aborted = False
+        self._shards = shards
         try:
             self._preload(shards)
             # Align every clock to one post-preload base so arrival
@@ -405,6 +440,7 @@ class ShardedService:
             result.wall_clock_s = time.perf_counter() - wall_start
             return result
         finally:
+            self._shards = []
             for shard in shards:
                 if not shard.db.closed:
                     shard.db.close()
@@ -422,6 +458,8 @@ class ShardedService:
                     heap,
                     (req.arrival_us, self._next_seq(), _ARRIVAL, client_id, req),
                 )
+        next_progress = self.PROGRESS_EVERY
+        watch = self.tracer is not None or self.on_progress is not None
         while heap:
             t_us, _, kind, who, payload = heapq.heappop(heap)
             self._clock.advance_to(t_us)
@@ -438,6 +476,78 @@ class ShardedService:
                 shard.busy = False
                 if shard.write_q or shard.read_q:
                     self._serve(shard, heap)
+            # Progress sampling between events: the same contract as
+            # DbBench's mid-run samples, so BenchmarkMonitor early-stop
+            # and drift detection work for service benchmarks too.
+            if watch and self._ops_done >= next_progress:
+                next_progress = (
+                    self._ops_done // self.PROGRESS_EVERY + 1
+                ) * self.PROGRESS_EVERY
+                event = self._progress_event(base_us)
+                if self.tracer is not None:
+                    self.tracer.emit(event)
+                    if self.tracer.abort_requested:
+                        reason = self.tracer.take_abort() or "abort requested"
+                        self.tracer.emit(BenchAbort(reason))
+                        self._aborted = True
+                        break
+                if self.on_progress is not None:
+                    self.on_progress(self, event)
+
+    def _progress_event(self, base_us: float) -> ServiceProgress:
+        elapsed_s = (self._clock.now_us - base_us) / 1e6
+        hits = 0
+        misses = 0
+        for shard in self._shards:
+            hits += shard.stats.ticker(Ticker.BLOCK_CACHE_HIT)
+            misses += shard.stats.ticker(Ticker.BLOCK_CACHE_MISS)
+        blocks = hits + misses
+        return ServiceProgress(
+            ops_done=self._ops_done,
+            total_ops=self._total_ops,
+            elapsed_virtual_s=elapsed_s,
+            ops_per_sec=self._ops_done / elapsed_s if elapsed_s > 0 else 0.0,
+            reads_done=self._reads_done,
+            writes_done=self._writes_done,
+            cache_hit_rate=hits / blocks if blocks else 0.0,
+        )
+
+    # -- live reconfiguration ----------------------------------------------
+
+    def set_options(
+        self, changes: "Mapping[str, Any] | Iterable[tuple[str, Any]]"
+    ) -> dict[str, tuple[Any, Any]]:
+        """Fan a mutable-option diff out to every shard, mid-run.
+
+        Topology-safe rejection happens *before* any shard is touched:
+        immutable keys (including the service-topology options
+        ``shard_count`` / ``enable_group_commit`` /
+        ``max_write_batch_group_size``) raise here, so no shard ever
+        sees a partial fan-out. Each shard's clock is aligned to the
+        global timeline first, and no shard is reopened.
+
+        Returns the applied paper-unit diff ``{name: (old, new)}``.
+        """
+        if not self._shards:
+            raise ValueError("set_options requires a running service")
+        if isinstance(changes, Mapping):
+            items = list(changes.items())
+        else:
+            items = [(name, value) for name, value in changes]
+        for name, value in items:
+            ensure_mutable(name).validate(value)
+        applied: dict[str, tuple[Any, Any]] = {}
+        for shard in self._shards:
+            shard.env.clock.advance_to(self._clock.now_us)
+            # Shards share one paper-unit bag, so the first shard
+            # reports the real diff and the rest apply it as a no-op
+            # (their component snapshots still refresh).
+            applied.update(shard.db.set_options(items))
+        if applied and self.tracer is not None:
+            self.tracer.emit(SetOptions(
+                [[n, old, new] for n, (old, new) in sorted(applied.items())]
+            ))
+        return applied
 
     # -- results -----------------------------------------------------------
 
@@ -473,7 +583,7 @@ class ShardedService:
             reads_done=reads_done,
             writes_done=writes_done,
             duration_s=duration_s,
-            aborted=False,
+            aborted=self._aborted,
             write_summary=(
                 self._write_hist.summary() if self._write_hist.count else None
             ),
