@@ -99,7 +99,10 @@ def run_online(spec) -> dict:
         workload=spec,
         base_options=Options(dict(BASE_OPTIONS)),
         byte_scale=1.0,
-        drift=DriftConfig(window_ops=4000),
+        # No emit cooldown: this bench deliberately wants back-to-back
+        # drift wakes so both scripted turns (the kept improvement and
+        # the reverted regression) land in one session.
+        drift=DriftConfig(window_ops=4000, min_ops_between_emits=0),
         score_window_ops=4000,
         client_ops_per_sec=CLIENT_OPS_PER_SEC,
     )

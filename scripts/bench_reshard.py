@@ -1,0 +1,207 @@
+#!/usr/bin/env python
+"""Live-resharding benchmark -> the ``resharding`` key of BENCH_service.json.
+
+Runs the seeded skewed ``hotspot`` workload (zipfian, 50/50 read/write)
+over ring-routed shards with saturating open-loop clients, twice:
+
+* **static** — 2 shards held for the whole run;
+* **resharded** — the same 2-shard base, but with the
+  :class:`OnlineTuner` riding the progress stream: at the first cadence
+  wake the scripted LLM proposes ``shard_count=3``, the service splits
+  the most loaded shard live (snapshot drain, migration journal,
+  atomic ring swap), and the flagger scores the post-split window.
+
+The run carries the write-audit oracle: every acked write is recorded
+in serve order and, after the run, looked up through the final routing
+table — a lost or misrouted write across the topology change fails the
+benchmark. The headline number is post-split throughput: ops/sec after
+the split lands vs the static 2-shard baseline over the same op range.
+
+Existing keys in BENCH_service.json (group commit, online tuning) are
+preserved.
+
+    PYTHONPATH=src python scripts/bench_reshard.py            # updates BENCH_service.json
+    PYTHONPATH=src python scripts/bench_reshard.py out.json   # custom path
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import sys
+
+from repro.bench.spec import workload
+from repro.core.online import OnlineTuner, OnlineTunerConfig
+from repro.hardware.profile import make_profile
+from repro.llm.client import ScriptedLLM
+from repro.lsm.options import Options
+from repro.obs.drift import DriftConfig
+from repro.obs.events import ServiceProgress
+from repro.obs.sinks import RingSink
+from repro.obs.tracer import Tracer
+from repro.service.service import run_service_benchmark
+
+SCALE = 1.0 / 500.0
+SHARDS = 2
+#: Per-client arrival rate chosen to saturate the shards: queues form,
+#: so measured ops/sec reflects service capacity, not the arrival rate.
+CLIENT_OPS_PER_SEC = 200_000.0
+#: First cadence wake -> the split lands in the first half of the run,
+#: leaving a long settled post-split window to measure.
+CADENCE_OPS = 10_000
+BASE_OPTIONS = {"shard_count": SHARDS, "routing_policy": "ring"}
+
+#: The scripted LLM's one move: split the hot shard. The hotspot
+#: workload is steady (no phase change), so the wake is cadence-driven
+#: and the topology diff is the whole story.
+SPLIT_DIFF = (
+    "The zipfian hot set saturates both shards; add capacity where the "
+    "load is.\n```\nshard_count=3\n```"
+)
+
+
+def ops_per_sec_after(events: list, from_ops: int) -> float:
+    """Throughput from the first progress sample at/after ``from_ops``."""
+    samples = [e for e in events if type(e) is ServiceProgress]
+    start = next(e for e in samples if e.ops_done >= from_ops)
+    last = samples[-1]
+    secs = last.elapsed_virtual_s - start.elapsed_virtual_s
+    return (last.ops_done - start.ops_done) / secs if secs > 0 else 0.0
+
+
+def run_static(spec) -> dict:
+    sink = RingSink()
+    result = run_service_benchmark(
+        spec,
+        Options(dict(BASE_OPTIONS)),
+        make_profile(4, 4),
+        client_ops_per_sec=CLIENT_OPS_PER_SEC,
+        byte_scale=1.0,
+        tracer=Tracer(sink),
+    )
+    agg = result.aggregate
+    return {
+        "ops_per_sec": agg.ops_per_sec,
+        "p99_read_us": agg.p99_read_us(),
+        "p99_write_us": agg.p99_write_us(),
+        "wall_clock_host_s": result.wall_clock_s,
+        "_events": sink.events,
+    }
+
+
+def run_resharded(spec) -> dict:
+    config = OnlineTunerConfig(
+        workload=spec,
+        base_options=Options(dict(BASE_OPTIONS)),
+        byte_scale=1.0,
+        drift=DriftConfig(window_ops=4000),
+        score_window_ops=8000,
+        cadence_ops=CADENCE_OPS,
+        client_ops_per_sec=CLIENT_OPS_PER_SEC,
+    )
+    tuner = OnlineTuner(config, llm=ScriptedLLM([SPLIT_DIFF], cycle=True))
+    oracle: list[str] = []
+
+    def arm_audit(service) -> None:
+        service.write_audit = {}
+        service.on_complete = (
+            lambda svc: oracle.extend(svc.verify_write_audit())
+        )
+
+    tuner.service_hook = arm_audit
+    session = tuner.run()
+    if oracle:
+        for problem in oracle:
+            print(f"FAIL: write audit: {problem}", file=sys.stderr)
+        raise SystemExit(1)
+    if not session.result.reshards:
+        print("FAIL: no live reshard executed", file=sys.stderr)
+        raise SystemExit(1)
+    agg = session.result.aggregate
+    split = session.applied_actions[0]
+    return {
+        "ops_per_sec": agg.ops_per_sec,
+        "p99_read_us": agg.p99_read_us(),
+        "p99_write_us": agg.p99_write_us(),
+        "wall_clock_host_s": session.result.wall_clock_s,
+        "split_at_ops": split.ops_at,
+        "split_kept": split.kept,
+        "reshards": [
+            {"kind": kind, "donor": donor, "recipient": recipient}
+            for kind, donor, recipient in session.result.reshards
+        ],
+        "sheds": session.result.sheds,
+        "audited_writes": "clean",
+        "_events": session.trace_events,
+    }
+
+
+def main() -> int:
+    out = sys.argv[1] if len(sys.argv) > 1 else "BENCH_service.json"
+    spec = workload("hotspot", scale=SCALE)
+    static = run_static(spec)
+    resharded = run_resharded(spec)
+    # Post-split throughput, same op range on both runs so the skew mix
+    # is comparable.
+    from_ops = resharded["split_at_ops"]
+    static["post_split_ops_per_sec"] = ops_per_sec_after(
+        static.pop("_events"), from_ops
+    )
+    resharded["post_split_ops_per_sec"] = ops_per_sec_after(
+        resharded.pop("_events"), from_ops
+    )
+    gain = (
+        100.0
+        * (
+            resharded["post_split_ops_per_sec"]
+            / static["post_split_ops_per_sec"]
+            - 1.0
+        )
+        if static["post_split_ops_per_sec"]
+        else 0.0
+    )
+    if resharded["post_split_ops_per_sec"] < static["post_split_ops_per_sec"]:
+        print(
+            "FAIL: post-split throughput below the static 2-shard baseline",
+            file=sys.stderr,
+        )
+        return 1
+    section = {
+        "benchmark": "hotspot",
+        "topology": {
+            "shards_before": SHARDS,
+            "shards_after": SHARDS + 1,
+            "client_ops_per_sec": CLIENT_OPS_PER_SEC,
+            "base_options": BASE_OPTIONS,
+        },
+        "static": static,
+        "resharded": resharded,
+        "post_split_gain_pct": gain,
+        "host": {
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+        },
+    }
+    payload: dict = {}
+    if os.path.exists(out):
+        with open(out) as fh:
+            try:
+                payload = json.load(fh)
+            except json.JSONDecodeError:
+                payload = {}
+    payload["resharding"] = section
+    with open(out, "w") as fh:
+        json.dump(payload, fh, indent=2)
+        fh.write("\n")
+    print(
+        f"wrote {out}: post-split {resharded['post_split_ops_per_sec']:.0f} "
+        f"(live 2->3) vs {static['post_split_ops_per_sec']:.0f} (static 2) "
+        f"ops/sec ({gain:+.1f}%), split at {resharded['split_at_ops']} ops, "
+        f"audit clean, kept={resharded['split_kept']}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

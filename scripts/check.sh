@@ -45,6 +45,10 @@ echo "== online determinism: phased workload, tuner mid-flight, twice =="
 python scripts/check_online_determinism.py
 
 echo
+echo "== reshard determinism: live split mid-run, audit clean, twice =="
+python scripts/check_reshard_determinism.py
+
+echo
 echo "== perf smoke: write-path throughput vs recorded baseline =="
 # Opt-in (wall-clock timing is meaningless on loaded CI hosts): export
 # PERF_SMOKE=1 to fail the gate when fillrandom throughput drops >30%

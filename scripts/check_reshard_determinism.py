@@ -1,0 +1,96 @@
+"""Reshard determinism gate: a live-split session, twice, byte-identical.
+
+Run by ``scripts/check.sh``. Executes the seeded skewed ``hotspot``
+workload over 2 ring-routed shards with a mid-run ``set_options``
+topology change (2 -> 3: one live split — snapshot drain, migration
+journal, atomic ring swap, queued-request migration), twice, and
+compares the full trace and rendered report byte for byte.
+
+On top of determinism, the run itself is gated: the split must actually
+happen (``service.reshard.begin``/``end`` present), every operation
+must be served, and the write-audit oracle must come back clean — no
+acked write lost or misrouted across the topology change.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.bench.spec import workload
+from repro.hardware.profile import make_profile
+from repro.lsm.options import Options
+from repro.obs.events import ReshardBegin, ReshardEnd, to_jsonl_line
+from repro.obs.sinks import RingSink
+from repro.obs.tracer import Tracer
+from repro.service import render_service_report
+from repro.service.service import ShardedService
+
+SHARDS = 2
+CLIENTS = 8
+SPLIT_AT_OPS = 8000
+
+
+def one_run() -> tuple[str, str, list[str]]:
+    spec = workload("hotspot")
+    options = Options({
+        "shard_count": SHARDS,
+        "routing_policy": "ring",
+        "use_fsync": True,
+    })
+    sink = RingSink()
+    service = ShardedService(
+        spec,
+        options,
+        make_profile(4, 4),
+        num_clients=CLIENTS,
+        tracer=Tracer(sink),
+    )
+    service.write_audit = {}
+    fired: list[int] = []
+
+    def hook(svc: ShardedService, event) -> None:
+        if not fired and event.ops_done >= SPLIT_AT_OPS:
+            fired.append(event.ops_done)
+            svc.set_options({"shard_count": SHARDS + 1})
+
+    service.on_progress = hook
+    oracle: list[str] = []
+    service.on_complete = lambda svc: oracle.extend(svc.verify_write_audit())
+    result = service.run()
+    result.wall_clock_s = 0.0
+    problems = list(oracle)
+    begins = [e for e in sink.events if type(e) is ReshardBegin]
+    ends = [e for e in sink.events if type(e) is ReshardEnd]
+    if not (begins and ends):
+        problems.append("no live split executed")
+    if result.aggregate.ops_done != spec.num_ops:
+        problems.append(
+            f"served {result.aggregate.ops_done} of {spec.num_ops} ops"
+        )
+    trace = "\n".join(to_jsonl_line(e).rstrip("\n") for e in sink.events)
+    return trace, render_service_report(result), problems
+
+
+def main() -> int:
+    trace1, report1, problems1 = one_run()
+    if problems1:
+        for problem in problems1:
+            print(f"FAIL: {problem}", file=sys.stderr)
+        return 1
+    trace2, report2, _ = one_run()
+    if trace1 != trace2:
+        print("FAIL: reshard traces differ between identical runs",
+              file=sys.stderr)
+        return 1
+    if report1 != report2:
+        print("FAIL: reshard reports differ between identical runs",
+              file=sys.stderr)
+        return 1
+    events = trace1.count("\n") + 1 if trace1 else 0
+    print(f"reshard determinism OK: live split at >={SPLIT_AT_OPS} ops, "
+          f"audit clean, {events} trace events byte-identical across runs")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

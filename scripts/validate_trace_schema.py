@@ -36,6 +36,9 @@ REQUIRED_SERVICE_TYPES = {
     "service.shard",
     "service.end",
     "service.progress",
+    "service.reshard.begin",
+    "service.reshard.end",
+    "service.overload",
     "db.set_options",
     "workload.drift",
 }

@@ -271,12 +271,27 @@ PHASEDMIX = WorkloadSpec(
     ),
 )
 
+#: Skewed service workload for resharding experiments: a zipfian key
+#: distribution concentrates traffic on a slice of the key space, so
+#: one shard queues far deeper than its peers — the regime where a
+#: live split of the hottest shard (or hot-key read fan-out) pays off.
+HOTSPOT = WorkloadSpec(
+    name="hotspot",
+    num_ops=25_000_000,
+    num_keys=25_000_000,
+    preload_keys=25_000_000,
+    read_fraction=0.5,
+    distribution="zipfian",
+    threads=8,
+)
+
 #: Workloads that only make sense driven by the sharded service layer
 #: (multiple concurrent clients with per-client roles).
 SERVICE_WORKLOADS: dict[str, WorkloadSpec] = {
     "readwhilewriting": READWHILEWRITING,
     "multireadrandom": MULTIREADRANDOM,
     "phasedmix": PHASEDMIX,
+    "hotspot": HOTSPOT,
 }
 
 #: Every known workload: paper, scan, and service alike.

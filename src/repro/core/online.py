@@ -157,6 +157,9 @@ class OnlineTuner:
         if self.flagger.tracer is None:
             self.flagger.tracer = self.tracer
         self.detector = DriftDetector(config.drift)
+        #: Optional hook called with the freshly built ShardedService
+        #: before the run starts (harness oracles, e.g. a write audit).
+        self.service_hook: object | None = None
 
     # -- loop state (reset per run) ----------------------------------------
 
@@ -239,7 +242,7 @@ class OnlineTuner:
             before_ops_per_sec=before.ops_per_sec,
         )
         self._session.actions.append(action)
-        messages = self._build_prompt(event, before, drift)
+        messages = self._build_prompt(service, event, before, drift)
         response = self.llm.complete(messages)
         self.transcript.record(messages, response)
         try:
@@ -253,7 +256,11 @@ class OnlineTuner:
         for name, value in vet.accepted:
             # A live store cannot take topology/format changes: beyond
             # the safeguard, the online path accepts mutable keys only.
-            if spec_for(name).mutable:
+            # Exception: shard_count under a resharding routing policy,
+            # where the service applies it as a live split/merge.
+            if spec_for(name).mutable or (
+                name == "shard_count" and service.supports_resharding
+            ):
                 mutable_pairs.append((name, value))
             else:
                 action.dropped_immutable.append(name)
@@ -308,6 +315,7 @@ class OnlineTuner:
 
     def _build_prompt(
         self,
+        service: "ShardedService",
         event: ServiceProgress,
         window: BenchMetrics,
         drift: WorkloadDrift | None,
@@ -345,6 +353,38 @@ class OnlineTuner:
                 f"{drift.previous:.2f} to {drift.current:.2f} over the last "
                 f"{drift.window_ops} operations.",
             ]
+        # Topology/overload context only exists beyond the default
+        # static layout; omitting it otherwise keeps legacy prompts
+        # (and everything seeded off them) byte-identical.
+        if service.supports_resharding or service.overloaded_shards() or (
+            service.topology_context()["sheds"] > 0
+        ):
+            ctx = service.topology_context()
+            depths = ", ".join(
+                f"shard {sid}: {depth}"
+                for sid, depth in sorted(ctx["queue_depths"].items())
+            )
+            lines += [
+                "",
+                "## Service topology",
+                f"Routing policy: {ctx['routing_policy']}; "
+                f"{ctx['active_shards']} active shard(s).",
+                f"Queue depths: {depths}.",
+            ]
+            if service.supports_resharding:
+                lines.append(
+                    "shard_count is live-tunable: raising it splits the "
+                    "most loaded shard, lowering it merges the newest "
+                    "shard back."
+                )
+            if ctx["overloaded"]:
+                lines.append(
+                    "Overloaded shards: "
+                    + ", ".join(str(s) for s in ctx["overloaded"])
+                    + f" ({ctx['sheds']} requests shed so far)."
+                )
+            if ctx["resharding"]:
+                lines.append("A topology change is currently in flight.")
         lines += [
             "",
             "## Last window",
@@ -379,6 +419,10 @@ class OnlineTuner:
             **kwargs,
         )
         service.on_progress = self._on_progress
+        # Harness hook: oracles (e.g. the reshard bench's write audit)
+        # configure the service before the run starts.
+        if self.service_hook is not None:
+            self.service_hook(service)
         trace = self.tracer.enabled
         if trace:
             self.tracer.emit(

@@ -82,6 +82,30 @@ class InjectedIOError(DBError):
     """A transient I/O failure injected by the fault layer."""
 
 
+class RoutingError(ReproError):
+    """A routing policy could not satisfy a topology request (e.g. a
+    split on a policy without resharding support, or a donor shard with
+    too few virtual nodes to give half away)."""
+
+
+class MisroutedRequestError(ReproError):
+    """A request reached a shard the routing policy does not map it to.
+
+    The service recomputes the route at serve time; a mismatch means the
+    enqueue-side and serve-side views of the policy diverged (the bug
+    class the single-policy-object refactor exists to prevent).
+    """
+
+    def __init__(self, key: bytes, shard: int, expected: tuple[int, ...]) -> None:
+        super().__init__(
+            f"request for key {key!r} served on shard {shard}, but the "
+            f"routing policy maps it to {sorted(expected)}"
+        )
+        self.key = key
+        self.shard = shard
+        self.expected = tuple(expected)
+
+
 class WorkloadError(ReproError):
     """A benchmark workload specification was invalid."""
 

@@ -335,9 +335,42 @@ CATALOG: tuple[OptionSpec, ...] = (
          choices=("volatile", "non_volatile")),
     # ------------------------------------------------- service topology
     _opt("shard_count", _D, _I, 1,
-         "Independent DB shards the service layer hash-routes keys over; "
-         "1 runs a single instance (per-shard options apply to each).",
+         "Independent DB shards the service layer routes keys over; 1 "
+         "runs a single instance (per-shard options apply to each). "
+         "Immutable at the DB level; under 'ring'/'hotkey' routing the "
+         "service applies changes as live shard splits and merges.",
          min=1, max=64),
+    _opt("routing_policy", _D, _E, "modulo",
+         "How the service maps keys to shards: 'modulo' (FNV-1a mod "
+         "shard_count, the static layout), 'ring' (consistent-hash ring "
+         "with virtual nodes; supports live shard split/merge), 'hotkey' "
+         "(ring plus heavy-hitter detection that fans hot-key reads to "
+         "the least-loaded shard holding a read copy).",
+         choices=("modulo", "ring", "hotkey")),
+    _opt("virtual_nodes", _D, _I, 16,
+         "Virtual nodes per shard on the consistent-hash ring; more "
+         "vnodes smooth the key distribution and give splits "
+         "finer-grained donor arcs.",
+         min=1, max=512),
+    _opt("hot_key_threshold", _D, _I, 64,
+         "Accesses within one progress window that classify a key as a "
+         "heavy hitter ('hotkey' routing only); hot keys gain read "
+         "copies kept fresh by write-through.",
+         min=1, max=10**6),
+    _opt("overload_policy", _D, _E, "none",
+         "Per-shard overload response: 'none' disables detection, "
+         "'queue' detects and reports overload while requests keep "
+         "queueing, 'shed' additionally drops point requests arriving "
+         "at an overloaded shard.",
+         choices=("none", "queue", "shed")),
+    _opt("overload_queue_depth", _D, _I, 128,
+         "Pending requests on one shard at which it counts as "
+         "overloaded.",
+         min=1, max=10**6),
+    _opt("overload_p99_ms", _D, _F, 0.0,
+         "Windowed p99 service latency (milliseconds) that also flags a "
+         "shard as overloaded (0 disables the latency trigger).",
+         min=0.0, max=1e5),
     _opt("enable_group_commit", _D, _B, True,
          "Coalesce concurrent writers on one shard into a single write "
          "group with one WAL sync boundary (service layer)."),
@@ -591,9 +624,14 @@ IMMUTABLE_OPTIONS: frozenset[str] = frozenset({
     # cache topology (capacities are mutable; shard layout is not)
     "table_cache_numshardbits",
     "lowest_used_cache_tier",
-    # service topology: shards hash-route keys, so changing the shard
-    # count (or the commit protocol) mid-run would reshuffle ownership
+    # service topology: a DB-level set_options cannot reshuffle key
+    # ownership (or the commit protocol) on a running engine. The
+    # *service* layer intercepts shard_count under ring/hotkey routing
+    # and applies it as a live split/merge; the policy and vnode layout
+    # themselves are fixed at open.
     "shard_count",
+    "routing_policy",
+    "virtual_nodes",
     "enable_group_commit",
     "max_write_batch_group_size",
     # tree shape and comparator-adjacent structure

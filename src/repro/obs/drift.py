@@ -37,6 +37,12 @@ class DriftConfig:
     #: Absolute cache-hit-rate delta between windows that counts as
     #: drift (the key-skew proxy).
     hit_rate_threshold: float = 0.10
+    #: Hysteresis: minimum completed ops between two emitted drift
+    #: events. The detector adopts each window as the new baseline, so
+    #: without a cooldown an alternating A/B/A/B workload fires at
+    #: *every* window boundary forever — a wake storm for the online
+    #: tuner. Default: two default windows. 0 disables the cooldown.
+    min_ops_between_emits: int = 8000
 
     def __post_init__(self) -> None:
         if self.window_ops < 1:
@@ -45,6 +51,8 @@ class DriftConfig:
             raise ValueError("read_mix_threshold must be in (0, 1]")
         if not 0.0 < self.hit_rate_threshold <= 1.0:
             raise ValueError("hit_rate_threshold must be in (0, 1]")
+        if self.min_ops_between_emits < 0:
+            raise ValueError("min_ops_between_emits cannot be negative")
 
 
 class DriftDetector(TraceSink):
@@ -62,6 +70,7 @@ class DriftDetector(TraceSink):
         self._prev_mix: float | None = None
         self._prev_hit: float | None = None
         self._next_boundary = self.config.window_ops
+        self._last_emit_ops: int | None = None
 
     def observe(self, event: TraceEvent) -> WorkloadDrift | None:
         """Feed one event; returns a drift event when a window closes
@@ -74,8 +83,17 @@ class DriftDetector(TraceSink):
         window_reads = event.reads_done - self._last_reads
         mix = window_reads / window_ops if window_ops > 0 else 0.0
         hit = event.cache_hit_rate
+        # Hysteresis: inside the cooldown the window still rolls (the
+        # baseline keeps tracking the live mix) but nothing is emitted.
+        in_cooldown = (
+            self._last_emit_ops is not None
+            and event.ops_done - self._last_emit_ops
+            < self.config.min_ops_between_emits
+        )
         drift: WorkloadDrift | None = None
-        if (
+        if in_cooldown:
+            pass
+        elif (
             self._prev_mix is not None
             and abs(mix - self._prev_mix) >= self.config.read_mix_threshold
         ):
@@ -95,6 +113,7 @@ class DriftDetector(TraceSink):
         if drift is not None:
             drift.t_us = event.t_us
             self.drift_count += 1
+            self._last_emit_ops = event.ops_done
         return drift
 
     def emit(self, event: TraceEvent) -> None:

@@ -398,6 +398,55 @@ class ServiceProgress(TraceEvent):
     cache_hit_rate: float
 
 
+@register_event
+@dataclass
+class ReshardBegin(TraceEvent):
+    """A live topology change started: the donor's moving range was
+    drained at a pinned snapshot and the migration journal opened."""
+
+    TYPE: ClassVar[str] = "service.reshard.begin"
+    kind: str  # "split" | "merge"
+    donor: int
+    recipient: int
+    vnodes_moved: int
+    keys_drained: int
+    shards_after: int
+    ops_at: int
+
+
+@register_event
+@dataclass
+class ReshardEnd(TraceEvent):
+    """The ring swapped atomically: journal replayed, queued requests
+    migrated, the donor (split) or victim (merge) released its range."""
+
+    TYPE: ClassVar[str] = "service.reshard.end"
+    kind: str  # "split" | "merge"
+    donor: int
+    recipient: int
+    journal_replayed: int
+    queued_migrated: int
+    duration_us: float
+    shards_after: int
+
+
+@register_event
+@dataclass
+class ServiceOverload(TraceEvent):
+    """A shard crossed the overload detector's threshold (either way).
+
+    Emitted on state *transitions* only, at progress cadence, so steady
+    overload does not flood the trace.
+    """
+
+    TYPE: ClassVar[str] = "service.overload"
+    shard: int
+    state: str  # "enter" | "exit"
+    queue_depth: int
+    p99_us: float
+    sheds: int
+
+
 # ------------------------------------------------------ dynamic options
 
 @register_event

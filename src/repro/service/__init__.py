@@ -1,14 +1,28 @@
 """Sharded multi-client service layer over PyLSM.
 
 A hash-sharded front-end that routes keys over N independent DB
-instances, drives a simulated open-loop population of concurrent
-clients on the virtual clock, and coalesces concurrent writers into
-cross-client group commits per shard. See ``docs/service.md``.
+instances through a pluggable :class:`RoutingPolicy` (modulo,
+consistent-hash ring, hot-key replication), drives a simulated
+open-loop population of concurrent clients on the virtual clock,
+coalesces concurrent writers into cross-client group commits per
+shard, and — under ring routing — splits or merges shards live
+mid-run via ``set_options``. See ``docs/service.md``.
 """
 
 from repro.service.clients import Request, SimClient, build_clients, client_role
+from repro.service.overload import OverloadDetector, ShardLoadState
 from repro.service.report import render_service_report
 from repro.service.router import fnv1a_64, shard_for_key
+from repro.service.routing import (
+    HashRingPolicy,
+    HotKeyPolicy,
+    ModuloPolicy,
+    ReshardPlan,
+    RoutingPolicy,
+    TopKSketch,
+    make_policy,
+    ring_hash,
+)
 from repro.service.service import (
     DEFAULT_CLIENT_OPS_PER_SEC,
     ClientStats,
@@ -21,15 +35,25 @@ from repro.service.service import (
 __all__ = [
     "DEFAULT_CLIENT_OPS_PER_SEC",
     "ClientStats",
+    "HashRingPolicy",
+    "HotKeyPolicy",
+    "ModuloPolicy",
+    "OverloadDetector",
     "Request",
+    "ReshardPlan",
+    "RoutingPolicy",
     "ServiceResult",
+    "ShardLoadState",
     "ShardStats",
     "ShardedService",
     "SimClient",
+    "TopKSketch",
     "build_clients",
     "client_role",
     "fnv1a_64",
+    "make_policy",
     "render_service_report",
+    "ring_hash",
     "run_service_benchmark",
     "shard_for_key",
 ]

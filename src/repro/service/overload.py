@@ -1,0 +1,133 @@
+"""Per-shard overload detection for the sharded service.
+
+A shard is *overloaded* when its pending-request queue is at least
+``overload_queue_depth`` deep, or (optionally) when the p99 of its
+recent client-observed latencies exceeds ``overload_p99_ms``. The
+detector is evaluated at progress cadence on the virtual clock, so its
+verdicts are deterministic; it emits ``service.overload`` trace events
+on state *transitions* only.
+
+Two response modes ride on detection (``overload_policy``):
+
+* ``queue``  — requests keep queueing; overload is observed, reported
+  in the tuner's topology context, and traced, but nothing is dropped.
+* ``shed``   — point requests (single-key get/put) arriving at an
+  overloaded shard are dropped at enqueue and counted as sheds; they
+  never complete and never appear in the latency histograms.
+
+``none`` (the default) skips detection entirely, keeping the default
+service hot path byte-identical to the pre-overload code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.lsm.options import Options
+
+#: Latency samples retained per shard for the windowed p99.
+LATENCY_WINDOW = 256
+
+
+@dataclass
+class ShardLoadState:
+    """Rolling detector state for one shard."""
+
+    overloaded: bool = False
+    sheds: int = 0
+    #: Most recent client-observed latencies (µs), newest last.
+    recent_us: list = field(default_factory=list)
+
+    def record(self, latency_us: float) -> None:
+        self.recent_us.append(latency_us)
+        if len(self.recent_us) > LATENCY_WINDOW:
+            del self.recent_us[: len(self.recent_us) - LATENCY_WINDOW]
+
+    def p99_us(self) -> float:
+        if not self.recent_us:
+            return 0.0
+        ordered = sorted(self.recent_us)
+        rank = max(0, int(len(ordered) * 0.99) - 1)
+        return ordered[rank]
+
+
+class OverloadDetector:
+    """Threshold evaluation + shed decisions over per-shard state."""
+
+    def __init__(
+        self,
+        *,
+        policy: str = "queue",
+        queue_depth: int = 128,
+        p99_ms: float = 0.0,
+    ) -> None:
+        if policy not in ("queue", "shed"):
+            raise ValueError(f"unsupported overload policy {policy!r}")
+        if queue_depth < 1:
+            raise ValueError("overload queue depth must be positive")
+        self.policy = policy
+        self.queue_depth = queue_depth
+        self.p99_us = p99_ms * 1000.0
+        self._states: dict[int, ShardLoadState] = {}
+
+    @classmethod
+    def from_options(cls, options: Options) -> "OverloadDetector | None":
+        """Build from the service options bag; None when disabled."""
+        policy = str(options.overload_policy)
+        if policy == "none":
+            return None
+        return cls(
+            policy=policy,
+            queue_depth=int(options.overload_queue_depth),
+            p99_ms=float(options.overload_p99_ms),
+        )
+
+    def adopt_states(self, other: "OverloadDetector") -> None:
+        """Carry per-shard rolling state across a live reconfiguration
+        (thresholds change; histories and shed counts survive)."""
+        self._states = other._states
+
+    def state(self, shard_id: int) -> ShardLoadState:
+        state = self._states.get(shard_id)
+        if state is None:
+            state = self._states[shard_id] = ShardLoadState()
+        return state
+
+    def forget(self, shard_id: int) -> None:
+        self._states.pop(shard_id, None)
+
+    def record_latency(self, shard_id: int, latency_us: float) -> None:
+        self.state(shard_id).record(latency_us)
+
+    def should_shed(self, shard_id: int, queue_depth: int) -> bool:
+        """Shed decision at enqueue time (``shed`` policy only).
+
+        Uses the *live* queue depth, not the last evaluation, so a
+        burst between progress samples still sheds.
+        """
+        if self.policy != "shed":
+            return False
+        if queue_depth < self.queue_depth:
+            return False
+        self.state(shard_id).sheds += 1
+        return True
+
+    def evaluate(self, shard_id: int, queue_depth: int) -> str | None:
+        """Re-check one shard; returns "enter"/"exit" on a transition."""
+        state = self.state(shard_id)
+        p99 = state.p99_us()
+        now_overloaded = queue_depth >= self.queue_depth or (
+            self.p99_us > 0.0 and p99 >= self.p99_us
+        )
+        if now_overloaded == state.overloaded:
+            return None
+        state.overloaded = now_overloaded
+        return "enter" if now_overloaded else "exit"
+
+    def overloaded_shards(self) -> tuple[int, ...]:
+        return tuple(sorted(
+            sid for sid, st in self._states.items() if st.overloaded
+        ))
+
+    def total_sheds(self) -> int:
+        return sum(st.sheds for st in self._states.values())

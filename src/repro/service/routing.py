@@ -1,0 +1,464 @@
+"""Pluggable routing policies: which shard(s) serve a user key.
+
+The service used to call :func:`repro.service.router.shard_for_key` at
+four independent sites; any change to the layout had to be made four
+times in lockstep or routing silently desynced. This module replaces
+those call sites with one policy object that every lookup goes through:
+
+* :class:`ModuloPolicy` — the original FNV-1a ``hash % shard_count``
+  layout, byte-for-byte identical to the old router (the default).
+* :class:`HashRingPolicy` — a consistent-hash ring with virtual nodes.
+  Ring points are finalizer-mixed FNV-1a hashes (:func:`ring_hash`) of
+  stable ``shard:<i>:vnode:<v>`` labels, so the ring is deterministic
+  across processes. Ownership of
+  arcs (not the points themselves) moves on split/merge, which bounds
+  churn: a split hands half of the donor's arcs to the new shard and
+  every other key stays put.
+* :class:`HotKeyPolicy` — the ring plus a windowed top-K heavy-hitter
+  sketch. Keys that cross the threshold within one window gain read
+  copies on every active shard; reads of a hot key go to the
+  least-loaded copy holder and writes fan out write-through so copies
+  never serve stale data.
+
+Policies are pure routing state — they never touch a DB. The service
+owns data movement (snapshot drain, journal replay) and asks the policy
+only *where* things live, via :meth:`RoutingPolicy.plan_split` /
+:meth:`plan_merge` + :meth:`commit` two-phase plans.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from repro.errors import RoutingError
+from repro.lsm.options import Options
+from repro.service.router import fnv1a_64, shard_for_key
+
+
+_MASK64 = (1 << 64) - 1
+
+
+def ring_hash(data: bytes) -> int:
+    """Position ``data`` on the ring: FNV-1a plus a 64-bit finalizer.
+
+    Raw FNV-1a barely avalanches across near-identical short inputs —
+    the ``shard:i:vnode:v`` labels hash to one tight cluster per shard,
+    collapsing the ring to a handful of effective arcs. The
+    MurmurHash3 fmix64 finalizer spreads them uniformly while staying
+    seed-free and process-stable.
+    """
+    h = fnv1a_64(data)
+    h ^= h >> 33
+    h = (h * 0xFF51AFD7ED558CCD) & _MASK64
+    h ^= h >> 33
+    h = (h * 0xC4CEB9FE1A85EC53) & _MASK64
+    h ^= h >> 33
+    return h
+
+
+# ------------------------------------------------------------- interface
+
+
+class RoutingPolicy:
+    """Where keys live. One instance routes every lookup in a service."""
+
+    #: Catalog name of the policy (matches the ``routing_policy`` enum).
+    name = "base"
+    #: Whether :meth:`plan_split` / :meth:`plan_merge` are supported.
+    supports_resharding = False
+    #: Whether the policy needs :meth:`roll_window` called at progress
+    #: cadence (heavy-hitter detection).
+    needs_window = False
+
+    def shard_ids(self) -> tuple[int, ...]:
+        """Active shard ids, ascending."""
+        raise NotImplementedError
+
+    def owner(self, key: bytes) -> int:
+        """The shard that owns ``key`` (authoritative copy)."""
+        raise NotImplementedError
+
+    def read_targets(self, key: bytes) -> tuple[int, ...]:
+        """Every shard allowed to serve a read of ``key``."""
+        return (self.owner(key),)
+
+    def read_shard(self, key: bytes, load: Callable[[int], int]) -> int:
+        """The shard a new read of ``key`` should go to. ``load`` maps a
+        shard id to its current queue depth (for least-loaded picks)."""
+        return self.owner(key)
+
+    def write_targets(self, key: bytes) -> tuple[int, ...]:
+        """Every shard a write of ``key`` must be applied to, owner
+        first."""
+        return (self.owner(key),)
+
+    def observe(self, key: bytes) -> None:
+        """Count one access (feeds heavy-hitter detection)."""
+
+    def roll_window(self) -> tuple[tuple[bytes, ...], tuple[bytes, ...]]:
+        """Close the access window; returns (promoted, demoted) keys."""
+        return ((), ())
+
+    def on_shard_retired(self, shard_id: int) -> None:
+        """A shard left the topology (merge); drop references to it."""
+
+    # -- resharding (ring policies only) ------------------------------------
+
+    def arc_count(self, shard_id: int) -> int:
+        return 0
+
+    def plan_split(self, donor: int, recipient: int) -> "ReshardPlan":
+        raise RoutingError(f"policy {self.name!r} cannot split shards")
+
+    def plan_merge(self, victim: int) -> "ReshardPlan":
+        raise RoutingError(f"policy {self.name!r} cannot merge shards")
+
+    def commit(self, plan: "ReshardPlan") -> None:
+        raise RoutingError(f"policy {self.name!r} cannot reshard")
+
+
+# ---------------------------------------------------------------- modulo
+
+
+class ModuloPolicy(RoutingPolicy):
+    """The original static layout: FNV-1a over the key, mod N.
+
+    Routing decisions are bit-identical to the pre-policy router, which
+    keeps default-configuration traces byte-identical.
+    """
+
+    name = "modulo"
+
+    def __init__(self, shard_count: int) -> None:
+        self._count = max(1, int(shard_count))
+
+    def shard_ids(self) -> tuple[int, ...]:
+        return tuple(range(self._count))
+
+    def owner(self, key: bytes) -> int:
+        return shard_for_key(key, self._count)
+
+
+# ------------------------------------------------------------------ ring
+
+
+@dataclass(frozen=True)
+class ReshardPlan:
+    """A pending ownership handoff: arc index -> new owner.
+
+    Produced by :meth:`HashRingPolicy.plan_split` / :meth:`plan_merge`;
+    routing stays on the old layout until :meth:`HashRingPolicy.commit`
+    applies the reassignment atomically. Between plan and commit the
+    service drains the moving range and journals writes to it.
+    """
+
+    kind: str  # "split" | "merge"
+    donor: int
+    recipient: int
+    reassign: dict[int, int]
+    ring: "HashRingPolicy" = field(repr=False)
+
+    @property
+    def vnodes_moved(self) -> int:
+        return len(self.reassign)
+
+    def moves(self, key: bytes) -> bool:
+        """Does ``key`` change owner when this plan commits?"""
+        return self.ring._arc_index(key) in self.reassign
+
+    def target(self, key: bytes) -> int:
+        """Post-commit owner of ``key``."""
+        arc = self.ring._arc_index(key)
+        return self.reassign.get(arc, self.ring._owners[arc])
+
+
+class HashRingPolicy(RoutingPolicy):
+    """Consistent-hash ring with virtual nodes and live arc handoff.
+
+    Each shard contributes ``virtual_nodes`` points at
+    :func:`ring_hash` positions of stable labels; a key belongs to the
+    first point at or clockwise
+    after its own hash. Points never move — split/merge reassigns which
+    shard *owns* an arc, so lookup stays one bisect and churn is exactly
+    the reassigned arcs. Arc labels remember their original shard, so a
+    merge returns arcs to the shard that split them off (LIFO undo)
+    when it is still active.
+    """
+
+    name = "ring"
+    supports_resharding = True
+
+    def __init__(self, shard_ids: Sequence[int], virtual_nodes: int = 16) -> None:
+        if not shard_ids:
+            raise RoutingError("ring needs at least one shard")
+        if virtual_nodes < 1:
+            raise RoutingError("virtual_nodes must be positive")
+        self.virtual_nodes = int(virtual_nodes)
+        entries: list[tuple[int, int, int]] = []
+        for sid in shard_ids:
+            for v in range(self.virtual_nodes):
+                label = b"shard:%d:vnode:%d" % (sid, v)
+                entries.append((ring_hash(label), sid, v))
+        # Sort by (hash, original shard, vnode): collisions (improbable)
+        # resolve the same way every run.
+        entries.sort()
+        self._points: list[int] = [e[0] for e in entries]
+        #: (original shard, vnode) creation label per arc — static.
+        self._labels: list[tuple[int, int]] = [(e[1], e[2]) for e in entries]
+        #: Current owner per arc — this is what split/merge rewrites.
+        self._owners: list[int] = [e[1] for e in entries]
+        self._active: list[int] = sorted(set(shard_ids))
+        #: Bumped on every committed plan (for tests/diagnostics).
+        self.version = 0
+
+    # -- lookup --------------------------------------------------------------
+
+    def _arc_index(self, key: bytes) -> int:
+        idx = bisect_left(self._points, ring_hash(key))
+        return 0 if idx == len(self._points) else idx
+
+    def shard_ids(self) -> tuple[int, ...]:
+        return tuple(self._active)
+
+    def owner(self, key: bytes) -> int:
+        return self._owners[self._arc_index(key)]
+
+    def arc_count(self, shard_id: int) -> int:
+        return self._owners.count(shard_id)
+
+    # -- resharding ----------------------------------------------------------
+
+    def plan_split(self, donor: int, recipient: int) -> ReshardPlan:
+        if donor not in self._active:
+            raise RoutingError(f"split donor {donor} is not an active shard")
+        if recipient in self._active:
+            raise RoutingError(f"split recipient {recipient} already active")
+        donor_arcs = [i for i, o in enumerate(self._owners) if o == donor]
+        if len(donor_arcs) < 2:
+            raise RoutingError(
+                f"shard {donor} owns {len(donor_arcs)} arc(s); splitting "
+                "needs at least 2 (raise virtual_nodes)"
+            )
+        # Every other arc keeps interleaving, so both halves stay spread
+        # around the ring instead of forming one contiguous range.
+        moving = donor_arcs[1::2]
+        return ReshardPlan(
+            kind="split",
+            donor=donor,
+            recipient=recipient,
+            reassign={i: recipient for i in moving},
+            ring=self,
+        )
+
+    def plan_merge(self, victim: int) -> ReshardPlan:
+        if victim not in self._active:
+            raise RoutingError(f"merge victim {victim} is not an active shard")
+        if len(self._active) < 2:
+            raise RoutingError("cannot merge the last remaining shard")
+        survivors = [s for s in self._active if s != victim]
+        fallback = min(survivors)
+        reassign: dict[int, int] = {}
+        counts: dict[int, int] = {}
+        for i, owned_by in enumerate(self._owners):
+            if owned_by != victim:
+                continue
+            orig = self._labels[i][0]
+            target = orig if (orig != victim and orig in self._active) else fallback
+            reassign[i] = target
+            counts[target] = counts.get(target, 0) + 1
+        # Headline recipient = the survivor taking the most arcs.
+        recipient = min(counts, key=lambda s: (-counts[s], s))
+        return ReshardPlan(
+            kind="merge",
+            donor=victim,
+            recipient=recipient,
+            reassign=reassign,
+            ring=self,
+        )
+
+    def commit(self, plan: ReshardPlan) -> None:
+        if plan.ring is not self:
+            raise RoutingError("plan belongs to a different ring")
+        for arc, target in plan.reassign.items():
+            self._owners[arc] = target
+        if plan.kind == "split":
+            self._active.append(plan.recipient)
+            self._active.sort()
+        else:
+            self._active.remove(plan.donor)
+        self.version += 1
+
+
+# -------------------------------------------------------------- hot keys
+
+
+class TopKSketch:
+    """Space-saving heavy-hitter sketch with deterministic evictions.
+
+    Bounded to ``capacity`` counters; when full, a new key inherits the
+    (deterministically chosen) minimum counter + 1, the classic
+    space-saving overestimate. Good enough to surface keys that absorb
+    a material fraction of a window.
+    """
+
+    def __init__(self, capacity: int = 32) -> None:
+        if capacity < 1:
+            raise RoutingError("sketch capacity must be positive")
+        self.capacity = capacity
+        self._counts: dict[bytes, int] = {}
+
+    def observe(self, key: bytes) -> None:
+        counts = self._counts
+        if key in counts:
+            counts[key] += 1
+        elif len(counts) < self.capacity:
+            counts[key] = 1
+        else:
+            victim = min(counts, key=lambda k: (counts[k], k))
+            counts[key] = counts.pop(victim) + 1
+
+    def heavy(self, threshold: int) -> tuple[bytes, ...]:
+        """Keys at or above ``threshold``, sorted for determinism."""
+        return tuple(sorted(
+            k for k, c in self._counts.items() if c >= threshold
+        ))
+
+    def reset(self) -> None:
+        self._counts.clear()
+
+
+class HotKeyPolicy(RoutingPolicy):
+    """Ring routing plus hot-key read fan-out.
+
+    Wraps a :class:`HashRingPolicy` (ownership and resharding delegate
+    to it) and keeps a per-window :class:`TopKSketch`. When the window
+    rolls, keys above ``threshold`` are promoted: they gain read copies
+    on every active shard (the service installs the owner's value).
+    Reads of a hot key go to the least-loaded copy holder; writes fan
+    out to owner + copies so every copy stays fresh. Demoted keys are
+    forgotten — their stale copies become unreachable garbage.
+    """
+
+    name = "hotkey"
+    supports_resharding = True
+    needs_window = True
+
+    def __init__(
+        self,
+        ring: HashRingPolicy,
+        *,
+        threshold: int = 64,
+        sketch_capacity: int = 32,
+    ) -> None:
+        if threshold < 1:
+            raise RoutingError("hot_key_threshold must be positive")
+        self.ring = ring
+        self.threshold = threshold
+        self._sketch = TopKSketch(sketch_capacity)
+        #: hot key -> sorted tuple of shard ids holding a read copy
+        #: (always includes the owner).
+        self._copies: dict[bytes, tuple[int, ...]] = {}
+
+    @property
+    def hot_keys(self) -> tuple[bytes, ...]:
+        return tuple(sorted(self._copies))
+
+    def copies_of(self, key: bytes) -> tuple[int, ...]:
+        return self._copies.get(key, ())
+
+    # -- lookup --------------------------------------------------------------
+
+    def shard_ids(self) -> tuple[int, ...]:
+        return self.ring.shard_ids()
+
+    def owner(self, key: bytes) -> int:
+        return self.ring.owner(key)
+
+    def read_targets(self, key: bytes) -> tuple[int, ...]:
+        copies = self._copies.get(key)
+        if copies is None:
+            return (self.ring.owner(key),)
+        owner = self.ring.owner(key)
+        return copies if owner in copies else copies + (owner,)
+
+    def read_shard(self, key: bytes, load: Callable[[int], int]) -> int:
+        copies = self._copies.get(key)
+        if copies is None:
+            return self.ring.owner(key)
+        # Least-loaded copy holder; ties break on the lower shard id so
+        # the pick is deterministic.
+        return min(copies, key=lambda sid: (load(sid), sid))
+
+    def write_targets(self, key: bytes) -> tuple[int, ...]:
+        owner = self.ring.owner(key)
+        copies = self._copies.get(key)
+        if copies is None:
+            return (owner,)
+        return (owner,) + tuple(s for s in copies if s != owner)
+
+    # -- window --------------------------------------------------------------
+
+    def observe(self, key: bytes) -> None:
+        self._sketch.observe(key)
+
+    def roll_window(self) -> tuple[tuple[bytes, ...], tuple[bytes, ...]]:
+        heavy = set(self._sketch.heavy(self.threshold))
+        promoted = tuple(sorted(heavy - set(self._copies)))
+        demoted = tuple(sorted(set(self._copies) - heavy))
+        active = self.ring.shard_ids()
+        for key in promoted:
+            self._copies[key] = active
+        for key in demoted:
+            del self._copies[key]
+        self._sketch.reset()
+        return promoted, demoted
+
+    def on_shard_retired(self, shard_id: int) -> None:
+        for key, copies in list(self._copies.items()):
+            if shard_id in copies:
+                remaining = tuple(s for s in copies if s != shard_id)
+                if remaining:
+                    self._copies[key] = remaining
+                else:
+                    del self._copies[key]
+
+    # -- resharding (delegate) ------------------------------------------------
+
+    def arc_count(self, shard_id: int) -> int:
+        return self.ring.arc_count(shard_id)
+
+    def plan_split(self, donor: int, recipient: int) -> ReshardPlan:
+        return self.ring.plan_split(donor, recipient)
+
+    def plan_merge(self, victim: int) -> ReshardPlan:
+        return self.ring.plan_merge(victim)
+
+    def commit(self, plan: ReshardPlan) -> None:
+        self.ring.commit(plan)
+        if plan.kind == "split":
+            # The new shard holds the drained range but no copy values;
+            # existing copy sets stay valid (write-through keeps them
+            # fresh) and newly promoted keys will include it.
+            return
+        self.on_shard_retired(plan.donor)
+
+
+# ---------------------------------------------------------------- factory
+
+
+def make_policy(options: Options) -> RoutingPolicy:
+    """Build the policy the options bag asks for."""
+    shard_count = max(1, int(options.shard_count))
+    policy_name = str(options.routing_policy)
+    if policy_name == "modulo":
+        return ModuloPolicy(shard_count)
+    ring = HashRingPolicy(
+        range(shard_count), virtual_nodes=int(options.virtual_nodes)
+    )
+    if policy_name == "ring":
+        return ring
+    if policy_name == "hotkey":
+        return HotKeyPolicy(ring, threshold=int(options.hot_key_threshold))
+    raise RoutingError(f"unknown routing policy {policy_name!r}")

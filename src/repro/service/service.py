@@ -1,12 +1,24 @@
 """ShardedService: a multi-client front-end over N independent DBs.
 
-The service hash-routes keys (FNV-1a, :mod:`repro.service.router`) over
-``shard_count`` independent :class:`~repro.lsm.db.DB` instances and
-drives an open-loop population of simulated clients on the virtual
-clock. Everything is event-scheduled — no real threads — so runs are
-bit-deterministic: a heap of ``(time_us, seq)``-ordered events
-interleaves client arrivals with shard completions, and ``seq`` (a
-global monotonic counter) breaks ties the same way every run.
+The service routes keys through a pluggable :class:`RoutingPolicy`
+(:mod:`repro.service.routing`) over ``shard_count`` independent
+:class:`~repro.lsm.db.DB` instances and drives an open-loop population
+of simulated clients on the virtual clock. Everything is
+event-scheduled — no real threads — so runs are bit-deterministic: a
+heap of ``(time_us, seq)``-ordered events interleaves client arrivals
+with shard completions (and reshard completions), and ``seq`` (a global
+monotonic counter) breaks ties the same way every run.
+
+Routing
+-------
+Exactly one policy object answers every "which shard?" question — the
+preload, the enqueue paths, queued-request migration, and the audit
+oracle all go through it. The serve path *recomputes* the route and
+raises :class:`~repro.errors.MisroutedRequestError` on a mismatch, so a
+desync between the enqueue-side and serve-side views of the layout is
+an error, never a silent wrong-shard read. The default ``modulo``
+policy reproduces the original FNV-1a ``hash % N`` layout bit for bit;
+``ring``/``hotkey`` add a consistent-hash ring with live resharding.
 
 Concurrency model
 -----------------
@@ -25,6 +37,19 @@ once for the batch); the other ``size − 1`` riders are accounted as
 Reads are served one request at a time. A multi-get whose keys span
 shards is scattered into per-shard sub-reads and completes (for
 latency purposes) when its last sub-read finishes.
+
+Live resharding
+---------------
+Under a ring policy, ``set_options({"shard_count": N})`` changes
+topology *while serving*: the donor's moving key range is drained at a
+pinned snapshot via ``DB.iterator()`` and installed into the recipient
+with ``WriteBatch``; the drain takes virtual time, during which writes
+to the moving range keep landing on the donor *and* are appended to a
+migration journal; when the drain's completion event fires, the journal
+is replayed into the recipient, queued requests stranded on the donor
+are migrated, and the ring swaps atomically. ``service.reshard.*``
+trace events bracket the move. Values the donor no longer owns are left
+behind as unreachable garbage (the ring never routes to them).
 
 Timing
 ------
@@ -46,17 +71,21 @@ from typing import Any, Callable, Iterable, Mapping
 from repro.bench.keygen import ValueGenerator, format_key
 from repro.bench.runner import BenchResult
 from repro.bench.spec import WorkloadSpec
+from repro.errors import MisroutedRequestError, RoutingError
 from repro.hardware.profile import HardwareProfile, make_profile
 from repro.lsm.db import DB
 from repro.lsm.env import Env
 from repro.lsm.histogram import Histogram, HistogramSummary
-from repro.lsm.options import Options, ensure_mutable
+from repro.lsm.options import Options, ensure_mutable, spec_for
 from repro.lsm.statistics import OpClass, Statistics, Ticker
 from repro.lsm.write_batch import WriteBatch
 from repro.obs.events import (
     BenchAbort,
     GroupCommit,
+    ReshardBegin,
+    ReshardEnd,
     ServiceEnd,
+    ServiceOverload,
     ServiceProgress,
     ServiceStart,
     SetOptions,
@@ -64,7 +93,9 @@ from repro.obs.events import (
 )
 from repro.obs.tracer import Tracer
 from repro.service.clients import GET, PUT, Request, SimClient, build_clients
-from repro.service.router import shard_for_key
+from repro.service.overload import OverloadDetector
+from repro.service.routing import ReshardPlan, RoutingPolicy, make_policy
+
 from repro.sim.clock import SimClock
 
 import random
@@ -76,6 +107,11 @@ DEFAULT_CLIENT_OPS_PER_SEC = 20_000.0
 
 _ARRIVAL = 0
 _FREE = 1
+_RESHARD = 2
+
+#: Keys per WriteBatch when installing a drained range or replaying the
+#: migration journal into a recipient shard.
+_MIGRATE_BATCH = 512
 
 
 @dataclass
@@ -101,6 +137,8 @@ class _Shard:
     #: Pending reads: (arrival_us, seq, Request, keys, _Fanout | None).
     read_q: deque = field(default_factory=deque)
     busy: bool = False
+    #: A merge victim: no longer in the ring, kept only for accounting.
+    retired: bool = False
     requests: int = 0
     reads: int = 0
     writes: int = 0
@@ -109,6 +147,18 @@ class _Shard:
     max_group: int = 0
     write_hist: Histogram = field(default_factory=Histogram)
     read_hist: Histogram = field(default_factory=Histogram)
+
+
+@dataclass
+class _Migration:
+    """One in-flight reshard: the plan, its journal, and bookkeeping."""
+
+    plan: ReshardPlan
+    begin_us: float
+    keys_drained: int
+    #: Writes applied to the moving range while the drain was in
+    #: flight; replayed into the recipient(s) at the ring swap.
+    journal: list = field(default_factory=list)
 
 
 @dataclass(frozen=True)
@@ -157,6 +207,11 @@ class ServiceResult:
     wal_syncs: int
     requests_done: int
     wall_clock_s: float = 0.0
+    #: Completed live topology changes, in order: (kind, donor,
+    #: recipient) tuples.
+    reshards: list = field(default_factory=list)
+    #: Point requests dropped by the ``shed`` overload policy.
+    sheds: int = 0
     #: Trace events captured during the run (populated by the parallel
     #: executor's workers so traces survive the process boundary).
     trace_events: list = field(default_factory=list)
@@ -218,33 +273,50 @@ class ShardedService:
         self._seq = 0
         self._write_hist = Histogram()
         self._read_hist = Histogram()
+        #: The single source of routing truth: every lookup goes
+        #: through this object (see module docstring).
+        self._policy: RoutingPolicy = make_policy(self.options)
+        self._overload = OverloadDetector.from_options(self.options)
+        self._migration: _Migration | None = None
+        self._topology_target: int | None = None
+        self._next_shard_id = self.num_shards
+        self._heap: list | None = None
+        self._reshards: list[tuple[str, int, int]] = []
         #: Optional mid-run hook: called as ``on_progress(service, event)``
         #: after every progress sample, while the event loop is parked
         #: between requests. The callback may call :meth:`set_options`.
         self.on_progress: "Callable[[ShardedService, ServiceProgress], None] | None" = None
+        #: Optional hook called after the run completes, while shards
+        #: are still open — oracles (e.g. :meth:`verify_write_audit`)
+        #: run here, after results are frozen.
+        self.on_complete: "Callable[[ShardedService], None] | None" = None
+        #: When set to a dict, every *acked* write records its last
+        #: value here (serve order), for the lost/misrouted-write
+        #: oracle. Leave None (the default) to skip the bookkeeping.
+        self.write_audit: dict[bytes, bytes] | None = None
         self._shards: list[_Shard] = []
         self._aborted = False
 
     # -- setup -------------------------------------------------------------
 
+    def _open_shard(self, index: int) -> _Shard:
+        env = Env()
+        stats = Statistics()
+        # Shard DBs run untraced: engine events from N interleaved
+        # shards would share one tracer clock and lose meaning. The
+        # service emits its own service.* events on the global clock.
+        db = DB.open(
+            f"{self.base_path}/shard-{index:02d}",
+            self.options,
+            env=env,
+            profile=self.profile,
+            statistics=stats,
+            byte_scale=self.byte_scale,
+        )
+        return _Shard(index=index, env=env, stats=stats, db=db)
+
     def _open_shards(self) -> list[_Shard]:
-        shards = []
-        for i in range(self.num_shards):
-            env = Env()
-            stats = Statistics()
-            # Shard DBs run untraced: engine events from N interleaved
-            # shards would share one tracer clock and lose meaning. The
-            # service emits its own service.* events on the global clock.
-            db = DB.open(
-                f"{self.base_path}/shard-{i:02d}",
-                self.options,
-                env=env,
-                profile=self.profile,
-                statistics=stats,
-                byte_scale=self.byte_scale,
-            )
-            shards.append(_Shard(index=i, env=env, stats=stats, db=db))
-        return shards
+        return [self._open_shard(i) for i in range(self.num_shards)]
 
     def _preload(self, shards: list[_Shard]) -> None:
         """Random-order preload, routed by key — same key/value streams
@@ -260,10 +332,10 @@ class ShardedService:
         )
         order = list(range(spec.preload_keys))
         random.Random(spec.seed ^ 0x10AD).shuffle(order)
+        owner = self._policy.owner
         for index in order:
             key = format_key(index)
-            shard = shards[shard_for_key(key, self.num_shards)]
-            shard.db.put(key, values.next_value())
+            shards[owner(key)].db.put(key, values.next_value())
         for shard in shards:
             shard.db.flush(wait_compactions=False)
 
@@ -273,14 +345,36 @@ class ShardedService:
         self._seq += 1
         return self._seq
 
+    def _depth(self, shard_id: int) -> int:
+        """Live queue depth of one shard (in-service request included)."""
+        shard = self._shards[shard_id]
+        return len(shard.write_q) + len(shard.read_q) + (1 if shard.busy else 0)
+
     def _enqueue(self, shards: list[_Shard], req: Request, heap: list) -> None:
         """Route an arrived request to its shard queue(s)."""
+        policy = self._policy
+        if policy.needs_window:
+            if req.keys:
+                for key in req.keys:
+                    policy.observe(key)
+            else:
+                policy.observe(req.key)
         if req.kind == PUT:
-            shard = shards[shard_for_key(req.key, self.num_shards)]
+            target = policy.owner(req.key)
+            if self._overload is not None and self._overload.should_shed(
+                target, self._depth(target)
+            ):
+                return
+            shard = shards[target]
             shard.write_q.append((req.arrival_us, self._next_seq(), req))
             self._kick(shard, heap)
         elif req.kind == GET:
-            shard = shards[shard_for_key(req.key, self.num_shards)]
+            target = policy.read_shard(req.key, self._depth)
+            if self._overload is not None and self._overload.should_shed(
+                target, self._depth(target)
+            ):
+                return
+            shard = shards[target]
             shard.read_q.append(
                 (req.arrival_us, self._next_seq(), req, (req.key,), None)
             )
@@ -288,9 +382,7 @@ class ShardedService:
         else:  # multiget: scatter keys by shard, gather on completion
             by_shard: dict[int, list[bytes]] = {}
             for key in req.keys:
-                by_shard.setdefault(
-                    shard_for_key(key, self.num_shards), []
-                ).append(key)
+                by_shard.setdefault(policy.owner(key), []).append(key)
             fanout = _Fanout(
                 remaining=len(by_shard),
                 arrival_us=req.arrival_us,
@@ -311,7 +403,7 @@ class ShardedService:
 
     def _kick(self, shard: _Shard, heap: list) -> None:
         """Start serving if the shard is idle."""
-        if not shard.busy:
+        if not shard.busy and (shard.write_q or shard.read_q):
             self._serve(shard, heap)
 
     def _serve(self, shard: _Shard, heap: list) -> None:
@@ -340,6 +432,15 @@ class ShardedService:
         group_start_us = shard.env.clock.now_us
         n = min(len(shard.write_q), self._max_group)
         members = [shard.write_q.popleft() for _ in range(n)]
+        policy = self._policy
+        # Serve-time route check: the policy is the single source of
+        # truth, and a queue entry it no longer maps here is a bug (a
+        # reshard or demotion failed to migrate it), not a wrong-shard
+        # write waiting to happen.
+        for _, _, req in members:
+            targets = policy.write_targets(req.key)
+            if shard.index != targets[0]:
+                raise MisroutedRequestError(req.key, shard.index, targets)
         if n == 1:
             req = members[0][2]
             shard.db.put(req.key, req.value)
@@ -353,12 +454,31 @@ class ShardedService:
             shard.groups += 1
             shard.grouped_writes += n
             shard.max_group = max(shard.max_group, n)
+        mig = self._migration
+        audit = self.write_audit
+        for _, _, req in members:
+            # Migration journal: a write applied to the moving range
+            # while the drain is in flight must be replayed into the
+            # recipient at the swap, or it is lost.
+            if mig is not None and mig.plan.moves(req.key):
+                mig.journal.append((req.key, req.value))
+            if audit is not None:
+                audit[req.key] = req.value
+            # Hot-key write-through: every read copy gets the new value
+            # so fanned-out reads never serve stale data.
+            targets = policy.write_targets(req.key)
+            for copy_id in targets[1:]:
+                copy = self._shards[copy_id]
+                copy.env.clock.advance_to(self._clock.now_us)
+                copy.db.put(req.key, req.value)
         finish_us = shard.env.clock.now_us
         for arrival_us, _, req in members:
             latency = finish_us - arrival_us
             self._write_hist.add(latency)
             shard.write_hist.add(latency)
             self._client_hist[req.client].add(latency)
+            if self._overload is not None:
+                self._overload.record_latency(shard.index, latency)
         shard.writes += n
         shard.requests += n
         self._writes_done += n
@@ -375,9 +495,17 @@ class ShardedService:
 
     def _serve_read(self, shard: _Shard) -> None:
         arrival_us, _, req, keys, fanout = shard.read_q.popleft()
+        policy = self._policy
         if fanout is None and len(keys) == 1:
+            targets = policy.read_targets(keys[0])
+            if shard.index not in targets:
+                raise MisroutedRequestError(keys[0], shard.index, targets)
             shard.db.get(keys[0])
         else:
+            for key in keys:
+                owner = policy.owner(key)
+                if owner != shard.index:
+                    raise MisroutedRequestError(key, shard.index, (owner,))
             shard.db.multi_get(list(keys))
         finish_us = shard.env.clock.now_us
         shard.read_hist.add(finish_us - arrival_us)
@@ -389,6 +517,8 @@ class ShardedService:
             latency = finish_us - arrival_us
             self._read_hist.add(latency)
             self._client_hist[req.client].add(latency)
+            if self._overload is not None:
+                self._overload.record_latency(shard.index, latency)
         else:
             fanout.remaining -= 1
             fanout.finish_us = max(fanout.finish_us, finish_us)
@@ -396,6 +526,10 @@ class ShardedService:
                 latency = fanout.finish_us - fanout.arrival_us
                 self._read_hist.add(latency)
                 self._client_hist[fanout.client].add(latency)
+            if self._overload is not None:
+                self._overload.record_latency(
+                    shard.index, finish_us - arrival_us
+                )
 
     # -- run ---------------------------------------------------------------
 
@@ -438,9 +572,12 @@ class ShardedService:
             duration_s = (self._clock.now_us - base_us) / 1e6
             result = self._collect(shards, clients, duration_s)
             result.wall_clock_s = time.perf_counter() - wall_start
+            if self.on_complete is not None:
+                self.on_complete(self)
             return result
         finally:
             self._shards = []
+            self._heap = None
             for shard in shards:
                 if not shard.db.closed:
                     shard.db.close()
@@ -450,6 +587,7 @@ class ShardedService:
     ) -> None:
         """The event loop: interleave arrivals and shard completions."""
         heap: list = []
+        self._heap = heap
         streams = [c.requests(start_us=base_us) for c in clients]
         for client_id, stream in enumerate(streams):
             req = next(stream, None)
@@ -471,28 +609,35 @@ class ShardedService:
                         heap,
                         (nxt.arrival_us, self._next_seq(), _ARRIVAL, who, nxt),
                     )
-            else:  # _FREE
+            elif kind == _FREE:
                 shard = shards[who]
                 shard.busy = False
                 if shard.write_q or shard.read_q:
                     self._serve(shard, heap)
+            else:  # _RESHARD: the drain finished; swap the ring
+                self._finish_reshard(payload)
             # Progress sampling between events: the same contract as
             # DbBench's mid-run samples, so BenchmarkMonitor early-stop
             # and drift detection work for service benchmarks too.
-            if watch and self._ops_done >= next_progress:
+            if self._ops_done >= next_progress:
                 next_progress = (
                     self._ops_done // self.PROGRESS_EVERY + 1
                 ) * self.PROGRESS_EVERY
-                event = self._progress_event(base_us)
-                if self.tracer is not None:
-                    self.tracer.emit(event)
-                    if self.tracer.abort_requested:
-                        reason = self.tracer.take_abort() or "abort requested"
-                        self.tracer.emit(BenchAbort(reason))
-                        self._aborted = True
-                        break
-                if self.on_progress is not None:
-                    self.on_progress(self, event)
+                if self._policy.needs_window:
+                    self._roll_hot_window()
+                if self._overload is not None:
+                    self._evaluate_overload()
+                if watch:
+                    event = self._progress_event(base_us)
+                    if self.tracer is not None:
+                        self.tracer.emit(event)
+                        if self.tracer.abort_requested:
+                            reason = self.tracer.take_abort() or "abort requested"
+                            self.tracer.emit(BenchAbort(reason))
+                            self._aborted = True
+                            break
+                    if self.on_progress is not None:
+                        self.on_progress(self, event)
 
     def _progress_event(self, base_us: float) -> ServiceProgress:
         elapsed_s = (self._clock.now_us - base_us) / 1e6
@@ -512,19 +657,96 @@ class ShardedService:
             cache_hit_rate=hits / blocks if blocks else 0.0,
         )
 
+    # -- hot keys / overload (progress cadence) ----------------------------
+
+    def _roll_hot_window(self) -> None:
+        """Close the hot-key window: install read copies for promoted
+        keys, and rescue reads queued on shards a demotion just removed
+        from the key's target set."""
+        promoted, demoted = self._policy.roll_window()
+        if not promoted and not demoted:
+            return
+        now = self._clock.now_us
+        for key in promoted:
+            owner = self._shards[self._policy.owner(key)]
+            owner.env.clock.advance_to(now)
+            value = owner.db.get(key)
+            if value is None:
+                continue  # hot but never written; copies stay empty too
+            for copy_id in self._policy.copies_of(key):
+                if copy_id == owner.index:
+                    continue
+                copy = self._shards[copy_id]
+                copy.env.clock.advance_to(now)
+                copy.db.put(key, value)
+        if demoted:
+            self._revalidate_queues(list(self._policy.shard_ids()))
+
+    def _evaluate_overload(self) -> None:
+        """Re-check every active shard; trace state transitions."""
+        detector = self._overload
+        assert detector is not None
+        for shard_id in self._policy.shard_ids():
+            depth = self._depth(shard_id)
+            transition = detector.evaluate(shard_id, depth)
+            if transition is not None and self.tracer is not None:
+                state = detector.state(shard_id)
+                self.tracer.emit(
+                    ServiceOverload(
+                        shard=shard_id,
+                        state=transition,
+                        queue_depth=depth,
+                        p99_us=state.p99_us(),
+                        sheds=state.sheds,
+                    )
+                )
+
+    def overloaded_shards(self) -> tuple[int, ...]:
+        """Shards currently past the overload threshold (may be empty)."""
+        if self._overload is None:
+            return ()
+        return self._overload.overloaded_shards()
+
+    def topology_context(self) -> dict[str, Any]:
+        """Live topology facts for the online tuner's prompt."""
+        per_shard = {
+            sid: self._depth(sid) if self._shards else 0
+            for sid in self._policy.shard_ids()
+        }
+        return {
+            "routing_policy": self._policy.name,
+            "active_shards": len(per_shard),
+            "queue_depths": per_shard,
+            "overloaded": list(self.overloaded_shards()),
+            "sheds": self._overload.total_sheds() if self._overload else 0,
+            "resharding": self._migration is not None
+            or self._topology_target is not None,
+        }
+
+    @property
+    def supports_resharding(self) -> bool:
+        """Whether ``set_options({"shard_count": N})`` works mid-run."""
+        return self._policy.supports_resharding
+
     # -- live reconfiguration ----------------------------------------------
 
     def set_options(
         self, changes: "Mapping[str, Any] | Iterable[tuple[str, Any]]"
     ) -> dict[str, tuple[Any, Any]]:
-        """Fan a mutable-option diff out to every shard, mid-run.
+        """Apply a mutable-option diff to the whole fleet, mid-run.
 
-        Topology-safe rejection happens *before* any shard is touched:
-        immutable keys (including the service-topology options
-        ``shard_count`` / ``enable_group_commit`` /
-        ``max_write_batch_group_size``) raise here, so no shard ever
-        sees a partial fan-out. Each shard's clock is aligned to the
-        global timeline first, and no shard is reopened.
+        Validation happens *before* any shard is touched, and the
+        fan-out is all-or-nothing: if a shard's apply fails mid-loop,
+        the inverse diff is applied to every shard already updated, so
+        the fleet never diverges (and no event is emitted).
+
+        Under a resharding policy (``ring``/``hotkey``), a
+        ``shard_count`` change is intercepted and applied as live shard
+        splits/merges instead of a per-shard engine diff; the topology
+        converges over virtual time while the service keeps serving.
+        Under ``modulo`` it stays immutable and raises, before any
+        shard is touched. Each shard's clock is aligned to the global
+        timeline first, and no shard is reopened.
 
         Returns the applied paper-unit diff ``{name: (old, new)}``.
         """
@@ -534,20 +756,356 @@ class ShardedService:
             items = list(changes.items())
         else:
             items = [(name, value) for name, value in changes]
+        topology: int | None = None
+        engine_items: list[tuple[str, Any]] = []
         for name, value in items:
+            if name == "shard_count" and self._policy.supports_resharding:
+                spec_for(name).validate(value)
+                topology = int(value)
+            else:
+                engine_items.append((name, value))
+        for name, value in engine_items:
             ensure_mutable(name).validate(value)
+        if topology is not None:
+            self._check_topology_feasible(topology)
         applied: dict[str, tuple[Any, Any]] = {}
-        for shard in self._shards:
-            shard.env.clock.advance_to(self._clock.now_us)
-            # Shards share one paper-unit bag, so the first shard
-            # reports the real diff and the rest apply it as a no-op
-            # (their component snapshots still refresh).
-            applied.update(shard.db.set_options(items))
+        done: list[tuple[_Shard, dict[str, tuple[Any, Any]]]] = []
+        try:
+            for shard in self._shards:
+                if shard.retired:
+                    continue
+                shard.env.clock.advance_to(self._clock.now_us)
+                # Shards share one paper-unit bag, so the first shard
+                # reports the real diff and the rest apply it as a
+                # no-op (their component snapshots still refresh).
+                diff = shard.db.set_options(engine_items)
+                done.append((shard, diff))
+                applied.update(diff)
+        except Exception:
+            # All-or-nothing: un-apply on every shard already updated
+            # (the first rolled-back shard flips the shared bag; the
+            # rest refresh their component bindings from it).
+            inverse = [(n, old) for n, (old, _new) in sorted(applied.items())]
+            if inverse:
+                for shard, _diff in reversed(done):
+                    shard.db.set_options(inverse)
+            raise
+        if applied and self._overload_keys & applied.keys():
+            self._reconfigure_overload()
+        if topology is not None:
+            current = (
+                self._topology_target
+                if self._topology_target is not None
+                else len(self._policy.shard_ids())
+            )
+            if topology != current:
+                self._topology_target = topology
+                self._advance_topology()
+                applied["shard_count"] = (current, topology)
         if applied and self.tracer is not None:
             self.tracer.emit(SetOptions(
                 [[n, old, new] for n, (old, new) in sorted(applied.items())]
             ))
         return applied
+
+    _overload_keys = frozenset(
+        {"overload_policy", "overload_queue_depth", "overload_p99_ms"}
+    )
+
+    def _reconfigure_overload(self) -> None:
+        """Rebuild the overload detector after its options changed,
+        carrying the rolling per-shard state across."""
+        detector = OverloadDetector.from_options(
+            self._shards[0].db.options if self._shards else self.options
+        )
+        if detector is not None and self._overload is not None:
+            detector.adopt_states(self._overload)
+        self._overload = detector
+
+    # -- live resharding ---------------------------------------------------
+
+    def _check_topology_feasible(self, target: int) -> None:
+        """Fail a topology request before any engine option is applied.
+
+        Only the *first* step is fully checkable (later steps depend on
+        intermediate ring states); that still catches the common edge
+        cases — growing with too few virtual nodes, shrinking to zero —
+        at request time rather than mid-flight.
+        """
+        if self._heap is None:
+            raise RoutingError(
+                "topology changes need a running event loop "
+                "(set shard_count at construction instead)"
+            )
+        active = self._policy.shard_ids()
+        current = (
+            self._topology_target
+            if self._topology_target is not None
+            else len(active)
+        )
+        if target > current and not any(
+            self._policy.arc_count(sid) >= 2 for sid in active
+        ):
+            raise RoutingError(
+                "no shard owns enough virtual-node arcs to split "
+                "(raise virtual_nodes)"
+            )
+
+    def _advance_topology(self) -> None:
+        """Take the next split/merge step toward ``_topology_target``."""
+        if self._migration is not None or self._topology_target is None:
+            return
+        active = self._policy.shard_ids()
+        if len(active) == self._topology_target:
+            self._topology_target = None
+            return
+        try:
+            if len(active) < self._topology_target:
+                self._begin_split()
+            else:
+                self._begin_merge()
+        except RoutingError:
+            # Mid-flight infeasibility (e.g. arcs ran out after several
+            # splits): stop converging rather than crash the service.
+            self._topology_target = None
+
+    def _begin_split(self) -> None:
+        policy = self._policy
+        # Donor: the most loaded shard that can still give arcs away —
+        # deepest queue first (that is the shard worth splitting), then
+        # most arcs, then lowest id, so the pick is deterministic.
+        eligible = [s for s in policy.shard_ids() if policy.arc_count(s) >= 2]
+        if not eligible:
+            raise RoutingError("no shard has enough arcs to split")
+        donor = max(
+            eligible,
+            key=lambda sid: (self._depth(sid), policy.arc_count(sid), -sid),
+        )
+        recipient = self._next_shard_id
+        self._next_shard_id += 1
+        plan = policy.plan_split(donor, recipient)
+        shard = self._open_shard(recipient)
+        shard.env.clock.advance_to(self._clock.now_us)
+        self._shards.append(shard)
+        self._execute_drain(plan)
+
+    def _begin_merge(self) -> None:
+        # Victim: the most recently added shard (LIFO), so a merge is
+        # the natural undo of the last split — arc labels return moved
+        # ranges to the shards that originally split them off.
+        victim = max(self._policy.shard_ids())
+        plan = self._policy.plan_merge(victim)
+        self._execute_drain(plan)
+
+    def _execute_drain(self, plan: ReshardPlan) -> None:
+        """Drain the moving range at a pinned snapshot and schedule the
+        ring swap at the drain's virtual completion time."""
+        shards = self._shards
+        donor = shards[plan.donor]
+        now = self._clock.now_us
+        donor.env.clock.advance_to(now)
+        # Drain via the cursor API at a pinned snapshot: only keys whose
+        # arc moves ship; values the donor holds but no longer owns
+        # (garbage from an earlier reshard, stale hot-key copies) are
+        # skipped — installing them would overwrite fresher data.
+        moving: dict[int, list[tuple[bytes, bytes]]] = {}
+        keys_drained = 0
+        with donor.db.snapshot() as snap:
+            it = donor.db.iterator(snapshot=snap)
+            it.seek(None)
+            while it.valid:
+                key = it.key
+                if plan.moves(key):
+                    moving.setdefault(plan.target(key), []).append(
+                        (key, it.value)
+                    )
+                    keys_drained += 1
+                it.next()
+            it.close()
+        for target_id in sorted(moving):
+            target = shards[target_id]
+            target.env.clock.advance_to(now)
+            entries = moving[target_id]
+            for base in range(0, len(entries), _MIGRATE_BATCH):
+                batch = WriteBatch()
+                for key, value in entries[base:base + _MIGRATE_BATCH]:
+                    batch.put(key, value)
+                target.db.write(batch)
+        migration = _Migration(plan=plan, begin_us=now, keys_drained=keys_drained)
+        self._migration = migration
+        done_us = max(
+            donor.env.clock.now_us,
+            *(shards[t].env.clock.now_us for t in sorted(moving) or [plan.donor]),
+        )
+        assert self._heap is not None
+        heapq.heappush(
+            self._heap,
+            (done_us, self._next_seq(), _RESHARD, plan.donor, migration),
+        )
+        if self.tracer is not None:
+            after = len(self._policy.shard_ids()) + (
+                1 if plan.kind == "split" else -1
+            )
+            self.tracer.emit(
+                ReshardBegin(
+                    kind=plan.kind,
+                    donor=plan.donor,
+                    recipient=plan.recipient,
+                    vnodes_moved=plan.vnodes_moved,
+                    keys_drained=keys_drained,
+                    shards_after=after,
+                    ops_at=self._ops_done,
+                )
+            )
+
+    def _finish_reshard(self, migration: _Migration) -> None:
+        """The drain's completion event: replay the journal, swap the
+        ring atomically, and migrate queued requests the swap stranded."""
+        plan = migration.plan
+        shards = self._shards
+        now = self._clock.now_us
+        # Replay writes that landed on the moving range during the
+        # drain, in apply order — they are already acked on the donor.
+        by_target: dict[int, list[tuple[bytes, bytes]]] = {}
+        for key, value in migration.journal:
+            by_target.setdefault(plan.target(key), []).append((key, value))
+        for target_id in sorted(by_target):
+            target = shards[target_id]
+            target.env.clock.advance_to(now)
+            entries = by_target[target_id]
+            for base in range(0, len(entries), _MIGRATE_BATCH):
+                batch = WriteBatch()
+                for key, value in entries[base:base + _MIGRATE_BATCH]:
+                    batch.put(key, value)
+                target.db.write(batch)
+        self._policy.commit(plan)
+        if plan.kind == "merge":
+            shards[plan.donor].retired = True
+            if self._overload is not None:
+                self._overload.forget(plan.donor)
+        migrated = self._revalidate_queues([plan.donor])
+        self._reshards.append((plan.kind, plan.donor, plan.recipient))
+        if self.tracer is not None:
+            self.tracer.emit(
+                ReshardEnd(
+                    kind=plan.kind,
+                    donor=plan.donor,
+                    recipient=plan.recipient,
+                    journal_replayed=len(migration.journal),
+                    queued_migrated=migrated,
+                    duration_us=now - migration.begin_us,
+                    shards_after=len(self._policy.shard_ids()),
+                )
+            )
+        self._migration = None
+        self._advance_topology()
+
+    def _revalidate_queues(self, shard_ids: list[int]) -> int:
+        """Re-route every queued request the policy no longer maps to
+        its current shard; returns how many entries moved.
+
+        Moved entries keep their ``(arrival, seq)`` stamps and are
+        merge-sorted into the destination queues, so FIFO order (and
+        with it determinism) is preserved.
+        """
+        policy = self._policy
+        shards = self._shards
+        moved_writes: dict[int, list] = {}
+        moved_reads: dict[int, list] = {}
+        moved = 0
+        assert self._heap is not None
+        for shard_id in shard_ids:
+            shard = shards[shard_id]
+            if shard.write_q:
+                keep: deque = deque()
+                for entry in shard.write_q:
+                    owner = policy.owner(entry[2].key)
+                    if owner == shard_id:
+                        keep.append(entry)
+                    else:
+                        moved_writes.setdefault(owner, []).append(entry)
+                        moved += 1
+                shard.write_q = keep
+            if shard.read_q:
+                keep = deque()
+                for entry in shard.read_q:
+                    arrival_us, seq, req, keys, fanout = entry
+                    if fanout is None and len(keys) == 1:
+                        if shard_id in policy.read_targets(keys[0]):
+                            keep.append(entry)
+                        else:
+                            dest = policy.read_shard(keys[0], self._depth)
+                            moved_reads.setdefault(dest, []).append(entry)
+                            moved += 1
+                    else:
+                        by_owner: dict[int, list[bytes]] = {}
+                        for key in keys:
+                            by_owner.setdefault(policy.owner(key), []).append(key)
+                        if set(by_owner) == {shard_id}:
+                            keep.append(entry)
+                            continue
+                        # The sub-read splits: this shard keeps its
+                        # still-owned keys (same seq); each other owner
+                        # gets a fresh entry, and the fan-out gains one
+                        # outstanding completion per extra part.
+                        if fanout is not None:
+                            fanout.remaining += len(by_owner) - 1
+                        for owner in sorted(by_owner):
+                            part_keys = tuple(by_owner[owner])
+                            if owner == shard_id:
+                                keep.append(
+                                    (arrival_us, seq, req, part_keys, fanout)
+                                )
+                            else:
+                                moved_reads.setdefault(owner, []).append(
+                                    (
+                                        arrival_us,
+                                        self._next_seq(),
+                                        req,
+                                        part_keys,
+                                        fanout,
+                                    )
+                                )
+                                moved += 1
+                shard.read_q = keep
+        for dest, entries in sorted(moved_writes.items()):
+            shard = shards[dest]
+            shard.write_q = deque(
+                sorted(list(shard.write_q) + entries, key=lambda e: e[:2])
+            )
+        for dest, entries in sorted(moved_reads.items()):
+            shard = shards[dest]
+            shard.read_q = deque(
+                sorted(list(shard.read_q) + entries, key=lambda e: e[:2])
+            )
+        for dest in sorted(set(moved_writes) | set(moved_reads)):
+            self._kick(shards[dest], self._heap)
+        return moved
+
+    # -- oracle ------------------------------------------------------------
+
+    def verify_write_audit(self) -> list[str]:
+        """Check every acked write against the live fleet: the shard
+        the policy routes the key to must return the last acked value.
+        Returns human-readable violations (empty = clean). Requires
+        :attr:`write_audit` to have been set before the run; call from
+        :attr:`on_complete` while shards are still open."""
+        if self.write_audit is None:
+            raise ValueError("write_audit was not enabled for this run")
+        if not self._shards:
+            raise ValueError("shards are closed; verify from on_complete")
+        failures: list[str] = []
+        for key in sorted(self.write_audit):
+            expected = self.write_audit[key]
+            owner = self._policy.owner(key)
+            got = self._shards[owner].db.get(key)
+            if got != expected:
+                failures.append(
+                    f"key {key!r}: shard {owner} returned "
+                    f"{'missing' if got is None else len(got)} bytes, "
+                    f"expected the last acked write ({len(expected)} bytes)"
+                )
+        return failures
 
     # -- results -----------------------------------------------------------
 
@@ -674,6 +1232,8 @@ class ShardedService:
             grouped_writes=grouped_writes,
             wal_syncs=wal_syncs,
             requests_done=sum(s.requests for s in shards),
+            reshards=list(self._reshards),
+            sheds=self._overload.total_sheds() if self._overload else 0,
         )
 
 

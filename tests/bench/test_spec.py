@@ -120,7 +120,7 @@ class TestServiceWorkloads:
         )
 
         assert set(SERVICE_WORKLOADS) == {
-            "readwhilewriting", "multireadrandom", "phasedmix",
+            "readwhilewriting", "multireadrandom", "phasedmix", "hotspot",
         }
         assert set(ALL_WORKLOADS) == (
             set(PAPER_WORKLOADS) | set(SCAN_WORKLOADS)

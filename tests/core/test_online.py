@@ -70,9 +70,14 @@ class TestOnlineLoop:
     def test_deteriorating_diff_is_reverted(self):
         # The longer run gives the kept cache diff time to settle, so
         # the second (deteriorating) diff scores against a steady
-        # baseline instead of a still-warming cache.
+        # baseline instead of a still-warming cache. Hysteresis is
+        # disabled: this test *wants* the back-to-back drift wakes so
+        # the BAD diff gets applied (and then reverted) mid-run.
         tuner = OnlineTuner(
-            _config(workload=_spec(num_ops=36_000)),
+            _config(
+                workload=_spec(num_ops=36_000),
+                drift=DriftConfig(window_ops=4000, min_ops_between_emits=0),
+            ),
             llm=ScriptedLLM([GOOD, BAD], cycle=True),
         )
         session = tuner.run()
@@ -89,7 +94,11 @@ class TestOnlineLoop:
 
     def test_always_keep_ablation_skips_the_revert(self):
         tuner = OnlineTuner(
-            _config(workload=_spec(num_ops=36_000), always_keep=True),
+            _config(
+                workload=_spec(num_ops=36_000),
+                always_keep=True,
+                drift=DriftConfig(window_ops=4000, min_ops_between_emits=0),
+            ),
             llm=ScriptedLLM([GOOD, BAD], cycle=True),
         )
         session = tuner.run()
@@ -110,6 +119,37 @@ class TestOnlineLoop:
         action = session.applied_actions[0]
         assert "shard_count" in action.dropped_immutable
         assert list(action.applied) == ["block_cache_size"]
+
+    def test_topology_diff_passes_through_under_ring_routing(self):
+        """Under a resharding policy, shard_count survives the
+        mutability filter and lands as a live split mid-run."""
+        response = "Split the hot shard.\n```\nshard_count=3\n```"
+        tuner = OnlineTuner(
+            _config(
+                base_options=Options({
+                    "shard_count": 2,
+                    "routing_policy": "ring",
+                    "block_cache_size": 256 * 1024,
+                }),
+            ),
+            llm=ScriptedLLM([response], cycle=True),
+        )
+        session = tuner.run()
+        action = session.applied_actions[0]
+        assert action.applied == {"shard_count": (2, 3)}
+        assert action.dropped_immutable == []
+        assert session.result.reshards
+        assert session.result.reshards[0][0] == "split"
+        # The prompt advertised the live-topology capability.
+        prompt = tuner.transcript.exchanges[0].messages[-1].content
+        assert "## Service topology" in prompt
+        assert "shard_count is live-tunable" in prompt
+
+    def test_default_modulo_prompt_has_no_topology_section(self):
+        tuner = OnlineTuner(_config(), llm=ScriptedLLM([GOOD], cycle=True))
+        tuner.run()
+        prompt = tuner.transcript.exchanges[0].messages[-1].content
+        assert "## Service topology" not in prompt
 
     def test_unparseable_response_applies_nothing(self):
         tuner = OnlineTuner(

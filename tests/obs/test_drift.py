@@ -86,6 +86,62 @@ class TestDetection:
         assert drift.t_us == 2500.0
 
 
+class TestHysteresis:
+    """Regression: the detector adopts each window as the new baseline,
+    so an alternating A/B/A/B workload used to emit at *every* window
+    boundary forever — a wake storm for the online tuner."""
+
+    def _alternate(self, det, windows=16, window_ops=1000):
+        """Feed ``windows`` boundaries whose read mix flips 0.9/0.1."""
+        emits = 0
+        reads = 0
+        for i in range(1, windows + 1):
+            reads += 900 if i % 2 else 100
+            if det.observe(_sample(i * window_ops, reads)) is not None:
+                emits += 1
+        return emits
+
+    def test_cooldown_pins_emit_count_on_alternating_workload(self):
+        det = DriftDetector(
+            DriftConfig(window_ops=1000, min_ops_between_emits=4000)
+        )
+        # Drift fires at the first flip (ops 2000), then once per
+        # elapsed cooldown: 2000, 6000, 10000, 14000.
+        assert self._alternate(det) == 4
+        assert det.drift_count == 4
+
+    def test_zero_cooldown_restores_emit_per_boundary(self):
+        det = DriftDetector(
+            DriftConfig(window_ops=1000, min_ops_between_emits=0)
+        )
+        # Every boundary after the first window compares A against B:
+        # 15 emits over 16 windows — the storm the default prevents.
+        assert self._alternate(det) == 15
+
+    def test_cooldown_suppresses_but_baseline_still_rolls(self):
+        det = DriftDetector(
+            DriftConfig(window_ops=1000, min_ops_between_emits=10_000)
+        )
+        assert det.observe(_sample(1000, 900)) is None
+        assert det.observe(_sample(2000, 1000)) is not None  # first emit
+        # Inside the cooldown: flip back and forth, nothing emitted...
+        assert det.observe(_sample(3000, 1900)) is None
+        assert det.observe(_sample(4000, 2000)) is None
+        # ...and the baseline tracked the live mix the whole time: a
+        # steady continuation after the cooldown does not re-fire.
+        det2 = DriftDetector(
+            DriftConfig(window_ops=1000, min_ops_between_emits=2000)
+        )
+        det2.observe(_sample(1000, 900))
+        assert det2.observe(_sample(2000, 1000)) is not None
+        det2.observe(_sample(3000, 1100))  # cooldown; baseline -> 0.1
+        assert det2.observe(_sample(4000, 1200)) is None  # steady 0.1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DriftConfig(min_ops_between_emits=-1)
+
+
 class TestSinkMode:
     def test_outbox_collects_and_drains(self):
         det = DriftDetector(DriftConfig(window_ops=1000))

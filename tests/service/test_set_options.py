@@ -134,6 +134,44 @@ class TestServiceSetOptions:
             ["block_cache_size", 8 << 20, 4 << 20]
         ]
 
+    def test_partial_apply_rolls_back_already_updated_shards(self):
+        """Regression: a failure on shard k used to leave shards 0..k-1
+        on the new options and k..N-1 on the old (divergent fleet, no
+        event). The fan-out is now all-or-nothing."""
+        sink = RingSink()
+        service = ShardedService(
+            _spec(), Options({"shard_count": 3}), tracer=Tracer(sink)
+        )
+        ran = []
+
+        def hook(svc, event):
+            if ran:
+                return
+            ran.append(event.ops_done)
+            # Inject a failing setter on the middle shard: shard 0
+            # applies, shard 1 blows up, shard 2 is never reached.
+            boom = RuntimeError("injected mid-fan-out failure")
+
+            def failing(items):
+                raise boom
+
+            svc._shards[1].db.set_options = failing
+            with pytest.raises(RuntimeError) as err:
+                svc.set_options({"write_buffer_size": 8 << 20})
+            assert err.value is boom
+            # Shard 0 was rolled back: the shared paper-unit bag and
+            # every live component binding show the old value.
+            for shard in svc._shards:
+                assert shard.db.options.write_buffer_size == 64 << 20
+            assert svc._shards[0].db._mem.capacity_bytes == 64 << 20
+            assert svc._shards[2].db._mem.capacity_bytes == 64 << 20
+
+        service.on_progress = hook
+        service.run()
+        assert ran, "hook never ran"
+        # A failed fan-out emits no service-level SetOptions event.
+        assert not any(type(e) is SetOptions for e in sink.events)
+
     def test_set_options_preserves_determinism_of_remaining_run(self):
         def run():
             sink = RingSink()
