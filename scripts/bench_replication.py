@@ -1,0 +1,129 @@
+#!/usr/bin/env python
+"""Replication overhead benchmark -> BENCH_service.json "replication".
+
+Runs the same seeded write-heavy workload over the sharded service
+three ways — bare single-node shards, replica groups with a write
+quorum, and the same groups with follower reads enabled — and records
+what the quorum costs on the write path (WAL ship + follower ack on
+the virtual clock) and what follower reads buy back. All metrics are
+virtual-time and deterministic; only ``host`` metadata and wall-clock
+fields vary between machines. The result is merged into
+``BENCH_service.json`` under the ``replication`` key, next to the
+group-commit economics recorded by ``bench_service.py``.
+
+    PYTHONPATH=src python scripts/bench_replication.py            # updates BENCH_service.json
+    PYTHONPATH=src python scripts/bench_replication.py out.json   # custom path
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import sys
+import time
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+)
+
+from repro.bench.spec import WorkloadSpec  # noqa: E402
+from repro.lsm.options import Options  # noqa: E402
+from repro.service import ShardedService  # noqa: E402
+
+SHARDS = 2
+CLIENTS = 8
+REPLICAS = 3
+QUORUM = 2
+
+
+def _spec() -> WorkloadSpec:
+    return WorkloadSpec(
+        name="replbench",
+        num_ops=8000,
+        num_keys=2000,
+        preload_keys=1000,
+        read_fraction=0.3,
+        distribution="uniform",
+        seed=42,
+    )
+
+
+def run(replicas: int, follower_reads: bool) -> dict:
+    options = Options(
+        {
+            "shard_count": SHARDS,
+            "replicas_per_shard": replicas,
+            "replication_quorum": min(QUORUM, replicas),
+            "follower_reads": follower_reads,
+        }
+    )
+    # Below saturation: the overhead number should price the quorum
+    # round-trip (WAL ship + follower ack), not unbounded queueing.
+    service = ShardedService(
+        _spec(), options, num_clients=CLIENTS, client_ops_per_sec=1_000.0
+    )
+    t0 = time.perf_counter()
+    result = service.run()
+    agg = result.aggregate
+    return {
+        "replicas_per_shard": replicas,
+        "replication_quorum": min(QUORUM, replicas),
+        "follower_reads": follower_reads,
+        "ops_per_sec": agg.ops_per_sec,
+        "p99_write_us": agg.write_summary.p99,
+        "p99_read_us": agg.read_summary.p99,
+        "avg_write_us": agg.write_summary.average,
+        "follower_reads_served": result.follower_reads_served,
+        "duration_virtual_s": agg.duration_s,
+        "wall_clock_host_s": time.perf_counter() - t0,
+    }
+
+
+def main() -> int:
+    out = sys.argv[1] if len(sys.argv) > 1 else "BENCH_service.json"
+    single = run(replicas=1, follower_reads=False)
+    quorum = run(replicas=REPLICAS, follower_reads=False)
+    offloaded = run(replicas=REPLICAS, follower_reads=True)
+    overhead_pct = (
+        100.0 * (quorum["p99_write_us"] - single["p99_write_us"])
+        / single["p99_write_us"]
+        if single["p99_write_us"]
+        else 0.0
+    )
+    section = {
+        "benchmark": _spec().name,
+        "topology": {"shards": SHARDS, "clients": CLIENTS},
+        "single_node": single,
+        "quorum_writes": quorum,
+        "quorum_with_follower_reads": offloaded,
+        "quorum_write_p99_overhead_pct": overhead_pct,
+        "quorum_write_p99_delta_us": (
+            quorum["p99_write_us"] - single["p99_write_us"]
+        ),
+        "host": {
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+        },
+    }
+    payload = {}
+    if os.path.exists(out):
+        with open(out) as fh:
+            payload = json.load(fh)
+    payload["replication"] = section
+    with open(out, "w") as fh:
+        json.dump(payload, fh, indent=2)
+        fh.write("\n")
+    print(
+        f"wrote {out}: quorum={QUORUM}/{REPLICAS} write p99 "
+        f"{quorum['p99_write_us']:.0f}us vs single-node "
+        f"{single['p99_write_us']:.0f}us "
+        f"(+{section['quorum_write_p99_delta_us']:.0f}us for the quorum "
+        f"round-trip), {offloaded['follower_reads_served']} reads served "
+        f"by followers"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

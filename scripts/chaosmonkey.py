@@ -1,0 +1,140 @@
+#!/usr/bin/env python
+"""Randomized replica-crash sweep over the sharded service.
+
+The service-level sibling of ``crashmonkey.py``: every replica of
+every shard runs over a fault-injecting filesystem, each schedule
+kills exactly one victim replica at a seeded point in its mutating
+syscall stream — mid-group-commit, mid-WAL-ship, mid-drain, or while a
+reshard recipient is still provisioning — and the write-audit oracle
+checks cluster-wide that no service-acked write was lost or misrouted
+through the crash, the failover, or the topology change.
+
+    PYTHONPATH=src python scripts/chaosmonkey.py                  # 1000 schedules
+    PYTHONPATH=src python scripts/chaosmonkey.py --schedules 200  # CI gate
+    PYTHONPATH=src python scripts/chaosmonkey.py --scenarios drain --seed 7
+    PYTHONPATH=src python scripts/chaosmonkey.py --twice          # determinism
+
+Every failing schedule prints its (scenario, victim, offset, seed)
+coordinates; re-run a single one deterministically with::
+
+    PYTHONPATH=src python -c "from repro.service.chaos import \
+        run_service_crash_schedule; \
+        print(run_service_crash_schedule('<scenario>', (<shard>, <replica>), \
+        <offset>, <seed>).violations)"
+
+Exit status is 1 if any schedule violated an invariant (audit failure,
+crash that never fired, leader crash without a completed failover) or
+the ``--twice`` replay diverged, 0 otherwise. See docs/service.md and
+docs/crash_consistency.md for the fault model.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+)
+
+from repro.obs.console import out, set_quiet, warn  # noqa: E402
+from repro.obs.events import TaskEnd, TaskStart  # noqa: E402
+from repro.obs.sinks import JsonlSink  # noqa: E402
+from repro.obs.tracer import Tracer  # noqa: E402
+from repro.service.chaos import SCENARIOS, service_sweep  # noqa: E402
+
+
+def _render(results) -> str:
+    """One line per schedule, stable across runs — the determinism
+    gate byte-compares this."""
+    return "\n".join(
+        f"{r.coords} crashed={r.crashed} failovers={r.failovers} "
+        f"reshards={r.reshards} ops={r.ops_done} violations={r.violations}"
+        for r in results
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="seeded service-level replica-crash sweep"
+    )
+    parser.add_argument("--schedules", type=int, default=1000,
+                        help="number of crash schedules (default 1000)")
+    parser.add_argument("--seed", type=int, default=2024,
+                        help="master seed for victims, offsets, sub-seeds")
+    parser.add_argument("--scenarios", nargs="+", default=list(SCENARIOS),
+                        choices=list(SCENARIOS), metavar="SCENARIO",
+                        help="scenario shapes to cover (default: all)")
+    parser.add_argument("--twice", action="store_true",
+                        help="run the sweep twice and require "
+                             "byte-identical results (determinism gate)")
+    parser.add_argument("--trace-out", default=None, metavar="PATH",
+                        help="write replica/failover trace events as JSONL")
+    parser.add_argument("--quiet", action="store_true",
+                        help="suppress progress output")
+    args = parser.parse_args(argv)
+    set_quiet(args.quiet)
+
+    tracer = None
+    if args.trace_out:
+        tracer = Tracer(JsonlSink(args.trace_out))
+
+    progress_every = max(1, args.schedules // 10)
+    state = {"done": 0, "failed": 0}
+    t0 = time.perf_counter()
+
+    def on_schedule(result):
+        if tracer is not None:
+            tracer.emit(TaskStart(index=state["done"], kind="chaos",
+                                  label=result.coords))
+            tracer.emit(TaskEnd(index=state["done"]))
+        state["done"] += 1
+        if not result.ok:
+            state["failed"] += 1
+            warn(f"VIOLATION {result.coords}")
+            for violation in result.violations:
+                warn(f"  - {violation}")
+        if state["done"] % progress_every == 0:
+            out(f"  {state['done']}/{args.schedules} schedules, "
+                f"{state['failed']} failing")
+
+    try:
+        results = service_sweep(
+            args.schedules,
+            seed=args.seed,
+            scenarios=tuple(args.scenarios),
+            tracer=tracer,
+            on_schedule=on_schedule,
+        )
+    except RuntimeError as exc:
+        # A broken no-crash baseline: chaos results would mean nothing.
+        warn(f"BASELINE FAILURE: {exc}")
+        return 1
+    finally:
+        if tracer is not None:
+            tracer.close()
+
+    diverged = False
+    if args.twice:
+        replay = service_sweep(
+            args.schedules, seed=args.seed, scenarios=tuple(args.scenarios)
+        )
+        diverged = _render(replay) != _render(results)
+        if diverged:
+            warn("DETERMINISM FAILURE: second sweep diverged from the first")
+
+    elapsed = time.perf_counter() - t0
+    failing = [r for r in results if not r.ok]
+    crashed = sum(1 for r in results if r.crashed)
+    failovers = sum(1 for r in results if r.failovers)
+    out(f"chaosmonkey: {len(results)} schedules ({crashed} crashed, "
+        f"{failovers} drove failovers) across {'/'.join(args.scenarios)} "
+        f"in {elapsed:.1f}s -> {len(failing)} violating"
+        + (" [twice: byte-identical]" if args.twice and not diverged else ""))
+    return 1 if failing or diverged else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -33,6 +33,14 @@ echo "== crash consistency: bounded seeded sweep (3 styles) =="
 python scripts/crashmonkey.py --schedules 200 --seed 77 --quiet
 
 echo
+echo "== service chaos: replica crashes + failover, seeded sweep, twice =="
+# 200 seeded replica-crash schedules over the replicated service (both
+# scenario shapes: mid-group-commit and mid-drain), run twice and
+# byte-compared; the full 1000-schedule sweep is scripts/chaosmonkey.py
+# with defaults (docs/service.md, docs/crash_consistency.md).
+python scripts/chaosmonkey.py --schedules 200 --seed 77 --twice --quiet
+
+echo
 echo "== service determinism: 4 shards x 8 clients, two byte-identical runs =="
 python scripts/check_service_determinism.py
 

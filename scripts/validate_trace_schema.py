@@ -25,7 +25,7 @@ from repro.obs.events import (
 #: whole subsystem's events (e.g. the service layer) fails loudly.
 REQUIRED_NAMESPACES = {
     "span", "engine", "bench", "tune", "exec", "fault", "service",
-    "iterator", "multiget", "db", "workload",
+    "iterator", "multiget", "db", "workload", "replica",
 }
 
 #: The service layer's event vocabulary, pinned by name: trace
@@ -39,6 +39,11 @@ REQUIRED_SERVICE_TYPES = {
     "service.reshard.begin",
     "service.reshard.end",
     "service.overload",
+    "service.failover.begin",
+    "service.failover.end",
+    "replica.ship",
+    "replica.crash",
+    "replica.promote",
     "db.set_options",
     "workload.drift",
 }

@@ -1640,6 +1640,28 @@ class DB:
         f.sync()
         f.close()
 
+    def sync_wal(self) -> float:
+        """Force a WAL sync, advancing :attr:`durable_sequence`.
+
+        The replication layer's durability point: a follower ack (and
+        the leader's own ack under quorum writes) must cover a synced
+        WAL even when ``use_fsync`` is off, or promotion from the
+        durable watermark could drop service-acked writes. No-op with
+        the WAL disabled or nothing unsynced. Returns the modeled sync
+        latency in microseconds (charged to this DB's clock).
+        """
+        self._check_open()
+        wal = self._wal
+        if wal is None or wal.unsynced_bytes() == 0:
+            return 0.0
+        wal.sync()
+        self._durable_seq = self._seq
+        latency = self._perf.wal_sync_cost_us()
+        self._tickers[_T_WAL_SYNCS] += 1
+        self._monitor.record_sync()
+        self._clock_advance(latency / self._fg_div)
+        return latency
+
     def wait_for_background(self) -> None:
         """Advance virtual time until all background work completes."""
         self._check_open()

@@ -274,6 +274,70 @@ class FaultFS:
         self.inner.truncate(path, size)
 
 
+# ------------------------------------------------- multi-env schedules
+
+class FaultEnvFactory:
+    """One :class:`FaultFS`-backed :class:`Env` per (shard, replica).
+
+    The service-level chaos harness plugs this into
+    ``ShardedService.env_factory`` so *every* replica in the fleet runs
+    over a fault-injecting filesystem with its own deterministic
+    mutating-op stream; a schedule then arms a crash on exactly one
+    victim. Envs are remembered by (shard, replica) key so the harness
+    can read op indices and crash flags after the run.
+
+    Arming is offset-based and defer-friendly: :meth:`arm_after`
+    schedules the crash ``ops_from_now`` mutating calls past the
+    victim's *current* op index — call it from
+    ``ShardedService.on_serving_start`` and the preload can never be
+    the victim. If the victim env does not exist yet (a reshard
+    recipient opened mid-run), the arm is stored and applied the moment
+    the factory creates it, so the crash lands inside the drain
+    install.
+    """
+
+    def __init__(self, seed: int = 0, *, tracer: Tracer | None = None) -> None:
+        self._seed = seed
+        self._tracer = tracer
+        self.envs: dict[tuple[int, int], Env] = {}
+        self._pending_arms: dict[tuple[int, int], int] = {}
+
+    def __call__(self, shard: int, replica: int) -> Env:
+        fs = FaultFS(
+            seed=self._seed ^ (0x9E3779B1 * (shard * 8 + replica + 1) & 0x7FFFFFFF),
+            tracer=self._tracer,
+        )
+        env = Env(fs=fs)
+        self.envs[(shard, replica)] = env
+        offset = self._pending_arms.pop((shard, replica), None)
+        if offset is not None:
+            fs.schedule_crash(fs.op_index + offset)
+        return env
+
+    def fs(self, shard: int, replica: int) -> FaultFS:
+        return self.envs[(shard, replica)].fs  # type: ignore[return-value]
+
+    def arm_after(self, shard: int, replica: int, ops_from_now: int) -> None:
+        """Crash (shard, replica) ``ops_from_now`` mutating calls from
+        its current position (or from creation, if it does not exist
+        yet)."""
+        key = (shard, replica)
+        env = self.envs.get(key)
+        if env is None:
+            self._pending_arms[key] = ops_from_now
+            return
+        fs = env.fs
+        fs.schedule_crash(fs.op_index + ops_from_now)
+
+    def op_index(self, shard: int, replica: int) -> int:
+        env = self.envs.get((shard, replica))
+        return env.fs.op_index if env is not None else 0
+
+    def crashed(self, shard: int, replica: int) -> bool:
+        env = self.envs.get((shard, replica))
+        return bool(env is not None and env.fs.crashed)
+
+
 # --------------------------------------------------------------- oracle
 
 @dataclass

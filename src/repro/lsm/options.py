@@ -377,6 +377,28 @@ CATALOG: tuple[OptionSpec, ...] = (
     _opt("max_write_batch_group_size", _D, _I, 32,
          "Upper bound on writers coalesced into one group commit.",
          min=1, max=1024),
+    _opt("replicas_per_shard", _D, _I, 1,
+         "Replicas in each shard's group, leader included; 1 runs the "
+         "shard as a single node (no replication). Followers apply the "
+         "leader's WAL records on their own virtual clock and make the "
+         "shard survive a leader crash via lease failover.",
+         min=1, max=7),
+    _opt("replication_quorum", _D, _I, 1,
+         "Acks a write needs before the service acks it: the leader's "
+         "WAL sync plus quorum-1 durable follower acks (capped at the "
+         "live replica count). 1 acks on the leader alone; higher "
+         "values trade write latency for failover durability.",
+         min=1, max=7),
+    _opt("follower_reads", _D, _B, False,
+         "Serve point reads from a follower whose applied sequence is "
+         "within the bounded-staleness window, freeing the leader for "
+         "writes (replicated shards only)."),
+    _opt("lease_timeout_ms", _D, _F, 50.0,
+         "Leader lease duration: after a leader crash is detected the "
+         "shard stays unavailable until the lease expires on the "
+         "virtual clock, then the freshest durable follower is "
+         "promoted.",
+         min=0.0, max=1e5),
     # ------------------------------------------------------ deprecated DB
     _opt("base_background_compactions", _D, _I, -1,
          "DEPRECATED: superseded by max_background_jobs.",
@@ -634,6 +656,11 @@ IMMUTABLE_OPTIONS: frozenset[str] = frozenset({
     "virtual_nodes",
     "enable_group_commit",
     "max_write_batch_group_size",
+    # replica-group shape and the lease protocol are fixed at open;
+    # replication_quorum and follower_reads stay mutable so the online
+    # tuner can trade durability/staleness for tail latency mid-run.
+    "replicas_per_shard",
+    "lease_timeout_ms",
     # tree shape and comparator-adjacent structure
     "num_levels",
     "compaction_style",

@@ -447,6 +447,77 @@ class ServiceOverload(TraceEvent):
     sheds: int
 
 
+# ---------------------------------------------------------- replication
+
+@register_event
+@dataclass
+class ReplicaShip(TraceEvent):
+    """A leader shipped a write group to its followers over the virtual
+    network; the service ack waited for ``acks_needed`` durable acks."""
+
+    TYPE: ClassVar[str] = "replica.ship"
+    shard: int
+    group_size: int
+    followers: int
+    acks_needed: int
+    leader_seq: int
+
+
+@register_event
+@dataclass
+class ReplicaCrash(TraceEvent):
+    """A replica died on an injected fault. Leader crashes start the
+    lease-failover timeline; follower crashes just shrink the group."""
+
+    TYPE: ClassVar[str] = "replica.crash"
+    shard: int
+    replica: int
+    role: str  # "leader" | "follower"
+    durable_seq: int
+    op_index: int
+
+
+@register_event
+@dataclass
+class ReplicaPromote(TraceEvent):
+    """The freshest durable follower recovered its DB and became the
+    shard's new leader."""
+
+    TYPE: ClassVar[str] = "replica.promote"
+    shard: int
+    replica: int
+    durable_seq: int
+    lag_behind_leader: int
+
+
+@register_event
+@dataclass
+class FailoverBegin(TraceEvent):
+    """A shard leader crashed; the shard is unavailable until the
+    leader lease expires on the virtual clock."""
+
+    TYPE: ClassVar[str] = "service.failover.begin"
+    shard: int
+    crashed_replica: int
+    lease_timeout_us: float
+    pending_cancelled: int
+    requeued: int
+
+
+@register_event
+@dataclass
+class FailoverEnd(TraceEvent):
+    """The lease expired and a follower took over; queued requests now
+    drain against the promoted leader."""
+
+    TYPE: ClassVar[str] = "service.failover.end"
+    shard: int
+    new_leader: int
+    duration_us: float
+    queued_writes: int
+    queued_reads: int
+
+
 # ------------------------------------------------------ dynamic options
 
 @register_event

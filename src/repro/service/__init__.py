@@ -9,8 +9,18 @@ shard, and — under ring routing — splits or merges shards live
 mid-run via ``set_options``. See ``docs/service.md``.
 """
 
+from repro.service.chaos import (
+    ServiceScheduleResult,
+    run_service_crash_schedule,
+    service_sweep,
+)
 from repro.service.clients import Request, SimClient, build_clients, client_role
 from repro.service.overload import OverloadDetector, ShardLoadState
+from repro.service.replication import (
+    Replica,
+    ReplicaGroup,
+    open_group,
+)
 from repro.service.report import render_service_report
 from repro.service.router import fnv1a_64, shard_for_key
 from repro.service.routing import (
@@ -39,10 +49,13 @@ __all__ = [
     "HotKeyPolicy",
     "ModuloPolicy",
     "OverloadDetector",
+    "Replica",
+    "ReplicaGroup",
     "Request",
     "ReshardPlan",
     "RoutingPolicy",
     "ServiceResult",
+    "ServiceScheduleResult",
     "ShardLoadState",
     "ShardStats",
     "ShardedService",
@@ -52,8 +65,11 @@ __all__ = [
     "client_role",
     "fnv1a_64",
     "make_policy",
+    "open_group",
     "render_service_report",
     "ring_hash",
     "run_service_benchmark",
+    "run_service_crash_schedule",
+    "service_sweep",
     "shard_for_key",
 ]

@@ -35,6 +35,19 @@ def render_service_report(result: ServiceResult) -> str:
         f"{result.grouped_writes} writes rode a group ({grouped_pct:.1f}%), "
         f"{syncs} WAL syncs ({result.syncs_per_write:.3f} syncs/write)"
     )
+    if result.replicas_per_shard > 1:
+        parts = [f"{result.replicas_per_shard} replicas/shard"]
+        if result.follower_reads_served:
+            parts.append(
+                f"{result.follower_reads_served} reads served by followers"
+            )
+        if result.failovers:
+            parts.append(
+                f"{len(result.failovers)} failover(s): " + ", ".join(
+                    f"shard {s} r{c}->r{p}" for s, c, p in result.failovers
+                )
+            )
+        lines.append("Replication: " + ", ".join(parts))
     for shard in result.shards:
         extras = []
         if shard.groups:

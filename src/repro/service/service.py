@@ -71,7 +71,7 @@ from typing import Any, Callable, Iterable, Mapping
 from repro.bench.keygen import ValueGenerator, format_key
 from repro.bench.runner import BenchResult
 from repro.bench.spec import WorkloadSpec
-from repro.errors import MisroutedRequestError, RoutingError
+from repro.errors import MisroutedRequestError, RoutingError, SimulatedCrash
 from repro.hardware.profile import HardwareProfile, make_profile
 from repro.lsm.db import DB
 from repro.lsm.env import Env
@@ -81,7 +81,12 @@ from repro.lsm.statistics import OpClass, Statistics, Ticker
 from repro.lsm.write_batch import WriteBatch
 from repro.obs.events import (
     BenchAbort,
+    FailoverBegin,
+    FailoverEnd,
     GroupCommit,
+    ReplicaCrash,
+    ReplicaPromote,
+    ReplicaShip,
     ReshardBegin,
     ReshardEnd,
     ServiceEnd,
@@ -94,6 +99,13 @@ from repro.obs.events import (
 from repro.obs.tracer import Tracer
 from repro.service.clients import GET, PUT, Request, SimClient, build_clients
 from repro.service.overload import OverloadDetector
+from repro.service.replication import (
+    REPLICATION_HOP_US,
+    PendingCommit,
+    Replica,
+    ReplicaGroup,
+    open_group,
+)
 from repro.service.routing import ReshardPlan, RoutingPolicy, make_policy
 
 from repro.sim.clock import SimClock
@@ -108,6 +120,11 @@ DEFAULT_CLIENT_OPS_PER_SEC = 20_000.0
 _ARRIVAL = 0
 _FREE = 1
 _RESHARD = 2
+#: A follower's durable ack for a replicated write group landed back on
+#: the leader; the group commits when the quorum's worth have popped.
+_REPL = 3
+#: A crashed leader's lease expired; promote the freshest follower.
+_FAILOVER = 4
 
 #: Keys per WriteBatch when installing a drained range or replaying the
 #: migration journal into a recipient shard.
@@ -139,6 +156,22 @@ class _Shard:
     busy: bool = False
     #: A merge victim: no longer in the ring, kept only for accounting.
     retired: bool = False
+    #: The shard's replica group (None: a bare single-node shard). The
+    #: ``env``/``stats``/``db`` fields above always alias the current
+    #: leader's, so every existing code path serves the leader.
+    group: "ReplicaGroup | None" = None
+    #: The write group waiting on its replication quorum, if any; the
+    #: shard stays busy until the commit event resolves it.
+    pending: "PendingCommit | None" = None
+    #: True between a leader crash and the lease-expiry promotion: the
+    #: shard queues requests but serves nothing, and its ``db`` still
+    #: points at the dead leader (do not touch it).
+    failing_over: bool = False
+    #: True while a ring swap is fenced on this donor's in-flight
+    #: replication commit: reads still serve, but no new write group
+    #: may start (it could commit after the swap, inverting ack order
+    #: against writes the recipient acks in between).
+    fenced: bool = False
     requests: int = 0
     reads: int = 0
     writes: int = 0
@@ -212,6 +245,14 @@ class ServiceResult:
     reshards: list = field(default_factory=list)
     #: Point requests dropped by the ``shed`` overload policy.
     sheds: int = 0
+    #: Completed leader failovers, in order: (shard, crashed_replica,
+    #: promoted_replica) tuples.
+    failovers: list = field(default_factory=list)
+    #: GETs served by followers under the bounded-staleness check
+    #: (``follower_reads``), summed over every replica group.
+    follower_reads_served: int = 0
+    #: Replica-group size the service ran with (1: bare shards).
+    replicas_per_shard: int = 1
     #: Trace events captured during the run (populated by the parallel
     #: executor's workers so traces survive the process boundary).
     trace_events: list = field(default_factory=list)
@@ -265,6 +306,7 @@ class ShardedService:
         self.base_path = base_path
         self.tracer = tracer if tracer is not None and tracer.enabled else None
         self.num_shards = max(1, int(self.options.shard_count))
+        self.num_replicas = max(1, int(self.options.replicas_per_shard))
         if self.options.enable_group_commit:
             self._max_group = max(1, int(self.options.max_write_batch_group_size))
         else:
@@ -294,13 +336,50 @@ class ShardedService:
         #: value here (serve order), for the lost/misrouted-write
         #: oracle. Leave None (the default) to skip the bookkeeping.
         self.write_audit: dict[bytes, bytes] | None = None
+        #: Optional Env factory ``(shard_index, replica_id) -> Env``:
+        #: the chaos harness backs every replica with a fault-injecting
+        #: filesystem through this. None (the default) opens plain
+        #: in-memory envs.
+        self.env_factory: "Callable[[int, int], Env] | None" = None
+        #: Optional hook fired once, after the preload finished and all
+        #: clocks were aligned, before the first request is served —
+        #: the chaos harness arms crash schedules here so the preload
+        #: is never the victim.
+        self.on_serving_start: "Callable[[ShardedService], None] | None" = None
+        self._failovers: list[tuple[int, int, int]] = []
         self._shards: list[_Shard] = []
         self._aborted = False
 
     # -- setup -------------------------------------------------------------
 
     def _open_shard(self, index: int) -> _Shard:
-        env = Env()
+        if self.num_replicas > 1:
+            group = open_group(
+                index,
+                self.base_path,
+                self.options,
+                self.profile,
+                self.byte_scale,
+                replicas=self.num_replicas,
+                env_factory=self.env_factory,
+            )
+            leader = group.leader
+            shard = _Shard(
+                index=index,
+                env=leader.env,
+                stats=leader.stats,
+                db=leader.db,
+                group=group,
+            )
+            for rep in group.replicas:
+                if not rep.alive:  # died while provisioning
+                    self._emit_replica_crash(shard, rep, "follower")
+            return shard
+        env = (
+            self.env_factory(index, 0)
+            if self.env_factory is not None
+            else Env()
+        )
         stats = Statistics()
         # Shard DBs run untraced: engine events from N interleaved
         # shards would share one tracer clock and lose meaning. The
@@ -335,9 +414,20 @@ class ShardedService:
         owner = self._policy.owner
         for index in order:
             key = format_key(index)
-            shards[owner(key)].db.put(key, values.next_value())
+            shard = shards[owner(key)]
+            value = values.next_value()
+            shard.db.put(key, value)
+            # Followers preload too: a promoted follower must already
+            # hold the base dataset or failover would "lose" it.
+            if shard.group is not None:
+                for rep in shard.group.followers():
+                    rep.db.put(key, value)
         for shard in shards:
             shard.db.flush(wait_compactions=False)
+            if shard.group is not None:
+                for rep in shard.group.followers():
+                    rep.db.flush(wait_compactions=False)
+                    rep.acked_seq = rep.db.last_sequence
 
     # -- event loop --------------------------------------------------------
 
@@ -402,8 +492,11 @@ class ShardedService:
                 self._kick(shard, heap)
 
     def _kick(self, shard: _Shard, heap: list) -> None:
-        """Start serving if the shard is idle."""
-        if not shard.busy and (shard.write_q or shard.read_q):
+        """Start serving if the shard is idle (a fenced shard only has
+        reads to offer — see :attr:`_Shard.fenced`)."""
+        if not shard.busy and (
+            shard.read_q or (shard.write_q and not shard.fenced)
+        ):
             self._serve(shard, heap)
 
     def _serve(self, shard: _Shard, heap: list) -> None:
@@ -416,19 +509,29 @@ class ShardedService:
         shard.env.clock.advance_to(self._clock.now_us)
         # Writes win ties: the older queue head goes first, and a write
         # group drains every waiting writer up to the group-size cap.
-        serve_write = bool(shard.write_q) and (
-            not shard.read_q or shard.write_q[0][:2] <= shard.read_q[0][:2]
+        serve_write = (
+            bool(shard.write_q)
+            and not shard.fenced
+            and (
+                not shard.read_q
+                or shard.write_q[0][:2] <= shard.read_q[0][:2]
+            )
         )
         if serve_write:
-            self._serve_writes(shard)
+            completed = self._serve_writes(shard, heap)
         else:
             self._serve_read(shard)
-        heapq.heappush(
-            heap,
-            (shard.env.clock.now_us, self._next_seq(), _FREE, shard.index, None),
-        )
+            completed = True
+        if completed:
+            heapq.heappush(
+                heap,
+                (shard.env.clock.now_us, self._next_seq(), _FREE, shard.index, None),
+            )
 
-    def _serve_writes(self, shard: _Shard) -> None:
+    def _serve_writes(self, shard: _Shard, heap: list) -> bool:
+        """Serve one write group; returns True when the group completed
+        synchronously (push the shard's FREE event), False when it is
+        waiting on a replication quorum or fell into failover."""
         group_start_us = shard.env.clock.now_us
         n = min(len(shard.write_q), self._max_group)
         members = [shard.write_q.popleft() for _ in range(n)]
@@ -441,19 +544,103 @@ class ShardedService:
             targets = policy.write_targets(req.key)
             if shard.index != targets[0]:
                 raise MisroutedRequestError(req.key, shard.index, targets)
-        if n == 1:
-            req = members[0][2]
-            shard.db.put(req.key, req.value)
-        else:
-            batch = WriteBatch()
-            for _, _, req in members:
-                batch.put(req.key, req.value)
-            shard.db.write(batch)
-            # Followers: committed by the leader on their behalf.
-            shard.stats.bump(Ticker.WRITE_DONE_BY_OTHER, n - 1)
-            shard.groups += 1
-            shard.grouped_writes += n
-            shard.max_group = max(shard.max_group, n)
+        group = shard.group
+        if group is None:
+            if n == 1:
+                req = members[0][2]
+                shard.db.put(req.key, req.value)
+            else:
+                batch = WriteBatch()
+                for _, _, req in members:
+                    batch.put(req.key, req.value)
+                shard.db.write(batch)
+                # Followers: committed by the leader on their behalf.
+                shard.stats.bump(Ticker.WRITE_DONE_BY_OTHER, n - 1)
+                shard.groups += 1
+                shard.grouped_writes += n
+                shard.max_group = max(shard.max_group, n)
+            self._finish_write_group(
+                shard, members, n, group_start_us, shard.env.clock.now_us
+            )
+            return True
+        # Replicated shard: the leader applies and force-syncs its WAL
+        # (the first quorum vote), then ships the group to followers.
+        # The service ack — and with it the audit/journal bookkeeping —
+        # waits for quorum-1 durable follower acks as heap events.
+        entries = [(req.key, req.value) for _, _, req in members]
+        try:
+            if n == 1:
+                shard.db.put(entries[0][0], entries[0][1])
+            else:
+                batch = WriteBatch()
+                for key, value in entries:
+                    batch.put(key, value)
+                shard.db.write(batch)
+                shard.stats.bump(Ticker.WRITE_DONE_BY_OTHER, n - 1)
+                shard.groups += 1
+                shard.grouped_writes += n
+                shard.max_group = max(shard.max_group, n)
+            shard.db.sync_wal()
+        except SimulatedCrash:
+            self._begin_failover(shard, members)
+            return False
+        leader_finish_us = shard.env.clock.now_us
+        acks = group.ship(entries, leader_finish_us)
+        for rep, ack_us in acks:
+            if ack_us is None:
+                self._emit_replica_crash(shard, rep, "follower")
+        quorum = max(1, int(self.options.replication_quorum))
+        needed = group.acks_needed(quorum)
+        if self.tracer is not None:
+            self.tracer.emit(
+                ReplicaShip(
+                    shard=shard.index,
+                    group_size=n,
+                    followers=sum(1 for _, a in acks if a is not None),
+                    acks_needed=needed,
+                    leader_seq=shard.db.last_sequence,
+                )
+            )
+        if needed == 0:
+            # Leader-only quorum: the group commits on the leader's WAL
+            # sync; followers were still shipped to (async replication).
+            self._finish_write_group(
+                shard, members, n, group_start_us, leader_finish_us
+            )
+            return True
+        pending = PendingCommit(
+            members=members,
+            group_start_us=group_start_us,
+            leader_finish_us=leader_finish_us,
+            acks_needed=needed,
+            size=n,
+        )
+        shard.pending = pending
+        # Any quorum-1 acks satisfy the write, so only the fastest
+        # ``needed`` matter; the last of them is the commit event.
+        chosen = sorted(a for _, a in acks if a is not None)[:needed]
+        pending.resolve_us = chosen[-1]
+        for ack_us in chosen:
+            heapq.heappush(
+                heap, (ack_us, self._next_seq(), _REPL, shard.index, pending)
+            )
+        return False
+
+    def _finish_write_group(
+        self,
+        shard: _Shard,
+        members: list,
+        n: int,
+        group_start_us: float,
+        finish_us: float,
+    ) -> None:
+        """The service-ack point of a write group: only here do writes
+        reach the migration journal, the write audit, and the hot-key
+        read copies. A group that never commits (leader crashed before
+        quorum; its members were requeued) must never get here — an
+        unacked write in the journal would materialize on a reshard
+        recipient, which the audit oracle reports as a misroute."""
+        policy = self._policy
         mig = self._migration
         audit = self.write_audit
         for _, _, req in members:
@@ -468,10 +655,12 @@ class ShardedService:
             # so fanned-out reads never serve stale data.
             targets = policy.write_targets(req.key)
             for copy_id in targets[1:]:
-                copy = self._shards[copy_id]
-                copy.env.clock.advance_to(self._clock.now_us)
-                copy.db.put(req.key, req.value)
-        finish_us = shard.env.clock.now_us
+                self._apply_group(
+                    self._shards[copy_id],
+                    [(req.key, req.value)],
+                    self._clock.now_us,
+                    use_batch=False,
+                )
         for arrival_us, _, req in members:
             latency = finish_us - arrival_us
             self._write_hist.add(latency)
@@ -493,9 +682,94 @@ class ShardedService:
                 )
             )
 
+    def _apply_group(
+        self,
+        shard: _Shard,
+        entries: list,
+        now_us: float,
+        *,
+        use_batch: bool = True,
+    ) -> None:
+        """Apply already-acked internal writes (drain installs, journal
+        replay, hot-key copies) to every live replica of ``shard``.
+
+        On a bare shard this is exactly the old single-DB install; on a
+        replica group each live member applies and force-syncs so the
+        data survives any single member's later crash. A member dying
+        mid-apply is handled here: a follower is marked dead, a leader
+        starts the failover timeline — in both cases the remaining
+        members still receive the data, which is how a drain outlives a
+        recipient-leader crash.
+        """
+        if not entries:
+            return
+        group = shard.group
+        if group is None:
+            shard.env.clock.advance_to(now_us)
+            self._install(shard.db, entries, use_batch)
+            return
+        for rep in group.live_replicas():
+            rep.env.clock.advance_to(now_us)
+            try:
+                self._install(rep.db, entries, use_batch)
+                rep.db.sync_wal()
+            except SimulatedCrash:
+                if rep.replica_id == group.leader_id:
+                    self._begin_failover(shard, [])
+                else:
+                    rep.alive = False
+                    self._emit_replica_crash(shard, rep, "follower")
+                continue
+            if rep.replica_id != group.leader_id:
+                rep.acked_seq = rep.db.last_sequence
+
+    @staticmethod
+    def _install(db: DB, entries: list, use_batch: bool) -> None:
+        if use_batch:
+            for base in range(0, len(entries), _MIGRATE_BATCH):
+                batch = WriteBatch()
+                for key, value in entries[base:base + _MIGRATE_BATCH]:
+                    batch.put(key, value)
+                db.write(batch)
+        else:
+            for key, value in entries:
+                db.put(key, value)
+
     def _serve_read(self, shard: _Shard) -> None:
         arrival_us, _, req, keys, fanout = shard.read_q.popleft()
         policy = self._policy
+        if (
+            shard.group is not None
+            and fanout is None
+            and len(keys) == 1
+            and bool(self.options.follower_reads)
+        ):
+            # Bounded-staleness follower read: a live follower within
+            # the lag bound serves the GET on its own clock (one hop
+            # out, one hop back) and the leader is freed immediately —
+            # its clock never advances, so the FREE event fires "now".
+            rep = shard.group.follower_for_read(shard.db.last_sequence)
+            if rep is not None:
+                targets = policy.read_targets(keys[0])
+                if shard.index not in targets:
+                    raise MisroutedRequestError(keys[0], shard.index, targets)
+                rep.env.clock.advance_to(
+                    self._clock.now_us + REPLICATION_HOP_US
+                )
+                rep.db.get(keys[0])
+                rep.reads_served += 1
+                finish_us = rep.env.clock.now_us + REPLICATION_HOP_US
+                latency = finish_us - arrival_us
+                shard.read_hist.add(latency)
+                shard.reads += 1
+                shard.requests += 1
+                self._reads_done += 1
+                self._ops_done += 1
+                self._read_hist.add(latency)
+                self._client_hist[req.client].add(latency)
+                if self._overload is not None:
+                    self._overload.record_latency(shard.index, latency)
+                return
         if fanout is None and len(keys) == 1:
             targets = policy.read_targets(keys[0])
             if shard.index not in targets:
@@ -553,11 +827,26 @@ class ShardedService:
             self._preload(shards)
             # Align every clock to one post-preload base so arrival
             # stamps, shard clocks, and the trace share a timeline.
-            base_us = max(s.env.clock.now_us for s in shards)
+            # (Replica clocks too: a shard's env aliases its leader's,
+            # so the group loop covers leaders and followers alike.)
+            base_us = max(
+                rep.env.clock.now_us
+                for s in shards
+                for rep in (
+                    s.group.replicas if s.group is not None else (s,)
+                )
+            )
             for shard in shards:
-                shard.env.clock.advance_to(base_us)
-                shard.stats.reset()
+                if shard.group is not None:
+                    for rep in shard.group.replicas:
+                        rep.env.clock.advance_to(base_us)
+                        rep.stats.reset()
+                else:
+                    shard.env.clock.advance_to(base_us)
+                    shard.stats.reset()
             self._clock.advance_to(base_us)
+            if self.on_serving_start is not None:
+                self.on_serving_start(self)
             if self.tracer is not None:
                 self.tracer.emit(
                     ServiceStart(
@@ -579,7 +868,9 @@ class ShardedService:
             self._shards = []
             self._heap = None
             for shard in shards:
-                if not shard.db.closed:
+                if shard.group is not None:
+                    shard.group.close()
+                elif not shard.db.closed:
                     shard.db.close()
 
     def _drive(
@@ -611,9 +902,31 @@ class ShardedService:
                     )
             elif kind == _FREE:
                 shard = shards[who]
-                shard.busy = False
-                if shard.write_q or shard.read_q:
-                    self._serve(shard, heap)
+                if not shard.failing_over:
+                    shard.busy = False
+                    self._kick(shard, heap)
+                # else: a leader crash (e.g. via a write-through into
+                # this shard) raced the FREE event; the lease event now
+                # owns the shard until promotion.
+            elif kind == _REPL:
+                pending: PendingCommit = payload
+                if not (pending.cancelled or pending.done):
+                    pending.received += 1
+                    if pending.received >= pending.acks_needed:
+                        pending.done = True
+                        shard = shards[who]
+                        shard.pending = None
+                        self._finish_write_group(
+                            shard,
+                            pending.members,
+                            pending.size,
+                            pending.group_start_us,
+                            t_us,
+                        )
+                        shard.busy = False
+                        self._kick(shard, heap)
+            elif kind == _FAILOVER:
+                self._finish_failover(shards[who], payload, heap)
             else:  # _RESHARD: the drain finished; swap the ring
                 self._finish_reshard(payload)
             # Progress sampling between events: the same contract as
@@ -669,6 +982,8 @@ class ShardedService:
         now = self._clock.now_us
         for key in promoted:
             owner = self._shards[self._policy.owner(key)]
+            if owner.failing_over:
+                continue  # its db is the dead leader; next window retries
             owner.env.clock.advance_to(now)
             value = owner.db.get(key)
             if value is None:
@@ -676,9 +991,9 @@ class ShardedService:
             for copy_id in self._policy.copies_of(key):
                 if copy_id == owner.index:
                     continue
-                copy = self._shards[copy_id]
-                copy.env.clock.advance_to(now)
-                copy.db.put(key, value)
+                self._apply_group(
+                    self._shards[copy_id], [(key, value)], now, use_batch=False
+                )
         if demoted:
             self._revalidate_queues(list(self._policy.shard_ids()))
 
@@ -769,26 +1084,55 @@ class ShardedService:
         if topology is not None:
             self._check_topology_feasible(topology)
         applied: dict[str, tuple[Any, Any]] = {}
-        done: list[tuple[_Shard, dict[str, tuple[Any, Any]]]] = []
+        done: list[tuple[DB, dict[str, tuple[Any, Any]]]] = []
         try:
             for shard in self._shards:
-                if shard.retired:
+                # A failing-over shard is skipped entirely: its leader
+                # is dead and the shared bag reaches its survivors
+                # through the other shards; the promoted leader's
+                # component bindings refresh on the next diff.
+                if shard.retired or shard.failing_over:
                     continue
-                shard.env.clock.advance_to(self._clock.now_us)
-                # Shards share one paper-unit bag, so the first shard
-                # reports the real diff and the rest apply it as a
-                # no-op (their component snapshots still refresh).
-                diff = shard.db.set_options(engine_items)
-                done.append((shard, diff))
-                applied.update(diff)
+                group = shard.group
+                if group is None:
+                    shard.env.clock.advance_to(self._clock.now_us)
+                    diff = shard.db.set_options(engine_items)
+                    done.append((shard.db, diff))
+                    applied.update(diff)
+                    continue
+                for rep in list(group.live_replicas()):
+                    rep.env.clock.advance_to(self._clock.now_us)
+                    try:
+                        # Replicas share one paper-unit bag, so the
+                        # first DB reports the real diff and the rest
+                        # apply it as a no-op (their component
+                        # snapshots still refresh).
+                        diff = rep.db.set_options(engine_items)
+                    except SimulatedCrash:
+                        # An injected fault while persisting the
+                        # OPTIONS file kills that replica, not the
+                        # reconfiguration: a dead follower just leaves
+                        # the group degraded, a dead leader starts the
+                        # failover timeline (the promoted survivor
+                        # refreshes its bindings from the shared bag
+                        # on the next diff, like any failing-over
+                        # shard this loop skips).
+                        if rep.replica_id == group.leader_id:
+                            self._begin_failover(shard, [])
+                            break
+                        rep.alive = False
+                        self._emit_replica_crash(shard, rep, "follower")
+                        continue
+                    done.append((rep.db, diff))
+                    applied.update(diff)
         except Exception:
-            # All-or-nothing: un-apply on every shard already updated
-            # (the first rolled-back shard flips the shared bag; the
-            # rest refresh their component bindings from it).
+            # All-or-nothing: un-apply on every DB already updated (the
+            # first rolled-back DB flips the shared bag; the rest
+            # refresh their component bindings from it).
             inverse = [(n, old) for n, (old, _new) in sorted(applied.items())]
             if inverse:
-                for shard, _diff in reversed(done):
-                    shard.db.set_options(inverse)
+                for rep_db, _diff in reversed(done):
+                    rep_db.set_options(inverse)
             raise
         if applied and self._overload_keys & applied.keys():
             self._reconfigure_overload()
@@ -856,6 +1200,11 @@ class ShardedService:
         if self._migration is not None or self._topology_target is None:
             return
         active = self._policy.shard_ids()
+        if any(self._shards[sid].failing_over for sid in active):
+            # A drain cannot read a dead leader (nor should a failing
+            # shard donate or absorb a range); the finished failover
+            # re-calls this method.
+            return
         if len(active) == self._topology_target:
             self._topology_target = None
             return
@@ -884,7 +1233,13 @@ class ShardedService:
         recipient = self._next_shard_id
         self._next_shard_id += 1
         plan = policy.plan_split(donor, recipient)
-        shard = self._open_shard(recipient)
+        try:
+            shard = self._open_shard(recipient)
+        except ValueError as exc:
+            # Every recipient replica died while provisioning (chaos):
+            # the plan was never committed, so dropping it aborts the
+            # split cleanly.
+            raise RoutingError(str(exc))
         shard.env.clock.advance_to(self._clock.now_us)
         self._shards.append(shard)
         self._execute_drain(plan)
@@ -923,14 +1278,10 @@ class ShardedService:
                 it.next()
             it.close()
         for target_id in sorted(moving):
-            target = shards[target_id]
-            target.env.clock.advance_to(now)
-            entries = moving[target_id]
-            for base in range(0, len(entries), _MIGRATE_BATCH):
-                batch = WriteBatch()
-                for key, value in entries[base:base + _MIGRATE_BATCH]:
-                    batch.put(key, value)
-                target.db.write(batch)
+            # Every live replica of the recipient gets the drained
+            # range: if its leader dies mid-install, the promoted
+            # follower must still own the data.
+            self._apply_group(shards[target_id], moving[target_id], now)
         migration = _Migration(plan=plan, begin_us=now, keys_drained=keys_drained)
         self._migration = migration
         done_us = max(
@@ -964,26 +1315,50 @@ class ShardedService:
         plan = migration.plan
         shards = self._shards
         now = self._clock.now_us
+        donor = shards[plan.donor]
+        # Swap fence: a write group applied to the donor but still
+        # waiting on its replication quorum must commit (and reach the
+        # journal) *before* ownership moves — if the swap went first,
+        # the group's ack would land after newer writes the recipient
+        # acks in between, inverting ack order against apply order for
+        # the same key. Defer the swap to the commit event's time and
+        # fence new write groups on the donor so exactly one deferral
+        # suffices. (A cancelled pending — leader crash — needs no
+        # fence: its members were requeued unacked and re-serve on
+        # whichever shard owns their keys after the swap.)
+        pending = donor.pending
+        if pending is not None and not (pending.done or pending.cancelled):
+            donor.fenced = True
+            assert self._heap is not None
+            heapq.heappush(
+                self._heap,
+                (
+                    max(now, pending.resolve_us),
+                    self._next_seq(),
+                    _RESHARD,
+                    plan.donor,
+                    migration,
+                ),
+            )
+            return
+        donor.fenced = False
         # Replay writes that landed on the moving range during the
         # drain, in apply order — they are already acked on the donor.
         by_target: dict[int, list[tuple[bytes, bytes]]] = {}
         for key, value in migration.journal:
             by_target.setdefault(plan.target(key), []).append((key, value))
         for target_id in sorted(by_target):
-            target = shards[target_id]
-            target.env.clock.advance_to(now)
-            entries = by_target[target_id]
-            for base in range(0, len(entries), _MIGRATE_BATCH):
-                batch = WriteBatch()
-                for key, value in entries[base:base + _MIGRATE_BATCH]:
-                    batch.put(key, value)
-                target.db.write(batch)
+            self._apply_group(shards[target_id], by_target[target_id], now)
         self._policy.commit(plan)
         if plan.kind == "merge":
             shards[plan.donor].retired = True
             if self._overload is not None:
                 self._overload.forget(plan.donor)
         migrated = self._revalidate_queues([plan.donor])
+        # Writes the fence held back (revalidation only kicks shards
+        # that *received* entries) can go again.
+        assert self._heap is not None
+        self._kick(donor, self._heap)
         self._reshards.append((plan.kind, plan.donor, plan.recipient))
         if self.tracer is not None:
             self.tracer.emit(
@@ -1081,6 +1456,127 @@ class ShardedService:
         for dest in sorted(set(moved_writes) | set(moved_reads)):
             self._kick(shards[dest], self._heap)
         return moved
+
+    # -- failover ----------------------------------------------------------
+
+    def _begin_failover(self, shard: _Shard, members: list) -> None:
+        """The shard's leader died on an injected fault: cancel the
+        in-flight write group (its stale ack events become no-ops),
+        requeue the stranded work, and schedule the promotion at lease
+        expiry on the virtual clock. Until then the shard queues
+        requests but serves nothing."""
+        group = shard.group
+        assert group is not None
+        crashed = group.leader
+        crashed.alive = False
+        pending = shard.pending
+        cancelled = 0
+        if pending is not None and not pending.done:
+            pending.cancelled = True
+            cancelled = 1
+            # The pending members were popped before the current ones
+            # (if any), so they come first in the requeue.
+            members = pending.members + members
+            shard.pending = None
+        if members:
+            # Unacked in-flight writes go back to the *front* of the
+            # queue with their original (arrival, seq) stamps: they are
+            # older than everything queued behind them, so FIFO order —
+            # and with it per-key last-writer order — is preserved, and
+            # they are served exactly once, by the promoted leader.
+            shard.write_q.extendleft(reversed(members))
+        shard.failing_over = True
+        shard.busy = True
+        lease_us = max(0.0, float(self.options.lease_timeout_ms)) * 1000.0
+        self._emit_replica_crash(shard, crashed, "leader")
+        if self.tracer is not None:
+            self.tracer.emit(
+                FailoverBegin(
+                    shard=shard.index,
+                    crashed_replica=crashed.replica_id,
+                    lease_timeout_us=lease_us,
+                    pending_cancelled=cancelled,
+                    requeued=len(members),
+                )
+            )
+        assert self._heap is not None
+        heapq.heappush(
+            self._heap,
+            (
+                self._clock.now_us + lease_us,
+                self._next_seq(),
+                _FAILOVER,
+                shard.index,
+                (self._clock.now_us, crashed.replica_id),
+            ),
+        )
+
+    def _finish_failover(
+        self, shard: _Shard, info: tuple, heap: list
+    ) -> None:
+        """The lease expired: promote the freshest durable follower,
+        repoint the shard at it, and drain the queued backlog."""
+        begin_us, crashed_id = info
+        group = shard.group
+        assert group is not None
+        cand = group.promotion_candidate()
+        if cand is None:
+            raise RoutingError(
+                f"shard {shard.index} lost every replica; no failover target"
+            )
+        lag = max(0, shard.db.last_sequence - cand.db.durable_sequence)
+        group.promote(cand)
+        shard.env = cand.env
+        shard.stats = cand.stats
+        shard.db = cand.db
+        shard.env.clock.advance_to(self._clock.now_us)
+        shard.failing_over = False
+        shard.busy = False
+        self._failovers.append((shard.index, crashed_id, cand.replica_id))
+        if self.tracer is not None:
+            self.tracer.emit(
+                ReplicaPromote(
+                    shard=shard.index,
+                    replica=cand.replica_id,
+                    durable_seq=cand.db.durable_sequence,
+                    lag_behind_leader=lag,
+                )
+            )
+            self.tracer.emit(
+                FailoverEnd(
+                    shard=shard.index,
+                    new_leader=cand.replica_id,
+                    duration_us=self._clock.now_us - begin_us,
+                    queued_writes=len(shard.write_q),
+                    queued_reads=len(shard.read_q),
+                )
+            )
+        # A ring swap during the lease window may have re-routed keys
+        # the requeued members carry; re-validate before serving so the
+        # serve-time route check never trips on them.
+        self._revalidate_queues([shard.index])
+        self._kick(shard, heap)
+        # A topology step deferred by this failover can go again.
+        if self._topology_target is not None:
+            self._advance_topology()
+
+    def _emit_replica_crash(
+        self, shard: _Shard, rep: Replica, role: str
+    ) -> None:
+        if self.tracer is None:
+            return
+        fs = getattr(rep.env, "fs", None)
+        self.tracer.emit(
+            ReplicaCrash(
+                shard=shard.index,
+                replica=rep.replica_id,
+                role=role,
+                durable_seq=(
+                    rep.db.durable_sequence if rep.db is not None else 0
+                ),
+                op_index=int(getattr(fs, "op_index", 0)),
+            )
+        )
 
     # -- oracle ------------------------------------------------------------
 
@@ -1234,6 +1730,14 @@ class ShardedService:
             requests_done=sum(s.requests for s in shards),
             reshards=list(self._reshards),
             sheds=self._overload.total_sheds() if self._overload else 0,
+            failovers=list(self._failovers),
+            follower_reads_served=sum(
+                rep.reads_served
+                for shard in shards
+                if shard.group is not None
+                for rep in shard.group.replicas
+            ),
+            replicas_per_shard=max(1, int(self.options.replicas_per_shard)),
         )
 
 

@@ -34,7 +34,7 @@ class TestRegistry:
             namespace = type_string.split(".", 1)[0]
             assert namespace in {"span", "engine", "bench", "tune", "exec",
                                  "fault", "service", "iterator",
-                                 "multiget", "db", "workload"}, (
+                                 "multiget", "db", "workload", "replica"}, (
                 type_string
             )
 
