@@ -41,6 +41,10 @@ echo "== service chaos: replica crashes + failover, seeded sweep, twice =="
 python scripts/chaosmonkey.py --schedules 200 --seed 77 --twice --quiet
 
 echo
+echo "== background determinism: inline/thread/process, byte-identical =="
+python scripts/check_bg_determinism.py
+
+echo
 echo "== service determinism: 4 shards x 8 clients, two byte-identical runs =="
 python scripts/check_service_determinism.py
 

@@ -1,0 +1,91 @@
+"""Background-pipeline determinism gate: executor modes are invisible.
+
+Run by ``scripts/check.sh``. Executes one compaction-heavy seeded
+workload four times — once under the ``inline`` executor, twice under
+``thread`` (run-to-run *and* cross-mode identity), once under
+``process`` with the fork threshold dropped so jobs really cross the
+process boundary — and byte-compares every trace, the final per-key
+state, the ticker vector, and the virtual clock.
+
+Any divergence means host scheduling (thread timing, fork order, GIL
+handoffs) leaked into the simulation: the deferred-completion design
+requires every virtual quantity to be computed from schedule-time
+inputs only.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.lsm.background import ProcessExecutor
+from repro.lsm.db import DB
+from repro.lsm.env import Env
+from repro.lsm.options import Options
+from repro.lsm.statistics import Statistics
+from repro.obs.events import to_jsonl_line
+from repro.obs.sinks import RingSink
+from repro.obs.tracer import Tracer
+
+N_OPS = 6000
+KEYSPACE = 1200
+
+
+def one_run(mode: str) -> tuple[str, int, str]:
+    """(trace, event_count, fingerprint) for one seeded run."""
+    sink = RingSink()
+    env = Env()
+    stats = Statistics()
+    db = DB.open(
+        f"/bg-det-{mode}",
+        Options({
+            "write_buffer_size": 8 * 1024,
+            "target_file_size_base": 16 * 1024,
+            "max_bytes_for_level_base": 64 * 1024,
+            "background_executor": mode,
+        }),
+        env=env,
+        statistics=stats,
+        tracer=Tracer(sink),
+    )
+    for i in range(N_OPS):
+        key = b"k%06d" % ((i * 2654435761) % KEYSPACE)
+        db.put(key, b"v%08d" % i)
+        if i % 13 == 0:
+            db.delete(b"k%06d" % ((i * 7919) % KEYSPACE))
+    state = db.scan(limit=None)
+    db.close()
+    trace = "\n".join(to_jsonl_line(e).rstrip("\n") for e in sink.events)
+    fingerprint = repr((state, list(stats.raw_tickers()), env.clock.now_us))
+    return trace, len(sink.events), fingerprint
+
+
+def main() -> int:
+    # Force real forks in process mode: the entry-count threshold would
+    # otherwise run this workload's small jobs inline at submit.
+    ProcessExecutor.FORK_THRESHOLD_ENTRIES = 0
+    runs = {
+        "inline": one_run("inline"),
+        "thread#1": one_run("thread"),
+        "thread#2": one_run("thread"),
+        "process": one_run("process"),
+    }
+    base_trace, events, base_fp = runs["inline"]
+    if events == 0:
+        print("FAIL: workload produced no trace events", file=sys.stderr)
+        return 1
+    for name, (trace, _, fingerprint) in runs.items():
+        if trace != base_trace:
+            print(f"FAIL: {name} trace differs from inline run",
+                  file=sys.stderr)
+            return 1
+        if fingerprint != base_fp:
+            print(f"FAIL: {name} state/tickers/clock differ from inline run",
+                  file=sys.stderr)
+            return 1
+    print(f"background determinism OK: {N_OPS} ops, {events} trace events "
+          "byte-identical across inline/thread/thread/process")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -13,6 +13,14 @@ BENCH_engine.json, exiting non-zero when it falls more than
 ``--tolerance`` (default 30%) below the baseline. check.sh runs this
 when PERF_SMOKE=1 is exported.
 
+``--sustained`` runs a compaction-heavy fill once per executor mode and
+splits the host bill three ways: foreground host (CPU) time, background
+worker compute, and foreground join-stall (blocked on a worker). The
+foreground host column is the number the background pipeline moves —
+it is the wall-clock win on a host with a spare core:
+
+    PYTHONPATH=src python scripts/profile_write_path.py --sustained
+
 Note cProfile inflates per-call costs ~2.5-3.5x; use the relative
 ranking, not the absolute times. For honest numbers use --smoke or
 scripts/bench_baseline.py.
@@ -82,6 +90,37 @@ def smoke(n: int, baseline_path: str, tolerance: float) -> int:
     return 0
 
 
+def sustained(n: int) -> None:
+    """Foreground host time vs join stall, per executor mode."""
+    print(f"sustained fillrandom, {n} puts, 64 KiB write buffer, "
+          "16 Ki keyspace")
+    print(f"{'mode':8s} {'wall_s':>7s} {'fg_cpu_s':>8s} {'stall_s':>8s} "
+          f"{'wall_ops':>9s} {'fg_ops':>9s}  jobs")
+    baseline_fg = None
+    for mode in ("inline", "thread", "process"):
+        db = DB.open(
+            f"/profile-sustained-{mode}",
+            Options({"write_buffer_size": 64 * 1024,
+                     "background_executor": mode}),
+            profile=make_profile(4, 8),
+        )
+        wall0 = time.perf_counter()
+        fg0 = time.thread_time()
+        for i in range(n):
+            db.put(format_key(i * 2654435761 % 16_384), VALUE)
+        wall = time.perf_counter() - wall0
+        fg = time.thread_time() - fg0
+        stats = db.background_stats
+        db.close()
+        if baseline_fg is None:
+            baseline_fg = fg
+        print(f"{mode:8s} {wall:7.3f} {fg:8.3f} "
+              f"{stats['join_stall_seconds']:8.3f} "
+              f"{n / wall:9,.0f} {n / fg:9,.0f}  "
+              f"{stats['jobs_submitted']} submitted "
+              f"({baseline_fg / fg:.2f}x fg vs inline)")
+
+
 def main() -> None:
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("-n", type=int, default=8000, help="puts per run")
@@ -90,12 +129,18 @@ def main() -> None:
                     choices=["tottime", "cumulative", "ncalls"])
     ap.add_argument("--smoke", action="store_true",
                     help="no profiler: compare against BENCH_engine.json")
+    ap.add_argument("--sustained", action="store_true",
+                    help="foreground host time vs background join stall, "
+                         "per executor mode (30000 puts unless -n given)")
     ap.add_argument("--baseline", default="BENCH_engine.json")
     ap.add_argument("--tolerance", type=float, default=0.30,
                     help="allowed fraction below baseline (default 0.30)")
     args = ap.parse_args()
     if args.smoke:
         sys.exit(smoke(args.n, args.baseline, args.tolerance))
+    if args.sustained:
+        sustained(args.n if args.n != 8000 else 30_000)
+        return
     profile(args.n, args.top, args.sort)
 
 

@@ -12,12 +12,23 @@ modeled latency and recording it in the statistics histograms.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import math
+from dataclasses import dataclass, field
 from typing import Any, Iterable, Iterator, Mapping
 
 from repro.errors import DBClosedError, DBError
 from repro.hardware.monitor import SystemMonitor
 from repro.hardware.profile import HardwareProfile, make_profile
+from repro.lsm.background import (
+    BackgroundExecutor,
+    BgHandle,
+    BuilderConfig,
+    CompactionJobSpec,
+    FlushJobSpec,
+    execute_compaction_job,
+    execute_flush_job,
+    make_executor,
+)
 from repro.lsm.block_cache import LRUCache
 from repro.lsm.compaction.fifo import FifoPicker
 from repro.lsm.compaction.leveled import run_compaction
@@ -55,10 +66,14 @@ from repro.lsm.wal import (
 from repro.lsm.write_batch import WriteBatch
 from repro.lsm.write_controller import WriteController, WriteState
 from repro.obs.events import (
+    BgJoin,
+    BgSubmit,
     CacheEviction,
     CompactionInstalled,
+    CompactionRun,
     FifoDrop,
     FlushInstalled,
+    FlushRun,
     IteratorClose,
     IteratorSeek,
     MemtableRotate,
@@ -120,6 +135,9 @@ class _FlushPayload:
     result: object  # FlushResult
     wal_paths: list[str]
     duration_us: float
+    #: Finished table bytes from the background job (0 or 1 entries),
+    #: materialized on the DB's filesystem at install time.
+    files: list[bytes] = field(default_factory=list)
 
 
 @dataclass
@@ -127,6 +145,37 @@ class _CompactionPayload:
     compaction: Compaction
     result: object  # CompactionResult
     duration_us: float
+    #: Finished table bytes, 1:1 with ``result.new_files``.
+    files: list[bytes] = field(default_factory=list)
+
+
+@dataclass
+class _PendingJob:
+    """A scheduled background job whose exact outcome is not joined yet.
+
+    Everything here was known at schedule time: the executor handle,
+    the reserved completion seqno, the provisional slot booking
+    (``slot``/``lb_due_us`` — a *lower bound* on the completion time,
+    from the duration formula evaluated with the one unknown, output
+    bytes, set to zero; bookings may chain behind an earlier unsettled
+    job on the same slot), and the per-kind capture the resolver needs
+    to finish pricing and build the install payload.
+    """
+
+    kind: str  # "flush" | "compaction"
+    job_id: int
+    handle: BgHandle
+    seqno: int
+    sched_now_us: float
+    slot: int
+    lb_due_us: float
+    swap_factor: float
+    # flush capture
+    memtable_ids: list[int] = field(default_factory=list)
+    wal_paths: list[str] = field(default_factory=list)
+    # compaction capture
+    compaction: Compaction | None = None
+    subcompactions: int = 1
 
 
 class DB:
@@ -145,6 +194,7 @@ class DB:
         statistics: Statistics,
         byte_scale: float = 1.0,
         tracer: Tracer | None = None,
+        executor: BackgroundExecutor | None = None,
     ) -> None:
         from repro.lsm.options import scale_bytes
 
@@ -181,7 +231,10 @@ class DB:
         self._next_file_number = 1
         self._mem: MemTable = self._new_memtable()
         self._imm: list[MemTable] = []
-        self._imm_wal_paths: list[str] = []
+        #: id(memtable) -> WAL path covering it, recorded at rotation.
+        #: Structural pairing: a flush batch looks its WALs up by the
+        #: memtables it actually contains, never by list position.
+        self._imm_wal: dict[int, str] = {}
         self._flushing_ids: set[int] = set()
         self._claimed_files: set[int] = set()
         #: (output_level, lo, hi) per in-flight compaction: a new job may
@@ -198,6 +251,31 @@ class DB:
         self._compaction_pool = SlotPool(
             options.effective_max_background_compactions()
         )
+        # Host-parallel background pipeline. Fault-injecting filesystems
+        # pin the inline executor: crash-at-Nth-syscall schedules count
+        # foreground fs calls and a worker must never race that count.
+        mode = options.get("background_executor")
+        if getattr(env.fs, "fault_injection", False):
+            mode = "inline"
+        if executor is not None and executor.mode == mode:
+            self._executor = executor
+            self._owns_executor = False
+        else:
+            self._executor = make_executor(mode, self._bg_executor_width())
+            self._owns_executor = True
+        #: Scheduled-but-unjoined jobs, in schedule (FIFO) order.
+        self._bg_pending: list[_PendingJob] = []
+        #: min(lb_due_us) over pending jobs; inf when none. The write
+        #: hot path compares the clock against this one float.
+        self._bg_lb_due: float = math.inf
+        #: With a rate limiter active, limiter requests are replayed in
+        #: strict schedule order at resolve time (their returns feed
+        #: durations); with it disabled they are commutative and jobs
+        #: may resolve as their own bounds come due.
+        self._bg_strict_fifo = options.get("rate_limiter_bytes_per_sec") > 0
+        self._bg_job_seq = 0
+        self._bg_jobs_joined = 0
+        self._bg_join_stall_s = 0.0
         self._controller = WriteController(options, self._tracer)
         self._rate_limiter = RateLimiter(options.get("rate_limiter_bytes_per_sec"))
         self._block_cache = LRUCache(
@@ -305,18 +383,26 @@ class DB:
         statistics: Statistics | None = None,
         byte_scale: float = 1.0,
         tracer: Tracer | None = None,
+        executor: BackgroundExecutor | None = None,
     ) -> "DB":
         """Open (creating or recovering) a database at ``path``.
 
         ``byte_scale`` shrinks byte-denominated options and the memory
         budget together for scaled-down experiments; see
         :data:`repro.lsm.options.BYTE_SCALED_OPTIONS`.
+
+        ``executor`` shares one host :class:`BackgroundExecutor` across
+        DBs (the service layer passes a single pool to every shard and
+        replica); ``None`` builds one from ``background_executor``.
         """
         options = options if options is not None else Options()
         env = env if env is not None else Env()
         profile = profile if profile is not None else _DEFAULT_PROFILE
         statistics = statistics if statistics is not None else Statistics()
-        db = cls(path, options, env, profile, statistics, byte_scale, tracer)
+        db = cls(
+            path, options, env, profile, statistics, byte_scale, tracer,
+            executor=executor,
+        )
         db._recover()
         return db
 
@@ -471,6 +557,11 @@ class DB:
 
     def _busy_bg_jobs(self) -> int:
         now = self._env.clock.now_us
+        if self._bg_lb_due <= now:
+            # A pending job's provisional slot booking ends at its lower
+            # bound; past that point the busy count is only exact once
+            # the real duration is known.
+            self._resolve_bg_due(now)
         return self._flush_pool.busy_count(now) + self._compaction_pool.busy_count(now)
 
     def _on_cache_evict(self, key, charge: int) -> None:
@@ -520,10 +611,163 @@ class DB:
 
     def _process_completions(self) -> None:
         now = self._env.clock.now_us
+        if self._bg_lb_due <= now:
+            # Join jobs whose lower bound has come due *before* popping:
+            # a joined job's exact completion may itself be <= now and
+            # must apply in this round, in (time, schedule) order.
+            self._resolve_bg_due(now)
         if self._completions.next_due_us > now:
             return
         for completion in self._completions.pop_due(now):
             self._apply_completion(completion)
+
+    # ------------------------------------------------- deferred bg jobs
+
+    def _bg_executor_width(self) -> int:
+        """Host workers backing the executor: the virtual slot budget
+        capped by the machine actually running the simulation."""
+        import os
+
+        width = (
+            self._options.effective_max_background_flushes()
+            + self._options.effective_max_background_compactions()
+        )
+        return max(1, min(width, (os.cpu_count() or 2)))
+
+    def _bg_refresh_lb(self) -> None:
+        pending = self._bg_pending
+        self._bg_lb_due = (
+            min(job.lb_due_us for job in pending) if pending else math.inf
+        )
+
+    def _resolve_bg_due(self, now_us: float) -> None:
+        """Join every pending job whose lower-bound due time has passed.
+
+        In strict-FIFO mode (rate limiter active) jobs ahead of a due
+        one are joined too, so limiter requests replay in schedule
+        order; otherwise only the due jobs are joined (in schedule
+        order among themselves) and later-bounded work keeps running.
+        """
+        pending = self._bg_pending
+        if self._bg_strict_fifo:
+            while pending and self._bg_lb_due <= now_us:
+                self._resolve_job(pending.pop(0))
+                self._bg_refresh_lb()
+            return
+        due = [job for job in pending if job.lb_due_us <= now_us]
+        if not due:
+            return
+        self._bg_pending = [j for j in pending if j.lb_due_us > now_us]
+        self._bg_refresh_lb()
+        for job in due:
+            self._resolve_job(job)
+
+    def _resolve_all_bg(self) -> None:
+        """Join every pending job (explicit waits, shutdown, rebinds)."""
+        while self._bg_pending:
+            self._resolve_job(self._bg_pending.pop(0))
+        self._bg_lb_due = math.inf
+
+    def _resolve_job(self, job: _PendingJob) -> None:
+        """Join one job and finish its schedule-time bookkeeping.
+
+        Runs entirely on the foreground at a virtual-time point that is
+        the same in every executor mode: the exact duration is computed
+        here from the job's result counters, the provisional slot
+        booking is settled, and the completion is pushed under the
+        seqno reserved at schedule time — so the queue orders as if the
+        result had been known all along.
+        """
+        out = job.handle.result()
+        self._bg_jobs_joined += 1
+        self._bg_join_stall_s += job.handle.wait_s
+        result = out.result
+        sched_now = job.sched_now_us
+        if job.kind == "flush":
+            duration = self._perf.flush_duration_us(
+                result.bytes_in, result.bytes_out, result.entries_in
+            ) * job.swap_factor
+            duration += self._rate_limiter.request(sched_now, result.bytes_out)
+            _, done_at = self._flush_pool.settle(job.slot, sched_now, duration)
+            self._completions.push(
+                done_at,
+                "flush",
+                _FlushPayload(
+                    memtable_ids=job.memtable_ids,
+                    result=result,
+                    wal_paths=job.wal_paths,
+                    duration_us=duration,
+                    files=out.files,
+                ),
+                seqno=job.seqno,
+            )
+            if self._trace_on:
+                self._tracer.emit(
+                    FlushRun(
+                        memtables=len(job.memtable_ids),
+                        entries_in=result.entries_in,
+                        entries_out=result.entries_out,
+                        bytes_in=result.bytes_in,
+                        bytes_out=result.bytes_out,
+                    )
+                )
+        else:
+            compaction = job.compaction
+            assert compaction is not None
+            duration = self._perf.compaction_duration_us(
+                result.bytes_read, result.bytes_written, result.entries_merged
+            ) * job.swap_factor
+            duration += self._rate_limiter.request(
+                sched_now, result.bytes_written
+            )
+            duration /= job.subcompactions
+            _, done_at = self._compaction_pool.settle(
+                job.slot, sched_now, duration
+            )
+            self._completions.push(
+                done_at,
+                "compaction",
+                _CompactionPayload(
+                    compaction=compaction,
+                    result=result,
+                    duration_us=duration,
+                    files=out.files,
+                ),
+                seqno=job.seqno,
+            )
+            if self._trace_on:
+                self._tracer.emit(
+                    CompactionRun(
+                        level=compaction.level,
+                        output_level=compaction.output_level,
+                        inputs=len(compaction.all_inputs),
+                        bytes_read=result.bytes_read,
+                        bytes_written=result.bytes_written,
+                        entries_merged=result.entries_merged,
+                        entries_dropped=result.entries_dropped,
+                    )
+                )
+        if self._trace_on:
+            self._tracer.emit(
+                BgJoin(
+                    kind=job.kind,
+                    job_id=job.job_id,
+                    due_us=done_at,
+                    duration_us=duration,
+                )
+            )
+
+    @property
+    def background_stats(self) -> dict[str, Any]:
+        """Host-side gauge of the background pipeline (not traced —
+        traces carry only virtual quantities so runs stay comparable)."""
+        return {
+            "executor_mode": self._executor.mode,
+            "jobs_submitted": self._executor.jobs_submitted,
+            "jobs_joined": self._bg_jobs_joined,
+            "jobs_pending": len(self._bg_pending),
+            "join_stall_seconds": self._bg_join_stall_s,
+        }
 
     def _apply_completion(self, completion: Completion) -> None:
         if completion.kind == "flush":
@@ -533,13 +777,31 @@ class DB:
         else:  # pragma: no cover - defensive
             raise DBError(f"unknown completion kind {completion.kind!r}")
 
+    def _materialize_table(self, data: bytes) -> int:
+        """Write one finished table's bytes under a freshly allocated
+        file number; returns the number. Install-time materialization:
+        background jobs build into scratch space, and the bytes reach
+        the DB's filesystem here — synced *before* the MANIFEST edit
+        that references them, preserving the recovery orphan rule (a
+        crash in between leaves an orphan table, purged on reopen)."""
+        number = self._new_file_number()
+        f = self._env.fs.create(self._sst_path(number))
+        f.append(data)
+        f.sync()
+        f.close()
+        return number
+
     def _install_flush(self, payload: _FlushPayload) -> None:
+        from dataclasses import replace as _replace
+
         result = payload.result
         ids = set(payload.memtable_ids)
         self._imm = [mt for mt in self._imm if id(mt) not in ids]
         self._imm_bytes = sum(mt.approx_bytes for mt in self._imm)
         self._flushing_ids -= ids
         if result.file_meta is not None:
+            number = self._materialize_table(payload.files[0])
+            result.file_meta = _replace(result.file_meta, file_number=number)
             self._version.add_file(0, result.file_meta)
             assert self._manifest is not None
             # Durability ordering: the flush's VersionEdit must reach the
@@ -561,9 +823,8 @@ class DB:
         for path in payload.wal_paths:
             if self._env.fs.exists(path):
                 self._env.fs.delete(path)
-        self._imm_wal_paths = [
-            p for p in self._imm_wal_paths if p not in set(payload.wal_paths)
-        ]
+        for mt_id in payload.memtable_ids:
+            self._imm_wal.pop(mt_id, None)
         self._stats.bump(Ticker.FLUSH_COUNT)
         self._stats.bump(Ticker.FLUSH_BYTES, result.bytes_out)
         self._stats.bump(Ticker.BYTES_WRITTEN, result.bytes_out)
@@ -589,6 +850,13 @@ class DB:
             pass
         from dataclasses import replace as _replace
 
+        # Outputs were built in job-local scratch space; land the bytes
+        # and allocate real file numbers now, in install order — the
+        # same deterministic point in every executor mode.
+        result.new_files = [
+            _replace(meta, file_number=self._materialize_table(data))
+            for meta, data in zip(result.new_files, payload.files)
+        ]
         edit = VersionEdit(comment=f"compaction L{compaction.level}")
         for meta in compaction.all_inputs:
             edit.deleted.append((meta.level, meta.file_number))
@@ -651,33 +919,64 @@ class DB:
         min_merge = self._options.get("min_write_buffer_number_to_merge")
         if not force and len(batch) < min_merge:
             return False
-        wal_paths = list(self._imm_wal_paths[-len(batch):])
-        result = run_flush(
-            batch, self._l0_builder, self._snapshots, tracer=self._tracer
-        )
+        wal_paths = [
+            self._imm_wal[id(mt)] for mt in batch if id(mt) in self._imm_wal
+        ]
         now = self._env.clock.now_us
-        duration = self._perf.flush_duration_us(
-            result.bytes_in, result.bytes_out, result.entries_in
+        bytes_in = sum(mt.approximate_memory_usage for mt in batch)
+        entries_in = sum(mt.num_entries for mt in batch)
+        # Lower-bound duration: the formula is monotonic in the one
+        # quantity only the merge can produce (output bytes); evaluating
+        # it at zero gives a bound the exact duration can never undercut
+        # (the limiter charge is likewise >= 0).
+        lb_duration = self._perf.flush_duration_us(
+            bytes_in, 0, entries_in
         ) * self._swap_factor
-        duration += self._rate_limiter.request(now, result.bytes_out)
-        done_at = self._flush_pool.acquire(now, duration)
-        self._completions.push(
-            done_at,
-            "flush",
-            _FlushPayload(
+        slot, _, lb_done = self._flush_pool.acquire_pending(now, lb_duration)
+        spec = FlushJobSpec(
+            memtables=batch,
+            snapshots=self._snapshots.freeze(),
+            builder=self._builder_config(level=0),
+        )
+        self._submit_bg_job(
+            _PendingJob(
+                kind="flush",
+                job_id=self._next_bg_job_id(),
+                handle=self._executor.submit(
+                    execute_flush_job, spec, cost_hint_entries=entries_in
+                ),
+                seqno=self._completions.reserve_seqno(),
+                sched_now_us=now,
+                slot=slot,
+                lb_due_us=lb_done,
+                swap_factor=self._swap_factor,
                 memtable_ids=[id(mt) for mt in batch],
-                result=result,
                 wal_paths=wal_paths,
-                duration_us=duration,
-            ),
+            )
         )
         self._flushing_ids.update(id(mt) for mt in batch)
         return True
 
-    def _l0_builder(self) -> SSTableBuilder:
-        return self._make_builder(self._sst_path(self._new_file_number()), level=0)
+    def _next_bg_job_id(self) -> int:
+        self._bg_job_seq += 1
+        return self._bg_job_seq
 
-    def _make_builder(self, path: str, level: int) -> SSTableBuilder:
+    def _submit_bg_job(self, job: _PendingJob) -> None:
+        self._bg_pending.append(job)
+        if job.lb_due_us < self._bg_lb_due:
+            self._bg_lb_due = job.lb_due_us
+        if self._trace_on:
+            self._tracer.emit(
+                BgSubmit(
+                    kind=job.kind,
+                    job_id=job.job_id,
+                    lower_bound_due_us=job.lb_due_us,
+                )
+            )
+
+    def _builder_config(self, level: int) -> BuilderConfig:
+        """Snapshot the build options for tables landing at ``level``
+        (the schedule-time equivalent of ``_make_builder``)."""
         opts = self._options
         compression = opts.get("compression")
         bottom = level >= max(1, self._version.max_populated_level())
@@ -688,9 +987,7 @@ class DB:
         bloom_bits = opts.get("bloom_filter_bits_per_key")
         if bottom and level > 0 and opts.get("optimize_filters_for_hits"):
             bloom_bits = -1.0
-        return SSTableBuilder(
-            self._env.fs,
-            path,
+        return BuilderConfig(
             block_size=opts.get("block_size"),
             restart_interval=opts.get("block_restart_interval"),
             compression=compression,
@@ -717,40 +1014,67 @@ class DB:
         return self._execute_compaction(compaction)
 
     def _execute_compaction(self, compaction: Compaction) -> bool:
-        """Run the merge eagerly and schedule its virtual completion."""
-        readers = []
+        """Capture the merge's inputs and schedule it on the executor."""
+        # Prime the table cache exactly as the eager path did: handle
+        # churn (opens, evictions) is part of the schedule-time state
+        # and must stay identical in every executor mode. The job gets
+        # its own positional handles so workers never share readers.
         for meta in compaction.all_inputs:
-            reader, _cached = self._table_cache.get(meta.file_number)
-            readers.append(reader)
-        bottommost = compaction.output_level >= self._version.max_populated_level()
-        result = run_compaction(
-            compaction,
-            readers,
-            self._options,
-            new_table_path=lambda: self._sst_path(self._new_file_number()),
-            open_builder=lambda path, level: self._make_builder(path, level),
-            bottommost=bottommost,
-            snapshots=self._snapshots,
-            tracer=self._tracer,
-        )
+            self._table_cache.get(meta.file_number)
+        input_files = [
+            self._env.fs.open_random(self._sst_path(meta.file_number))
+            for meta in compaction.all_inputs
+        ]
+        output_level = compaction.output_level
+        bottommost = output_level >= self._version.max_populated_level()
         now = self._env.clock.now_us
-        duration = self._perf.compaction_duration_us(
-            result.bytes_read, result.bytes_written, result.entries_merged
+        # Exact at schedule time: every input entry passes through the
+        # merge, so entries_merged is the sum of the input metas' entry
+        # counts; input bytes are the metas' sizes. Only output bytes
+        # (hence the written-side device charge) awaits the merge —
+        # the formula is monotonic in it, so zero gives a lower bound.
+        entries_total = sum(m.num_entries for m in compaction.all_inputs)
+        lb_duration = self._perf.compaction_duration_us(
+            compaction.input_bytes, 0, entries_total
         ) * self._swap_factor
-        duration += self._rate_limiter.request(now, result.bytes_written)
         subcompactions = max(1, min(
             self._options.get("max_subcompactions"),
             self._profile.cpu_cores,
             len(compaction.all_inputs),
         ))
-        duration /= subcompactions
-        done_at = self._compaction_pool.acquire(now, duration)
-        self._completions.push(
-            done_at,
-            "compaction",
-            _CompactionPayload(
-                compaction=compaction, result=result, duration_us=duration
+        lb_duration /= subcompactions
+        slot, _, lb_done = self._compaction_pool.acquire_pending(
+            now, lb_duration
+        )
+        spec = CompactionJobSpec(
+            compaction=compaction,
+            input_files=input_files,
+            verify_checksums=self._options.get("paranoid_checks"),
+            bottommost=bottommost,
+            snapshots=self._snapshots.freeze(),
+            builder=self._builder_config(output_level),
+            target_file_size=(
+                self._options.target_file_size(output_level)
+                if output_level > 0 else 0
             ),
+        )
+        self._submit_bg_job(
+            _PendingJob(
+                kind="compaction",
+                job_id=self._next_bg_job_id(),
+                handle=self._executor.submit(
+                    execute_compaction_job,
+                    spec,
+                    cost_hint_entries=entries_total,
+                ),
+                seqno=self._completions.reserve_seqno(),
+                sched_now_us=now,
+                slot=slot,
+                lb_due_us=lb_done,
+                swap_factor=self._swap_factor,
+                compaction=compaction,
+                subcompactions=subcompactions,
+            )
         )
         self._claimed_files.update(
             f.file_number for f in compaction.all_inputs
@@ -829,6 +1153,9 @@ class DB:
             self._stats.bump(Ticker.STALL_COUNT)
             scheduled = self._maybe_schedule_flush(force=True)
             scheduled = self._maybe_schedule_compaction() or scheduled
+            # Blocked: the earliest completion decides how far to jump,
+            # so every pending job must reveal its exact time first.
+            self._resolve_all_bg()
             nxt = self._completions.pop_next()
             if nxt is None:
                 # Wedged (e.g. compactions disabled while L0 is over the
@@ -887,7 +1214,10 @@ class DB:
             if not op.key:
                 raise DBError("empty keys are not supported")
         clock = self._clock
-        if self._completions.next_due_us <= clock._now_us:
+        if (
+            self._completions.next_due_us <= clock._now_us
+            or self._bg_lb_due <= clock._now_us
+        ):
             self._process_completions()
         stamp = self._version.stamp
         n_imm = len(self._imm)
@@ -906,6 +1236,10 @@ class DB:
         else:
             stall_us = self._make_room_for_write(batch.approximate_bytes)
         now = clock._now_us
+        if self._bg_lb_due <= now:
+            # A stall advance can cross a pending job's lower bound; the
+            # busy count below is only exact once that job is joined.
+            self._resolve_bg_due(now)
         busy = self._busy_flush(now) + self._busy_compaction(now)
         base, per_byte, coord, speed, cores, rot_seek, relief = self._put_plan
         contention = (1.0 + busy) / cores
@@ -994,7 +1328,10 @@ class DB:
         if not key:
             raise DBError("empty keys are not supported")
         clock = self._clock
-        if self._completions.next_due_us <= clock._now_us:
+        if (
+            self._completions.next_due_us <= clock._now_us
+            or self._bg_lb_due <= clock._now_us
+        ):
             self._process_completions()
         entry_bytes = len(key) + len(value) + 24
         # Stall fast path: the clear verdict is pure in (L0 files, imm
@@ -1032,6 +1369,11 @@ class DB:
         seq = self._seq + 1
         self._seq = seq
         now = clock._now_us
+        if self._bg_lb_due <= now:
+            # A stall advance can cross a pending job's lower bound; the
+            # busy count is only exact once the job's real duration is
+            # settled into its slot.
+            self._resolve_bg_due(now)
         busy = busy_flush(now) + busy_compaction(now)
         if wal_enabled:
             cost = (base + entry_bytes * per_byte) + coord
@@ -1097,7 +1439,7 @@ class DB:
         if wal_cap and self._wal is not None:
             live = self._wal.size() + sum(
                 self._env.fs.file_size(p)
-                for p in self._imm_wal_paths
+                for p in self._imm_wal.values()
                 if self._env.fs.exists(p)
             )
             if live >= wal_cap:
@@ -1125,7 +1467,7 @@ class DB:
         self._imm.append(self._mem)
         self._imm_bytes += self._mem.approx_bytes
         if wal is not None:
-            self._imm_wal_paths.append(wal.path)
+            self._imm_wal[id(self._mem)] = wal.path
             self._wal = WalWriter(
                 self._env.fs, self._wal_path(self._new_file_number())
             )
@@ -1470,9 +1812,14 @@ class DB:
         if wait_compactions:
             self.wait_for_background()
             return
-        while self._completions.has_kind("flush"):
+        while True:
+            # Pending jobs must reveal their exact completion times for
+            # has_kind/pop_next to see the true earliest flush.
+            self._resolve_all_bg()
+            if not self._completions.has_kind("flush"):
+                return
             nxt = self._completions.pop_next()
-            if nxt is None:  # pragma: no cover - guarded by the any()
+            if nxt is None:  # pragma: no cover - guarded by has_kind
                 return
             self._env.clock.advance_to(nxt.at_us)
             self._apply_completion(nxt)
@@ -1563,7 +1910,10 @@ class DB:
             validated.append((name, spec.validate(value)))
         # Phase 2: apply in place. Live-read options (compaction
         # triggers, level sizing, compression of new tables) take
-        # effect through the shared bag without any rebinding.
+        # effect through the shared bag without any rebinding. Pending
+        # background jobs join first so their exact durations are
+        # priced under the configuration they were scheduled under.
+        self._resolve_all_bg()
         applied: dict[str, tuple[Any, Any]] = {}
         scaled_bag = self._options
         for name, value in validated:
@@ -1596,13 +1946,19 @@ class DB:
         once per reconfiguration, never on the hot path, and a blanket
         refresh cannot miss a dependency.
         """
+        # Pending background jobs were priced under the old bindings
+        # (durations, pool shapes, limiter rate) and hold slot indices a
+        # resize would invalidate: join them before anything rebinds.
+        self._resolve_all_bg()
         opts = self._options
         self._controller.refresh_thresholds()
         self._rate_limiter.set_bytes_per_second(
             opts.get("rate_limiter_bytes_per_sec"), now_us=self._clock.now_us
         )
+        self._bg_strict_fifo = opts.get("rate_limiter_bytes_per_sec") > 0
         self._flush_pool.resize(opts.effective_max_background_flushes())
         self._compaction_pool.resize(opts.effective_max_background_compactions())
+        self._executor.resize(self._bg_executor_width())
         self._block_cache.set_capacity(self._effective_cache_bytes())
         # Page cache is carved from what the block cache leaves free, so
         # it must be re-derived after the block-cache re-cap.
@@ -1666,6 +2022,10 @@ class DB:
         """Advance virtual time until all background work completes."""
         self._check_open()
         while True:
+            # Applying a completion can schedule (and defer) new work;
+            # join everything pending each round so pop_next always
+            # sees the true earliest completion.
+            self._resolve_all_bg()
             nxt = self._completions.pop_next()
             if nxt is None:
                 return
@@ -1687,6 +2047,8 @@ class DB:
                 self._durable_seq = self._seq
             self._wal.close()
         self._closed = True
+        if self._owns_executor:
+            self._executor.close()
 
     def crash_and_reopen(self) -> "DB":
         """Kill this process image and recover from the surviving disk.
@@ -1700,6 +2062,19 @@ class DB:
         :attr:`durable_sequence` survives.
         """
         self._closed = True
+        # In-flight background jobs die with the process image: drop the
+        # pending list without joining (workers finish into scratch
+        # space nobody reads) and release an owned host pool. Forked
+        # children are killed eagerly so a shared executor does not
+        # accumulate zombies across simulated crashes.
+        for job in self._bg_pending:
+            abandon = getattr(job.handle, "abandon", None)
+            if abandon is not None:
+                abandon()
+        self._bg_pending.clear()
+        self._bg_lb_due = math.inf
+        if self._owns_executor:
+            self._executor.close()
         self._env.fs.crash()
         return DB.open(
             self._path,
@@ -1709,6 +2084,7 @@ class DB:
             statistics=self._stats,
             byte_scale=self._byte_scale,
             tracer=self._tracer,
+            executor=None if self._owns_executor else self._executor,
         )
 
     def __enter__(self) -> "DB":
@@ -1728,6 +2104,9 @@ class DB:
     def foreground_parallelism(self, value: int) -> None:
         if value < 1:
             raise DBError("foreground parallelism must be >= 1")
+        # Duration formulas can read the thread count; join pending jobs
+        # so none is priced under a mix of old and new values.
+        self._resolve_all_bg()
         self._foreground_parallelism = value
         self._fg_div = value
         self._perf.foreground_threads = value

@@ -87,6 +87,26 @@ class MemTable:
             else None
         )
 
+    # -- pickling ----------------------------------------------------------
+
+    def __getstate__(self) -> dict:
+        """Drop the bound-method fast-lane caches; they are rebuilt on
+        load. Lets a rotated (immutable) memtable ship to a background
+        worker process as a flush-job input."""
+        state = self.__dict__.copy()
+        del state["_versions_get"]
+        del state["_bloom_add"]
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._versions_get = self._versions.get
+        self._bloom_add = (
+            self._bloom.add
+            if self._bloom is not None and self._whole_key_filtering
+            else None
+        )
+
     # -- encoding ----------------------------------------------------------
 
     @staticmethod

@@ -67,6 +67,18 @@ class SnapshotList:
     def live_sequences(self) -> list[int]:
         return list(self._seqs)
 
+    def freeze(self) -> "SnapshotList":
+        """A detached copy of the current snapshot set.
+
+        Background flush/compaction jobs capture the snapshot floor at
+        schedule time; a frozen copy makes the GC decision independent
+        of snapshots acquired or released while the job is in flight,
+        so every executor mode sees the same drop set.
+        """
+        frozen = SnapshotList()
+        frozen._seqs = list(self._seqs)
+        return frozen
+
     def oldest(self) -> int | None:
         return self._seqs[0] if self._seqs else None
 

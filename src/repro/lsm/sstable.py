@@ -147,6 +147,22 @@ class SSTableBuilder:
         if self._block.add(internal_key, _KIND_BYTES[kind] + value) >= self._block_size:
             self._flush_block()
 
+    def add_packed(self, internal_key: bytes, packed_value: bytes) -> None:
+        """:meth:`add` with the value already in block encoding (kind
+        byte prepended) — what :meth:`SSTableReader.read_packed` yields."""
+        if self._finished:
+            raise CorruptionError("add() after finish()")
+        if self._num_entries and internal_key <= self._last_ikey:
+            raise CorruptionError("sstable keys must be strictly increasing")
+        if self._first_ikey is None:
+            self._first_ikey = internal_key
+        self._last_ikey = internal_key
+        self._num_entries += 1
+        if self._collect_bloom:
+            self._bloom_prefixes.add(internal_key[:-8])
+        if self._block.add(internal_key, packed_value) >= self._block_size:
+            self._flush_block()
+
     def add_many(
         self,
         entries: Iterator[tuple[bytes, ValueKind, bytes]],
@@ -198,6 +214,107 @@ class SSTableBuilder:
                 if key_len == n:
                     # Equal-length keys (the norm: fixed-width user keys
                     # + 10-byte suffix): XOR whole keys, no slicing.
+                    diff = (
+                        from_bytes(internal_key, "big")
+                        ^ from_bytes(last, "big")
+                    )
+                else:
+                    if key_len < n:
+                        n = key_len
+                    diff = (
+                        from_bytes(internal_key[:n], "big")
+                        ^ from_bytes(last[:n], "big")
+                    )
+                shared = n if diff == 0 else n - ((diff.bit_length() + 7) >> 3)
+            else:
+                restarts.append(len(buf))
+                counter = 0
+                shared = 0
+            non_shared = key_len - shared
+            val_len = len(val)
+            if shared < 0x80 and non_shared < 0x80 and val_len < 0x80:
+                buf.append(shared)
+                buf.append(non_shared)
+                buf.append(val_len)
+            else:
+                _put_varint(buf, shared)
+                _put_varint(buf, non_shared)
+                _put_varint(buf, val_len)
+            buf += internal_key[shared:]
+            buf += val
+            last = internal_key
+            counter += 1
+            block_entries += 1
+            estimate = len(buf) + 4 * len(restarts) + 4
+            if estimate >= block_size:
+                block._counter = counter
+                block._last_key = last
+                block._num_entries = block_entries
+                self._last_ikey = last_ikey
+                self._num_entries = num
+                self._flush_block()
+                block = self._block
+                buf = block._buf
+                restarts = block._restarts
+                counter = 0
+                last = b""
+                block_entries = 0
+                offset = self._offset
+                estimate = 8  # empty block: one restart slot + trailer
+            if split_size is not None and offset + estimate >= split_size:
+                exhausted = False
+                break
+        block._counter = counter
+        block._last_key = last
+        block._num_entries = block_entries
+        self._last_ikey = last_ikey
+        self._num_entries = num
+        return exhausted
+
+    def add_many_packed(
+        self,
+        entries: Iterator[tuple[bytes, bytes]],
+        split_size: int | None = None,
+    ) -> bool:
+        """:meth:`add_many` over already-packed ``(internal_key,
+        kind_byte + value)`` pairs — the compaction kernel. A deliberate
+        copy of the :meth:`add_many` loop minus the per-entry value
+        re-encode: the pairs come verbatim from
+        :meth:`SSTableReader.read_packed` and go verbatim into the
+        output block, so the bytes produced are identical.
+        """
+        if self._finished:
+            raise CorruptionError("add() after finish()")
+        block = self._block
+        buf = block._buf
+        restarts = block._restarts
+        counter = block._counter
+        last = block._last_key
+        block_entries = block._num_entries
+        interval = block._restart_interval
+        block_size = self._block_size
+        offset = self._offset
+        collect = self._collect_bloom
+        prefix_add = self._bloom_prefixes.add
+        last_ikey = self._last_ikey
+        num = self._num_entries
+        first_unset = self._first_ikey is None
+        from_bytes = int.from_bytes
+        exhausted = True
+        for internal_key, val in entries:
+            if num and internal_key <= last_ikey:
+                raise CorruptionError("sstable keys must be strictly increasing")
+            if first_unset:
+                self._first_ikey = internal_key
+                first_unset = False
+            last_ikey = internal_key
+            num += 1
+            if collect:
+                prefix_add(internal_key[:-8])
+            key_len = len(internal_key)
+            if counter < interval:
+                n = len(last)
+                if key_len == n:
                     diff = (
                         from_bytes(internal_key, "big")
                         ^ from_bytes(last, "big")
@@ -546,6 +663,27 @@ class SSTableReader:
                 idx, cache_get, cache_put, local
             ):
                 yield entry_ikey, _KIND_OF[packed[0]], packed[1:]
+
+    def read_packed(
+        self,
+        *,
+        cache_get: CacheGet | None = None,
+        cache_put: CachePut | None = None,
+        stats: ReadStats | None = None,
+    ) -> list[tuple[bytes, bytes]]:
+        """All ``(internal_key, kind_byte + value)`` pairs, in order.
+
+        The raw block encoding, materialized list-per-block with zero
+        per-entry work — the compaction merge consumes it directly and
+        re-emits the packed value verbatim, skipping the kind decode /
+        value slice / re-concat of the tuple path. Read accounting
+        matches :meth:`iter_entries` exactly.
+        """
+        local = stats if stats is not None else ReadStats()
+        out: list[tuple[bytes, bytes]] = []
+        for idx in range(len(self._index)):
+            out += self._read_block(idx, cache_get, cache_put, local)
+        return out
 
     def iter_from(
         self,

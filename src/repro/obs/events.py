@@ -113,6 +113,35 @@ class FlushInstalled(TraceEvent):
 
 @register_event
 @dataclass
+class BgSubmit(TraceEvent):
+    """A flush/compaction job was handed to the background executor.
+
+    Carries only virtual quantities (the lower-bound completion time
+    computed from schedule-time-known inputs) so traces stay
+    byte-identical across executor modes; host-side stall time lives in
+    ``DB.background_stats``, never in the trace.
+    """
+
+    TYPE: ClassVar[str] = "engine.bg.submit"
+    kind: str
+    job_id: int
+    lower_bound_due_us: float
+
+
+@register_event
+@dataclass
+class BgJoin(TraceEvent):
+    """A background job's result was joined on the foreground."""
+
+    TYPE: ClassVar[str] = "engine.bg.join"
+    kind: str
+    job_id: int
+    due_us: float
+    duration_us: float
+
+
+@register_event
+@dataclass
 class CompactionRun(TraceEvent):
     """One compaction merge executed (not yet installed)."""
 

@@ -272,13 +272,17 @@ def open_group(
     *,
     replicas: int,
     env_factory=None,
+    executor=None,
 ) -> ReplicaGroup:
     """Open a full replica group for one shard.
 
     Replica ``r`` lives at ``{base_path}/shard-NN/r{r}`` with its own
     env/stats; replica 0 is the initial leader. ``env_factory`` (a
     ``(shard_index, replica_id) -> Env`` callable) lets the chaos
-    harness back members with fault-injecting filesystems.
+    harness back members with fault-injecting filesystems. ``executor``
+    (a shared host :class:`~repro.lsm.background.BackgroundExecutor`)
+    is threaded through to every member DB; fault-injected members
+    decline it and pin inline.
     """
     members: list[Replica] = []
     for r in range(replicas):
@@ -292,6 +296,7 @@ def open_group(
                 profile=profile,
                 statistics=stats,
                 byte_scale=byte_scale,
+                executor=executor,
             )
         except SimulatedCrash:
             # Dead on arrival (a chaos schedule killed the member while

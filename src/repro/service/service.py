@@ -63,6 +63,7 @@ arrival timestamps, shard clocks, and the trace share one timeline.
 from __future__ import annotations
 
 import heapq
+import os
 import time
 from collections import deque
 from dataclasses import dataclass, field
@@ -73,6 +74,7 @@ from repro.bench.runner import BenchResult
 from repro.bench.spec import WorkloadSpec
 from repro.errors import MisroutedRequestError, RoutingError, SimulatedCrash
 from repro.hardware.profile import HardwareProfile, make_profile
+from repro.lsm.background import BackgroundExecutor, make_executor
 from repro.lsm.db import DB
 from repro.lsm.env import Env
 from repro.lsm.histogram import Histogram, HistogramSummary
@@ -349,8 +351,35 @@ class ShardedService:
         self._failovers: list[tuple[int, int, int]] = []
         self._shards: list[_Shard] = []
         self._aborted = False
+        #: One host BackgroundExecutor shared by every shard/replica DB
+        #: (created lazily on first shard open, closed with the run).
+        self._bg_executor: BackgroundExecutor | None = None
 
     # -- setup -------------------------------------------------------------
+
+    def _shared_executor(self) -> BackgroundExecutor:
+        """The one host executor backing background work service-wide.
+
+        Worker threads/processes are a *host* resource: N shards each
+        spawning a private pool would oversubscribe the machine, so
+        every shard and replica DB shares this pool. DBs opened under
+        fault injection decline it (they pin the inline executor), and
+        a DB that receives a shared executor never closes it — the
+        service does, after the run.
+        """
+        if self._bg_executor is None:
+            width = max(
+                1,
+                min(
+                    self.options.effective_max_background_flushes()
+                    + self.options.effective_max_background_compactions(),
+                    os.cpu_count() or 2,
+                ),
+            )
+            self._bg_executor = make_executor(
+                self.options.get("background_executor"), width
+            )
+        return self._bg_executor
 
     def _open_shard(self, index: int) -> _Shard:
         if self.num_replicas > 1:
@@ -362,6 +391,7 @@ class ShardedService:
                 self.byte_scale,
                 replicas=self.num_replicas,
                 env_factory=self.env_factory,
+                executor=self._shared_executor(),
             )
             leader = group.leader
             shard = _Shard(
@@ -391,6 +421,7 @@ class ShardedService:
             profile=self.profile,
             statistics=stats,
             byte_scale=self.byte_scale,
+            executor=self._shared_executor(),
         )
         return _Shard(index=index, env=env, stats=stats, db=db)
 
@@ -872,6 +903,9 @@ class ShardedService:
                     shard.group.close()
                 elif not shard.db.closed:
                     shard.db.close()
+            if self._bg_executor is not None:
+                self._bg_executor.close()
+                self._bg_executor = None
 
     def _drive(
         self, shards: list[_Shard], clients: list[SimClient], base_us: float

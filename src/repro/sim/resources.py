@@ -33,6 +33,11 @@ class SlotPool:
         if capacity < 1:
             raise ValueError("slot pool needs at least one slot")
         self._free_at: list[float] = [0.0] * capacity
+        #: Exact free times from settled work only. ``_free_at`` may run
+        #: ahead of this with provisional lower-bound bookings
+        #: (:meth:`acquire_pending`); chained settles re-anchor on the
+        #: exact timeline.
+        self._settled_at: list[float] = [0.0] * capacity
         # busy_count cache: (valid_until, count). The count can only
         # change when a slot's end time passes or a job is scheduled, so
         # between those events the foreground's twice-per-op polls are a
@@ -50,11 +55,15 @@ class SlotPool:
         cur = len(self._free_at)
         if capacity > cur:
             self._free_at.extend([0.0] * (capacity - cur))
+            self._settled_at.extend([0.0] * (capacity - cur))
         elif capacity < cur:
             # Drop the slots that free soonest last so in-flight work
-            # (later free times) is preserved conservatively.
-            self._free_at.sort(reverse=True)
-            del self._free_at[capacity:]
+            # (later free times) is preserved conservatively. Pairs stay
+            # aligned: callers settle every pending booking before a
+            # resize, so both timelines agree slot-by-slot here.
+            order = sorted(range(cur), key=self._free_at.__getitem__, reverse=True)
+            self._free_at = [self._free_at[i] for i in order[:capacity]]
+            self._settled_at = [self._settled_at[i] for i in order[:capacity]]
         self._busy_cache = (-_INF, 0)
 
     def earliest_free_us(self) -> float:
@@ -83,8 +92,59 @@ class SlotPool:
         start = max(now_us, self._free_at[idx])
         done = start + duration_us
         self._free_at[idx] = done
+        self._settled_at[idx] = done
         self._busy_cache = (-_INF, 0)
         return done
+
+    def acquire_pending(
+        self, now_us: float, lb_duration_us: float
+    ) -> tuple[int, float, float]:
+        """Schedule a job whose exact duration is not yet known.
+
+        The slot is provisionally busy until ``start + lb_duration_us``
+        where the lower bound must never exceed the eventual exact
+        duration. The booking may *chain*: the chosen slot can already
+        hold an unsettled earlier booking, in which case ``start`` is
+        itself a lower bound (it assumes the earlier job finishes exactly
+        at its bound). :meth:`settle` later computes the exact start from
+        the settled timeline. Until every bound in the chain has been
+        crossed, ``busy_count(t)`` never undercounts: each provisional
+        end is <= the eventual exact end. Returns ``(slot_index,
+        lb_start_us, lb_done_us)``. The caller must settle all pending
+        bookings before :meth:`resize` — indices would no longer name
+        the same slot — and must settle bookings that share a slot in
+        schedule order (chained starts depend on the earlier settle).
+        """
+        if lb_duration_us < 0:
+            raise ValueError("job duration cannot be negative")
+        idx = min(range(len(self._free_at)), key=self._free_at.__getitem__)
+        start = max(now_us, self._free_at[idx])
+        lb_done = start + lb_duration_us
+        self._free_at[idx] = lb_done
+        self._busy_cache = (-_INF, 0)
+        return idx, start, lb_done
+
+    def settle(
+        self, slot_index: int, sched_now_us: float, duration_us: float
+    ) -> tuple[float, float]:
+        """Settle a booking from :meth:`acquire_pending` with its exact
+        duration. The exact start is recomputed against the *settled*
+        timeline (``max(sched_now_us, slot settled free time)``), which is
+        why same-slot bookings must settle in schedule order. Returns
+        ``(start_us, done_us)``; the slot's provisional end only ever
+        moves later (exact >= every lower bound in the chain)."""
+        if duration_us < 0:
+            raise ValueError("job duration cannot be negative")
+        start = max(sched_now_us, self._settled_at[slot_index])
+        done = start + duration_us
+        self._settled_at[slot_index] = done
+        # A later chained booking may have pushed the provisional end
+        # past this job's exact end; keep the maximum so the timeline
+        # stays a valid lower bound for the still-pending booking.
+        if done > self._free_at[slot_index]:
+            self._free_at[slot_index] = done
+        self._busy_cache = (-_INF, 0)
+        return start, done
 
 
 @dataclass(order=True)
@@ -116,9 +176,26 @@ class CompletionQueue:
     def __len__(self) -> int:
         return len(self._heap)
 
-    def push(self, at_us: float, kind: str, payload: object = None) -> Completion:
+    def reserve_seqno(self) -> int:
+        """Allocate the tie-break seqno for a completion *before* its
+        time is known. Deferred background jobs reserve at schedule time
+        and push at resolve time, so two completions landing on the same
+        virtual microsecond still apply in schedule order regardless of
+        when each job's exact duration was learned."""
         self._seq += 1
-        item = Completion(at_us=at_us, seqno=self._seq, kind=kind, payload=payload)
+        return self._seq
+
+    def push(
+        self,
+        at_us: float,
+        kind: str,
+        payload: object = None,
+        seqno: int | None = None,
+    ) -> Completion:
+        if seqno is None:
+            self._seq += 1
+            seqno = self._seq
+        item = Completion(at_us=at_us, seqno=seqno, kind=kind, payload=payload)
         heapq.heappush(self._heap, item)
         self.next_due_us = self._heap[0].at_us
         return item

@@ -1,0 +1,178 @@
+"""Executor-mode equivalence: the background pipeline must be invisible.
+
+Virtual time is the contract. Whatever host vehicle runs a flush or
+compaction — inline on the foreground thread, a worker thread, a forked
+child process — the *simulation* must be bit-identical: same logical
+state, same tickers, same virtual clock, same trace bytes, same durable
+sequence. These tests run one seeded workload under every executor mode
+and diff everything observable, across all three compaction styles.
+"""
+
+import pytest
+
+from repro.lsm.background import ProcessExecutor
+from repro.lsm.db import DB
+from repro.lsm.env import Env
+from repro.lsm.faults import FaultFS
+from repro.lsm.options import Options
+from repro.lsm.statistics import Statistics
+from repro.obs.events import to_jsonl_line
+from repro.obs.sinks import RingSink
+from repro.obs.tracer import Tracer
+
+MODES = ("inline", "thread", "process")
+
+
+def _options(mode, style, **extra):
+    base = {
+        "write_buffer_size": 4 * 1024,
+        "target_file_size_base": 8 * 1024,
+        "max_bytes_for_level_base": 32 * 1024,
+        "background_executor": mode,
+        "compaction_style": style,
+    }
+    base.update(extra)
+    return Options(base)
+
+
+def _workload(db, n, midrun=None):
+    for i in range(n):
+        key = b"k%05d" % ((i * 2654435761) % 600)
+        db.put(key, b"v%06d" % i)
+        if i % 11 == 0:
+            db.delete(b"k%05d" % ((i * 7919) % 600))
+        if i % 401 == 0:
+            db.get(key)
+        if midrun is not None and i == n // 2:
+            midrun(db)
+
+
+def _run(mode, style, n=3000, midrun=None, **extra):
+    """One full run; returns every observable the modes must agree on."""
+    sink = RingSink()
+    env = Env()
+    stats = Statistics()
+    db = DB.open(
+        f"/bg-eq-{mode}-{style}",
+        _options(mode, style, **extra),
+        env=env,
+        statistics=stats,
+        tracer=Tracer(sink),
+    )
+    _workload(db, n, midrun=midrun)
+    state = db.scan(limit=None)
+    db.close()
+    trace = "\n".join(to_jsonl_line(e).rstrip("\n") for e in sink.events)
+    return {
+        "state": state,
+        "tickers": list(stats.raw_tickers()),
+        "clock_us": env.clock.now_us,
+        "durable_seq": db.durable_sequence,
+        "trace": trace,
+    }
+
+
+@pytest.mark.parametrize("style", ["level", "universal", "fifo"])
+def test_mode_equivalence(style, monkeypatch):
+    # Force the process executor to really fork (the entry-count
+    # threshold would otherwise run these small test jobs inline at
+    # submit and the cross-process plumbing would go unexercised).
+    monkeypatch.setattr(ProcessExecutor, "FORK_THRESHOLD_ENTRIES", 0)
+    baseline = _run("inline", style)
+    assert baseline["trace"], "workload produced no trace events"
+    for mode in ("thread", "process"):
+        got = _run(mode, style)
+        for field in ("state", "tickers", "clock_us", "durable_seq", "trace"):
+            assert got[field] == baseline[field], (
+                f"{mode}/{style}: {field} diverged from inline"
+            )
+
+
+def test_mode_equivalence_with_midrun_width_change():
+    """set_options() width changes resize the host pool mid-run without
+    touching virtual results."""
+
+    def widen(db):
+        db.set_options({"max_background_jobs": 6})
+
+    runs = {mode: _run(mode, "level", midrun=widen) for mode in MODES}
+    assert runs["thread"] == runs["inline"]
+    assert runs["process"] == runs["inline"]
+
+
+def test_close_joins_inflight_jobs():
+    """close() must join every scheduled job, then reopen sees all data."""
+    env = Env()
+    db = DB.open("/bg-close", _options("thread", "level"), env=env)
+    seen_pending = False
+    for i in range(2500):
+        db.put(b"k%05d" % (i % 500), b"v" * 64)
+        seen_pending = seen_pending or bool(db._bg_pending)
+    assert seen_pending, "workload never had a job in flight"
+    db.close()
+    assert not db._bg_pending
+    reopened = DB.open("/bg-close", _options("inline", "level"), env=env)
+    assert len(reopened.scan(limit=None)) == 500
+    reopened.close()
+
+
+def test_crash_and_reopen_matches_inline_crash():
+    """A crash with forked children in flight recovers to the exact
+    durable state an inline run crashes to at the same operation."""
+
+    def crash_run(mode):
+        db = DB.open(f"/bg-crash-{mode}", _options(mode, "level"))
+        for i in range(2200):
+            db.put(b"k%05d" % (i % 400), b"v%06d" % i)
+        db2 = db.crash_and_reopen()
+        state = db2.scan(limit=None)
+        durable = db2.durable_sequence
+        db2.close()
+        return state, durable
+
+    assert crash_run("thread") == crash_run("inline")
+    assert crash_run("process") == crash_run("inline")
+
+
+def test_fault_injection_pins_inline_executor():
+    """Crash-at-Nth-syscall schedules count foreground fs ops; a worker
+    racing that count would make chaos runs nondeterministic."""
+    env = Env(fs=FaultFS())
+    db = DB.open("/bg-faultfs", _options("process", "level"), env=env)
+    assert db._executor.mode == "inline"
+    db.close()
+
+
+def test_shared_executor_not_closed_by_db():
+    from repro.lsm.background import make_executor
+
+    shared = make_executor("thread", 2)
+    try:
+        a = DB.open("/bg-shared-a", _options("thread", "level"), executor=shared)
+        b = DB.open("/bg-shared-b", _options("thread", "level"), executor=shared)
+        assert a._executor is shared and b._executor is shared
+        for i in range(1200):
+            a.put(b"k%04d" % (i % 300), b"v" * 32)
+            b.put(b"k%04d" % (i % 300), b"v" * 32)
+        a.close()
+        b.close()
+        # still usable after both DBs closed: the owner (caller) decides
+        c = DB.open("/bg-shared-a", _options("thread", "level"), executor=shared)
+        assert c._executor is shared
+        c.close()
+    finally:
+        shared.close()
+
+
+def test_background_stats_gauge():
+    db = DB.open("/bg-gauge", _options("thread", "level"))
+    for i in range(1500):
+        db.put(b"k%05d" % (i % 400), b"v" * 48)
+    db.wait_for_background()
+    stats = db.background_stats
+    assert stats["executor_mode"] == "thread"
+    assert stats["jobs_submitted"] > 0
+    assert stats["jobs_joined"] == stats["jobs_submitted"]
+    assert stats["jobs_pending"] == 0
+    assert stats["join_stall_seconds"] >= 0.0
+    db.close()

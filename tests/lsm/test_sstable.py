@@ -263,3 +263,78 @@ class TestFileMetaData:
         for k in key_ints:
             found, _, value, _ = reader.get(b"%03d" % k)
             assert found and value == b"v%d" % k
+
+
+class TestPackedPath:
+    """The packed merge path (`read_packed`/`add_packed`/`add_many_packed`)
+    must be a byte-identical twin of the decode/re-encode path: compaction
+    outputs feed determinism gates, so a single divergent byte is a bug."""
+
+    @staticmethod
+    def _entries(n, *, deletes=True):
+        out = []
+        for i in range(n):
+            kind = (
+                ValueKind.DELETE
+                if deletes and i % 7 == 0
+                else ValueKind.VALUE
+            )
+            value = b"" if kind is ValueKind.DELETE else b"val-%d" % (i * i)
+            out.append((ikey.encode(b"key-%06d" % i, i + 1), kind, value))
+        return out
+
+    def test_read_packed_equals_iter_entries(self):
+        fs = MemFileSystem()
+        builder = SSTableBuilder(fs, "/db/000001.sst", block_size=256)
+        for key, kind, value in self._entries(200):
+            builder.add(key, kind, value)
+        builder.finish()
+        reader = open_reader(fs)
+        unpacked = list(reader.iter_entries())
+        packed = reader.read_packed()
+        assert len(packed) == len(unpacked)
+        for (k1, kind, value), (k2, pv) in zip(unpacked, packed):
+            assert k1 == k2
+            assert pv[0] == kind.value
+            assert pv[1:] == value
+
+    def test_packed_build_is_byte_identical(self):
+        fs = MemFileSystem()
+        entries = self._entries(300)
+        builder = SSTableBuilder(fs, "/db/a.sst", block_size=256,
+                                 bloom_bits_per_key=10.0)
+        for key, kind, value in entries:
+            builder.add(key, kind, value)
+        builder.finish()
+
+        packed_builder = SSTableBuilder(fs, "/db/b.sst", block_size=256,
+                                        bloom_bits_per_key=10.0)
+        packed_builder.add_packed(*self._pack(entries[0]))
+        exhausted = packed_builder.add_many_packed(
+            self._pack(e) for e in entries[1:]
+        )
+        assert exhausted
+        packed_builder.finish()
+        assert fs.read_all("/db/a.sst") == fs.read_all("/db/b.sst")
+
+    def test_add_many_packed_split_size_matches_add_many(self):
+        fs = MemFileSystem()
+        entries = self._entries(400, deletes=False)
+        via_add_many = SSTableBuilder(fs, "/db/c.sst", block_size=256)
+        it = iter(entries)
+        first = next(it)
+        via_add_many.add(*first)
+        assert not via_add_many.add_many(it, split_size=2048)
+        via_add_many.finish()
+
+        via_packed = SSTableBuilder(fs, "/db/d.sst", block_size=256)
+        pit = (self._pack(e) for e in entries)
+        via_packed.add_packed(*next(pit))
+        assert not via_packed.add_many_packed(pit, split_size=2048)
+        via_packed.finish()
+        assert fs.read_all("/db/c.sst") == fs.read_all("/db/d.sst")
+
+    @staticmethod
+    def _pack(entry):
+        key, kind, value = entry
+        return key, bytes([kind.value]) + value

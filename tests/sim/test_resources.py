@@ -121,3 +121,99 @@ class TestCompletionQueue:
         drained = queue.drain()
         assert [c.at_us for c in drained] == [1.0, 3.0, 5.0]
         assert len(queue) == 0
+
+
+class TestPendingBookings:
+    """acquire_pending/settle: the deferred-duration protocol the
+    background pipeline schedules with (lower bounds now, exact later)."""
+
+    def test_settle_matches_eager_acquire(self):
+        eager = SlotPool(1)
+        deferred = SlotPool(1)
+        assert eager.acquire(10.0, 100.0) == 110.0
+        slot, lb_start, lb_done = deferred.acquire_pending(10.0, 40.0)
+        assert (lb_start, lb_done) == (10.0, 50.0)
+        start, done = deferred.settle(slot, 10.0, 100.0)
+        assert (start, done) == (10.0, 110.0)
+
+    def test_lower_bound_never_undercounts_busy(self):
+        pool = SlotPool(1)
+        pool.acquire_pending(0.0, 50.0)
+        assert pool.busy_count(25.0) == 1
+        # the bound itself may be crossed before the settle arrives;
+        # after it, busy_count is allowed to read 0 (lb semantics)
+        assert pool.busy_count(60.0) == 0
+
+    def test_chained_booking_starts_after_settled_predecessor(self):
+        pool = SlotPool(1)
+        slot_a, _, lb_a = pool.acquire_pending(0.0, 30.0)
+        # second booking chains behind the first's *lower bound*
+        slot_b, lb_start_b, _ = pool.acquire_pending(0.0, 30.0)
+        assert slot_b == slot_a
+        assert lb_start_b == lb_a
+        # first job actually ran longer than its bound; the chained
+        # job's exact start comes from the settled timeline, not the lb
+        _, done_a = pool.settle(slot_a, 0.0, 100.0)
+        start_b, done_b = pool.settle(slot_b, 0.0, 10.0)
+        assert start_b == done_a == 100.0
+        assert done_b == 110.0
+
+    def test_settle_never_moves_provisional_end_earlier(self):
+        pool = SlotPool(1)
+        slot, _, _ = pool.acquire_pending(0.0, 30.0)
+        pool.acquire_pending(0.0, 30.0)  # chained: free_at now 60
+        pool.settle(slot, 0.0, 35.0)
+        # 35 < 60: the pending chained booking still holds the slot
+        assert pool.busy_count(50.0) == 1
+
+    def test_two_slots_chain_independently(self):
+        pool = SlotPool(2)
+        a = pool.acquire_pending(0.0, 100.0)
+        b = pool.acquire_pending(0.0, 10.0)
+        assert a[0] != b[0]
+        assert pool.busy_count(5.0) == 2
+        pool.settle(b[0], 0.0, 10.0)
+        assert pool.busy_count(50.0) == 1
+
+    def test_pending_negative_duration_rejected(self):
+        with pytest.raises(ValueError):
+            SlotPool(1).acquire_pending(0.0, -1.0)
+        pool = SlotPool(1)
+        slot, _, _ = pool.acquire_pending(0.0, 5.0)
+        with pytest.raises(ValueError):
+            pool.settle(slot, 0.0, -1.0)
+
+    def test_resize_after_settle_keeps_busiest(self):
+        pool = SlotPool(2)
+        slot, _, _ = pool.acquire_pending(0.0, 50.0)
+        pool.settle(slot, 0.0, 50.0)
+        pool.resize(1)
+        assert pool.busy_count(25.0) == 1
+        assert pool.earliest_free_us() == 50.0
+
+
+class TestReservedSeqnos:
+    def test_reserved_seqno_breaks_same_time_ties_in_schedule_order(self):
+        queue = CompletionQueue()
+        first = queue.reserve_seqno()   # scheduled first...
+        second = queue.reserve_seqno()
+        queue.push(10.0, "late-resolve", seqno=second)
+        queue.push(10.0, "early-resolve", seqno=first)  # ...pushed last
+        assert queue.pop_next().kind == "early-resolve"
+        assert queue.pop_next().kind == "late-resolve"
+
+    def test_reserved_and_implicit_seqnos_interleave(self):
+        queue = CompletionQueue()
+        reserved = queue.reserve_seqno()
+        queue.push(10.0, "implicit")  # allocates the next seqno
+        queue.push(10.0, "reserved", seqno=reserved)
+        assert [queue.pop_next().kind for _ in range(2)] == [
+            "reserved", "implicit",
+        ]
+
+    def test_next_due_tracks_pushes(self):
+        queue = CompletionQueue()
+        seqno = queue.reserve_seqno()
+        assert queue.next_due_us == float("inf")
+        queue.push(42.0, "job", seqno=seqno)
+        assert queue.next_due_us == 42.0
